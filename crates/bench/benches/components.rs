@@ -1,0 +1,176 @@
+//! Criterion micro-benchmarks of the PABST components and substrates:
+//! per-operation costs of the pacer, arbiter, governor, caches, MSHRs,
+//! memory controller, and the full-system cycle step.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+
+use pabst_cache::{CacheConfig, LineAddr, MshrTable, SetAssocCache};
+use pabst_core::arbiter::VirtualClocks;
+use pabst_core::governor::{MonitorConfig, SystemMonitor};
+use pabst_core::pacer::Pacer;
+use pabst_core::qos::{QosId, ShareTable};
+use pabst_dram::{ArbiterMode, DramConfig, MemController, MemReq};
+use pabst_soc::config::{RegulationMode, SystemConfig};
+use pabst_soc::system::SystemBuilder;
+
+fn bench_pacer(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pacer");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("try_issue", |b| {
+        let mut p = Pacer::new(10);
+        let mut now = 0u64;
+        b.iter(|| {
+            now += 1;
+            std::hint::black_box(p.try_issue(now));
+        });
+    });
+    g.finish();
+}
+
+fn bench_arbiter(c: &mut Criterion) {
+    let shares = ShareTable::from_weights(&[3, 1]).unwrap();
+    let mut g = c.benchmark_group("arbiter");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("stamp_and_pick", |b| {
+        let mut vc = VirtualClocks::new(&shares, 128);
+        let mut i = 0u8;
+        b.iter(|| {
+            i = (i + 1) % 2;
+            let id = QosId::new(i);
+            let d = vc.stamp(id);
+            vc.on_picked(id, d);
+        });
+    });
+    g.finish();
+}
+
+fn bench_governor(c: &mut Criterion) {
+    let mut g = c.benchmark_group("governor");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("on_epoch", |b| {
+        let mut mon = SystemMonitor::new(MonitorConfig::default());
+        let mut i = 0u32;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            std::hint::black_box(mon.on_epoch(i % 3 == 0));
+        });
+    });
+    g.finish();
+}
+
+fn bench_cache(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cache");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("l2_probe_fill", |b| {
+        let mut cache = SetAssocCache::new(CacheConfig::with_capacity(256 * 1024, 8));
+        let q = QosId::new(0);
+        let mut line = 0u64;
+        b.iter(|| {
+            line = line.wrapping_add(97);
+            let l = LineAddr::new(line & 0xffff);
+            if !cache.probe(l) {
+                std::hint::black_box(cache.fill(l, q, false));
+            }
+        });
+    });
+    g.bench_function("mshr_alloc_complete", |b| {
+        let mut m: MshrTable<u64> = MshrTable::new(16);
+        let mut line = 0u64;
+        b.iter(|| {
+            line = line.wrapping_add(1);
+            let l = LineAddr::new(line % 8);
+            m.alloc(l, line);
+            std::hint::black_box(m.complete(l));
+        });
+    });
+    g.finish();
+}
+
+fn bench_dram(c: &mut Criterion) {
+    let shares = ShareTable::from_weights(&[1]).unwrap();
+    let mut g = c.benchmark_group("dram");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("mc_step_saturated", |b| {
+        let mut mc = MemController::new(DramConfig::default(), ArbiterMode::Edf, &shares, 128);
+        let mut now = 0u64;
+        let mut line = 0u64;
+        b.iter(|| {
+            while mc.can_accept() {
+                if mc
+                    .push(MemReq {
+                        line: LineAddr::new(line),
+                        class: QosId::new(0),
+                        is_write: false,
+                        token: 0,
+                    })
+                    .is_err()
+                {
+                    break;
+                }
+                line += 1;
+            }
+            now += 1;
+            std::hint::black_box(mc.step(now).len());
+        });
+    });
+    g.finish();
+}
+
+fn bench_system(c: &mut Criterion) {
+    use pabst_cpu::{Op, Workload};
+    struct Mini {
+        n: u64,
+    }
+    impl Workload for Mini {
+        fn next_op(&mut self) -> Op {
+            self.n += 1;
+            if self.n % 2 == 0 {
+                Op::Compute(2)
+            } else {
+                Op::Load {
+                    addr: pabst_cache::Addr::new((self.n * 128) & 0xfff_ffff),
+                    id: pabst_cpu::LoadId(self.n),
+                    dep: None,
+                }
+            }
+        }
+        fn name(&self) -> &str {
+            "mini-stream"
+        }
+    }
+
+    let mut g = c.benchmark_group("system");
+    g.throughput(Throughput::Elements(2_000));
+    g.sample_size(10);
+    g.bench_function("one_epoch_small_system", |b| {
+        b.iter_batched(
+            || {
+                SystemBuilder::new(SystemConfig::small_test(), RegulationMode::Pabst)
+                    .class(3, vec![Box::new(Mini { n: 0 }), Box::new(Mini { n: 1 << 32 })])
+                    .class(
+                        1,
+                        vec![Box::new(Mini { n: 2 << 32 }), Box::new(Mini { n: 3 << 32 })],
+                    )
+                    .build()
+                    .unwrap()
+            },
+            |mut sys| {
+                sys.run_epochs(1);
+                std::hint::black_box(sys.now());
+            },
+            BatchSize::LargeInput,
+        );
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_pacer,
+    bench_arbiter,
+    bench_governor,
+    bench_cache,
+    bench_dram,
+    bench_system
+);
+criterion_main!(benches);

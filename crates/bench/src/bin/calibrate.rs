@@ -1,0 +1,52 @@
+//! Calibration sweep: how memory-controller queue geometry and the
+//! scheduling horizon shape the Fig. 1 source-vs-target asymmetry.
+//!
+//! For each configuration, prints the allocation error of source-only and
+//! target-only regulation on both Fig. 1 mixes. The paper's qualitative
+//! shape is: streams — source accurate / target poor; chaser — source
+//! poor / target much better.
+//!
+//! ```text
+//! cargo run -p pabst-bench --bin calibrate --release [--quick]
+//! ```
+
+use pabst_bench::scenarios::{fig1_cell_with, Fig1Mix};
+use pabst_bench::table::Table;
+use pabst_soc::config::{RegulationMode, SystemConfig};
+
+fn main() {
+    let epochs = if pabst_bench::quick_flag() { 8 } else { 16 };
+    let mut t = Table::new(vec![
+        "read_q",
+        "ingress",
+        "data_buf",
+        "stream src%",
+        "stream tgt%",
+        "chaser src%",
+        "chaser tgt%",
+    ]);
+    for (read_q, ingress, horizon) in [
+        (32usize, 16usize, 12u64), // default data buffer
+        (64, 4, 12),               // deeper front-end, shallow blind FIFO
+        (64, 4, 6),                // + shallower data buffer
+    ] {
+        let mut cfg = SystemConfig::baseline_32core();
+        cfg.dram.read_q_cap = read_q;
+        cfg.dram.ingress_cap = ingress;
+        cfg.dram.data_buf_cap = horizon as usize;
+        let cell = |mix, mode| fig1_cell_with(cfg, mix, mode, epochs).error_pct;
+        t.row(vec![
+            read_q.to_string(),
+            ingress.to_string(),
+            horizon.to_string(),
+            format!("{:.0}", cell(Fig1Mix::StreamStream, RegulationMode::SourceOnly)),
+            format!("{:.0}", cell(Fig1Mix::StreamStream, RegulationMode::TargetOnly)),
+            format!("{:.0}", cell(Fig1Mix::ChaserStream, RegulationMode::SourceOnly)),
+            format!("{:.0}", cell(Fig1Mix::ChaserStream, RegulationMode::TargetOnly)),
+        ]);
+        eprintln!("  done rq={read_q} in={ingress} hz={horizon}");
+    }
+    println!("Calibration — Fig. 1 asymmetry vs controller geometry");
+    println!("(want: stream src low / tgt high; chaser src high / tgt low)\n");
+    print!("{}", t.render());
+}

@@ -1,0 +1,27 @@
+//! Benchmark harness for the PABST reproduction.
+//!
+//! One runner per paper figure/table lives in [`scenarios`]; the binaries
+//! in `src/bin/` call them and print the same rows/series the paper
+//! reports. [`table`] renders plain aligned text tables.
+//!
+//! Run everything:
+//!
+//! ```text
+//! cargo run -p pabst-bench --bin all_figures --release
+//! ```
+//!
+//! or a single figure, e.g. `cargo run -p pabst-bench --bin fig10 --release`.
+//! Every binary accepts `--quick` for a shortened run (fewer epochs, looser
+//! numbers) used by CI and the Criterion wrappers.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod scenarios;
+pub mod spark;
+pub mod table;
+
+/// Parses the common `--quick` flag from `std::env::args`.
+pub fn quick_flag() -> bool {
+    std::env::args().any(|a| a == "--quick")
+}

@@ -1,0 +1,86 @@
+//! ASCII sparklines for time-series output (Figs. 5, 6, 8).
+
+/// Renders `values` as a one-line sparkline using eighth-block glyphs,
+/// scaled to `max` (values above `max` clamp to the tallest glyph).
+///
+/// # Examples
+///
+/// ```
+/// let s = pabst_bench::spark::sparkline(&[0.0, 0.5, 1.0], 1.0);
+/// assert_eq!(s.chars().count(), 3);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `max` is not positive and finite.
+pub fn sparkline(values: &[f64], max: f64) -> String {
+    assert!(max.is_finite() && max > 0.0, "sparkline max must be positive");
+    const GLYPHS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    values
+        .iter()
+        .map(|&v| {
+            let frac = (v / max).clamp(0.0, 1.0);
+            let idx = ((frac * (GLYPHS.len() - 1) as f64).round()) as usize;
+            GLYPHS[idx]
+        })
+        .collect()
+}
+
+/// Renders a labelled multi-row sparkline block: one row per series, all
+/// scaled to the common maximum.
+pub fn spark_rows(labels: &[&str], series: &[Vec<f64>]) -> String {
+    assert_eq!(labels.len(), series.len(), "one label per series");
+    let max = series
+        .iter()
+        .flat_map(|s| s.iter().copied())
+        .fold(f64::MIN, f64::max)
+        .max(1e-12);
+    let width = labels.iter().map(|l| l.len()).max().unwrap_or(0);
+    labels
+        .iter()
+        .zip(series)
+        .map(|(l, s)| format!("{l:<width$}  {}", sparkline(s, max)))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn length_matches_input() {
+        assert_eq!(sparkline(&[1.0; 10], 2.0).chars().count(), 10);
+        assert!(sparkline(&[], 1.0).is_empty());
+    }
+
+    #[test]
+    fn extremes_map_to_extreme_glyphs() {
+        let s: Vec<char> = sparkline(&[0.0, 10.0], 10.0).chars().collect();
+        assert_eq!(s[0], '▁');
+        assert_eq!(s[1], '█');
+    }
+
+    #[test]
+    fn clamps_above_max() {
+        let s: Vec<char> = sparkline(&[100.0], 1.0).chars().collect();
+        assert_eq!(s[0], '█');
+    }
+
+    #[test]
+    fn rows_share_scale() {
+        let out = spark_rows(&["a", "bb"], &[vec![1.0, 1.0], vec![2.0, 0.0]]);
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("a "));
+        assert!(lines[1].starts_with("bb"));
+        // Series "a" at half the common max renders mid-height glyphs.
+        assert!(lines[0].contains('▄') || lines[0].contains('▅'));
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn bad_max_panics() {
+        let _ = sparkline(&[1.0], 0.0);
+    }
+}

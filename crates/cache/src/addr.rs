@@ -1,0 +1,164 @@
+//! Physical addresses and cache-line granularity.
+
+use std::fmt;
+
+use pabst_simkit::LINE_BYTES;
+
+/// Log2 of the cache-line / DRAM-burst size (64 B lines).
+pub const LINE_SHIFT: u32 = 6;
+
+/// A byte-granularity physical address.
+///
+/// # Examples
+///
+/// ```
+/// use pabst_cache::addr::{Addr, LineAddr};
+///
+/// let a = Addr::new(0x1234);
+/// assert_eq!(a.line(), LineAddr::new(0x48));
+/// assert_eq!(a.line().base(), Addr::new(0x1200));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Addr(u64);
+
+impl Addr {
+    /// Creates a byte address.
+    pub const fn new(a: u64) -> Self {
+        Self(a)
+    }
+
+    /// The raw byte address.
+    pub const fn get(self) -> u64 {
+        self.0
+    }
+
+    /// The cache line containing this address.
+    pub const fn line(self) -> LineAddr {
+        LineAddr(self.0 >> LINE_SHIFT)
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+impl From<u64> for Addr {
+    fn from(a: u64) -> Self {
+        Self(a)
+    }
+}
+
+/// A cache-line-granularity address (byte address divided by 64).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct LineAddr(u64);
+
+impl LineAddr {
+    /// Creates a line address from a line number.
+    pub const fn new(n: u64) -> Self {
+        Self(n)
+    }
+
+    /// The raw line number.
+    pub const fn get(self) -> u64 {
+        self.0
+    }
+
+    /// The first byte address of this line.
+    pub const fn base(self) -> Addr {
+        Addr(self.0 << LINE_SHIFT)
+    }
+
+    /// Bytes transferred when this line moves (always the line size).
+    pub const fn bytes(self) -> u64 {
+        LINE_BYTES
+    }
+
+    /// Uniform interleave of lines across `n` targets (memory controllers):
+    /// the paper assumes a uniform address hash that evenly distributes
+    /// requests to the controllers (§III-C1).
+    ///
+    /// Mixes upper bits into the selection so strided streams also spread
+    /// evenly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn interleave(self, n: usize) -> usize {
+        assert!(n > 0, "cannot interleave across zero targets");
+        // Simple xor-fold hash: robust to power-of-two strides.
+        let x = self.0 ^ (self.0 >> 7) ^ (self.0 >> 17);
+        (x % n as u64) as usize
+    }
+}
+
+impl fmt::Display for LineAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line:{:#x}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_mapping_round_trips() {
+        let a = Addr::new(0xdead_beef);
+        assert_eq!(a.line().base().get(), 0xdead_beef & !0x3f);
+        assert_eq!(LineAddr::new(5).base().line(), LineAddr::new(5));
+    }
+
+    #[test]
+    fn same_line_for_all_bytes_within() {
+        let base = Addr::new(0x1000);
+        for off in 0..64 {
+            assert_eq!(Addr::new(base.get() + off).line(), base.line());
+        }
+        assert_ne!(Addr::new(base.get() + 64).line(), base.line());
+    }
+
+    #[test]
+    fn interleave_covers_all_targets_evenly() {
+        // Sequential lines (streaming) must spread across 4 MCs within a few
+        // percent of uniform.
+        let n = 4;
+        let mut counts = vec![0u64; n];
+        for i in 0..40_000u64 {
+            counts[LineAddr::new(i).interleave(n)] += 1;
+        }
+        for &c in &counts {
+            assert!(
+                (c as f64 - 10_000.0).abs() < 600.0,
+                "uneven interleave: {counts:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn interleave_even_for_strided_streams() {
+        // A 128-byte-stride stream touches every other line; distribution
+        // must still be even (the stream microbenchmark's pattern).
+        let n = 4;
+        let mut counts = vec![0u64; n];
+        for i in (0..80_000u64).step_by(2) {
+            counts[LineAddr::new(i).interleave(n)] += 1;
+        }
+        for &c in &counts {
+            assert!((c as f64 - 10_000.0).abs() < 600.0, "uneven: {counts:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "zero targets")]
+    fn interleave_zero_panics() {
+        let _ = LineAddr::new(1).interleave(0);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Addr::new(0x40).to_string(), "0x40");
+        assert_eq!(LineAddr::new(0x40).to_string(), "line:0x40");
+    }
+}

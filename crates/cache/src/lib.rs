@@ -1,0 +1,25 @@
+//! Cache-hierarchy substrate for the PABST reproduction.
+//!
+//! Provides the functional (state-holding) pieces of the modelled cache
+//! hierarchy; all *timing* lives in the `pabst-soc` wiring:
+//!
+//! * [`addr`] — physical addresses, cache-line granularity, interleaving
+//!   helpers for memory controllers.
+//! * [`set_assoc`] — a set-associative cache with LRU replacement and
+//!   way-based capacity partitioning per QoS class, modelling both the
+//!   private L1/L2 caches and the shared L3 with Intel-CAT-style exclusive
+//!   partitions (the paper's baseline assumption, §II-B).
+//! * [`mshr`] — Miss Status Holding Registers: finite miss tracking with
+//!   primary/secondary merge. MSHR exhaustion is the backpressure that
+//!   stalls cores when the memory system saturates.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod addr;
+pub mod mshr;
+pub mod set_assoc;
+
+pub use addr::{Addr, LineAddr};
+pub use mshr::{MshrOutcome, MshrTable};
+pub use set_assoc::{CacheConfig, Evicted, SetAssocCache, WayMask};

@@ -1,0 +1,160 @@
+//! Miss Status Holding Registers (MSHRs).
+//!
+//! A finite table tracking outstanding misses. A miss to a line already
+//! being fetched merges as a *secondary* miss (no new memory request); a
+//! miss with no free entry is refused, stalling the requester. MSHR
+//! exhaustion at the L2 is what ultimately stalls a core when the memory
+//! system backs up — the queuing-outside-the-target effect central to the
+//! paper's Fig. 1(b).
+
+use std::collections::HashMap;
+
+use crate::addr::LineAddr;
+
+/// Result of attempting to allocate an MSHR for a miss.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MshrOutcome {
+    /// First miss to the line: a memory request must be issued downstream.
+    Primary,
+    /// The line is already in flight: the waiter was merged.
+    Secondary,
+    /// No free entry (and no existing entry for the line): caller must
+    /// retry later.
+    Full,
+}
+
+/// A finite MSHR table with per-line waiter lists.
+///
+/// `W` is the caller's waiter token (e.g. a core-side load id).
+///
+/// # Examples
+///
+/// ```
+/// use pabst_cache::{MshrTable, MshrOutcome, LineAddr};
+///
+/// let mut m: MshrTable<u32> = MshrTable::new(2);
+/// let l = LineAddr::new(7);
+/// assert_eq!(m.alloc(l, 1), MshrOutcome::Primary);
+/// assert_eq!(m.alloc(l, 2), MshrOutcome::Secondary);
+/// assert_eq!(m.complete(l), vec![1, 2]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MshrTable<W> {
+    entries: HashMap<LineAddr, Vec<W>>,
+    capacity: usize,
+    peak: usize,
+}
+
+impl<W> MshrTable<W> {
+    /// Creates a table with `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "MSHR capacity must be non-zero");
+        Self { entries: HashMap::with_capacity(capacity), capacity, peak: 0 }
+    }
+
+    /// Attempts to register a miss on `line` for `waiter`.
+    pub fn alloc(&mut self, line: LineAddr, waiter: W) -> MshrOutcome {
+        if let Some(waiters) = self.entries.get_mut(&line) {
+            waiters.push(waiter);
+            return MshrOutcome::Secondary;
+        }
+        if self.entries.len() >= self.capacity {
+            return MshrOutcome::Full;
+        }
+        self.entries.insert(line, vec![waiter]);
+        self.peak = self.peak.max(self.entries.len());
+        MshrOutcome::Primary
+    }
+
+    /// Completes the miss on `line`, releasing the entry and returning all
+    /// merged waiters (empty when no entry existed).
+    pub fn complete(&mut self, line: LineAddr) -> Vec<W> {
+        self.entries.remove(&line).unwrap_or_default()
+    }
+
+    /// True when `line` has an in-flight entry.
+    pub fn contains(&self, line: LineAddr) -> bool {
+        self.entries.contains_key(&line)
+    }
+
+    /// Outstanding primary misses.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no misses are outstanding.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// True when a new primary miss would be refused.
+    pub fn is_full(&self) -> bool {
+        self.entries.len() >= self.capacity
+    }
+
+    /// Table capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Highest simultaneous occupancy observed.
+    pub fn peak(&self) -> usize {
+        self.peak
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn l(n: u64) -> LineAddr {
+        LineAddr::new(n)
+    }
+
+    #[test]
+    fn primary_then_secondary_then_complete() {
+        let mut m: MshrTable<&str> = MshrTable::new(4);
+        assert_eq!(m.alloc(l(1), "a"), MshrOutcome::Primary);
+        assert_eq!(m.alloc(l(1), "b"), MshrOutcome::Secondary);
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.complete(l(1)), vec!["a", "b"]);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn full_refuses_new_lines_but_merges_existing() {
+        let mut m: MshrTable<u8> = MshrTable::new(1);
+        assert_eq!(m.alloc(l(1), 0), MshrOutcome::Primary);
+        assert_eq!(m.alloc(l(2), 1), MshrOutcome::Full);
+        // Secondary to the existing line still merges even when full.
+        assert_eq!(m.alloc(l(1), 2), MshrOutcome::Secondary);
+        m.complete(l(1));
+        assert_eq!(m.alloc(l(2), 3), MshrOutcome::Primary);
+    }
+
+    #[test]
+    fn complete_without_entry_is_empty() {
+        let mut m: MshrTable<u8> = MshrTable::new(2);
+        assert!(m.complete(l(9)).is_empty());
+    }
+
+    #[test]
+    fn peak_tracks_high_water_mark() {
+        let mut m: MshrTable<u8> = MshrTable::new(3);
+        m.alloc(l(1), 0);
+        m.alloc(l(2), 0);
+        m.complete(l(1));
+        m.alloc(l(3), 0);
+        assert_eq!(m.peak(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_capacity_panics() {
+        let _: MshrTable<u8> = MshrTable::new(0);
+    }
+}

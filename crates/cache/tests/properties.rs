@@ -1,0 +1,124 @@
+//! Property tests: the set-associative cache against a reference model,
+//! and partition isolation invariants.
+
+use pabst_cache::{CacheConfig, LineAddr, MshrOutcome, MshrTable, SetAssocCache, WayMask};
+use pabst_core::qos::QosId;
+use proptest::prelude::*;
+
+/// A trivially correct LRU set-associative reference: per set, a Vec kept
+/// in recency order.
+struct RefCache {
+    sets: usize,
+    ways: usize,
+    data: Vec<Vec<u64>>, // most recent last
+}
+
+impl RefCache {
+    fn new(sets: usize, ways: usize) -> Self {
+        Self { sets, ways, data: vec![Vec::new(); sets] }
+    }
+
+    fn access(&mut self, line: u64) -> bool {
+        let si = (line as usize) % self.sets;
+        let set = &mut self.data[si];
+        if let Some(pos) = set.iter().position(|&t| t == line) {
+            let t = set.remove(pos);
+            set.push(t);
+            true
+        } else {
+            if set.len() == self.ways {
+                set.remove(0);
+            }
+            set.push(line);
+            false
+        }
+    }
+}
+
+proptest! {
+    /// probe+fill behaves exactly like the reference LRU on arbitrary
+    /// access streams (single class, no partitioning).
+    #[test]
+    fn lru_matches_reference(accesses in proptest::collection::vec(0u64..64, 1..500)) {
+        let mut c = SetAssocCache::new(CacheConfig { sets: 4, ways: 4 });
+        let mut r = RefCache::new(4, 4);
+        let q = QosId::new(0);
+        for a in accesses {
+            let line = LineAddr::new(a);
+            let model_hit = r.access(a);
+            let dut_hit = c.probe(line);
+            if !dut_hit {
+                c.fill(line, q, false);
+            }
+            prop_assert_eq!(dut_hit, model_hit, "divergence at line {}", a);
+        }
+    }
+
+    /// With exclusive partitions, a class's fills never evict another
+    /// class's lines.
+    #[test]
+    fn partitions_never_cross_evict(accesses in proptest::collection::vec((0u64..256, 0u8..2), 1..500)) {
+        let mut c = SetAssocCache::new(CacheConfig { sets: 8, ways: 8 });
+        c.set_partition(QosId::new(0), WayMask::range(0, 4));
+        c.set_partition(QosId::new(1), WayMask::range(4, 4));
+        for (a, cls) in accesses {
+            let class = QosId::new(cls);
+            // Give classes disjoint address spaces, as the experiments do.
+            let line = LineAddr::new(a + u64::from(cls) * (1 << 20));
+            if !c.probe(line) {
+                if let Some(ev) = c.fill(line, class, false) {
+                    prop_assert_eq!(ev.owner, class, "cross-partition eviction");
+                }
+            }
+        }
+    }
+
+    /// A cache never holds more lines for a class than its partition allows
+    /// (ways * sets).
+    #[test]
+    fn occupancy_bounded_by_partition(accesses in proptest::collection::vec(0u64..1024, 1..600)) {
+        let mut c = SetAssocCache::new(CacheConfig { sets: 4, ways: 8 });
+        let q0 = QosId::new(0);
+        c.set_partition(q0, WayMask::range(0, 2));
+        for a in accesses {
+            let line = LineAddr::new(a);
+            if !c.probe(line) {
+                c.fill(line, q0, false);
+            }
+            prop_assert!(c.occupancy(q0) <= 2 * 4);
+        }
+    }
+
+    /// MSHR: waiters are returned exactly once, in merge order, and
+    /// occupancy never exceeds capacity.
+    #[test]
+    fn mshr_waiters_conserved(ops in proptest::collection::vec((0u64..8, any::<bool>()), 1..300)) {
+        let mut m: MshrTable<u64> = MshrTable::new(4);
+        let mut next_waiter = 0u64;
+        let mut outstanding: std::collections::HashSet<u64> = Default::default();
+        for (line, is_alloc) in ops {
+            let line = LineAddr::new(line);
+            if is_alloc {
+                match m.alloc(line, next_waiter) {
+                    MshrOutcome::Primary | MshrOutcome::Secondary => {
+                        outstanding.insert(next_waiter);
+                        next_waiter += 1;
+                    }
+                    MshrOutcome::Full => {}
+                }
+            } else {
+                for w in m.complete(line) {
+                    prop_assert!(outstanding.remove(&w), "waiter {} returned twice", w);
+                }
+            }
+            prop_assert!(m.len() <= m.capacity());
+        }
+        // Drain: every allocated waiter comes back exactly once.
+        for l in 0..8 {
+            for w in m.complete(LineAddr::new(l)) {
+                prop_assert!(outstanding.remove(&w));
+            }
+        }
+        prop_assert!(outstanding.is_empty(), "lost waiters: {:?}", outstanding);
+    }
+}

@@ -1,0 +1,474 @@
+//! The PABST source governor: system monitor and rate generator (§III-B).
+//!
+//! Every private cache hosts a governor, but all governors run the same
+//! deterministic algorithm on the same two inputs — the epoch heartbeat and
+//! the global saturation bit — so they stay in lockstep without
+//! communicating. The [`SystemMonitor`] computes the system-wide multiplier
+//! `M`; the [`RateGenerator`] scales `M` by a class stride (and active
+//! thread count) into a per-source request *period* in cycles.
+//!
+//! ## State machine (Tables I/II)
+//!
+//! | symbol | meaning |
+//! |--------|---------|
+//! | `M`    | multiplier: how much throttling keeps the MCs from overcommitting; larger `M` ⇒ longer periods ⇒ less traffic |
+//! | `δM`   | magnitude of the next change of `M` |
+//! | `E`    | consecutive epochs without a rate-direction switch |
+//! | phase  | current direction of the goal rate and of `δM` |
+//!
+//! Rules implemented (from the paper's prose; the printed transition table
+//! is corrupt in our source text — see DESIGN.md §2):
+//!
+//! * `M` moves **opposite** to the goal rate: SAT high ⇒ `M += δM`
+//!   (throttle), SAT low ⇒ `M -= δM` (drive more traffic).
+//! * `δM` shrinks sharply (÷4) whenever the rate direction flips — a noisy
+//!   SAT signal means the loop is hovering at the ideal operating point —
+//!   and grows exponentially (×2) once the direction has held for
+//!   `inertia` consecutive epochs, so consistently high *or* low SAT
+//!   produces rapidly larger adjustments ("adjustments are larger when the
+//!   saturation signal has been consistently high or low", §III-B).
+//! * `E` counts the consecutive epochs (including the current one) with an
+//!   unchanged rate direction; a flip resets it to 1.
+
+use crate::qos::Stride;
+use pabst_simkit::Cycle;
+
+/// Direction of the goal request rate this epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RateDir {
+    /// Rate increasing (M decreasing): memory controllers have headroom.
+    Up,
+    /// Rate decreasing (M increasing): memory controllers saturated.
+    Down,
+}
+
+/// Direction `δM` moved this epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeltaDir {
+    /// δM grew (steady signal; accelerate).
+    Up,
+    /// δM shrank or held (noisy signal; settle).
+    Down,
+}
+
+/// Configuration for the [`SystemMonitor`] feedback loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MonitorConfig {
+    /// Initial multiplier value.
+    pub m_init: u32,
+    /// Lower clamp for `M`. Must be ≥ 1 so periods never reach zero by
+    /// multiplier alone.
+    pub m_min: u32,
+    /// Upper clamp for `M`, bounding the longest enforced period.
+    pub m_max: u32,
+    /// Initial / minimum step size.
+    pub dm_min: u32,
+    /// Maximum step size.
+    pub dm_max: u32,
+    /// Consecutive low-SAT epochs required before `δM` starts growing
+    /// again (the paper's *inertia*, e.g. 3).
+    pub inertia: u32,
+}
+
+impl Default for MonitorConfig {
+    /// Values tuned for the baseline system with
+    /// [`GOVERNOR_STRIDE_SCALE`]-normalized strides, `F = 4096`, and
+    /// 20 000-cycle (10 µs) epochs. The range of `M` is wider than the
+    /// paper's quoted 12-bit datapath because our stride normalization
+    /// moves precision from the stride into `M` (see DESIGN.md §2); the
+    /// arithmetic remains adds and shifts.
+    fn default() -> Self {
+        Self {
+            m_init: 2048,
+            m_min: 1,
+            m_max: 1 << 22,
+            // With GOVERNOR_STRIDE_SCALE-normalized strides, saturation
+            // operating points land at M in the low thousands for any
+            // weight mix, so capping the step at 256 bounds overshoot to
+            // ~10% while still crossing the whole operating range in a few
+            // tens of epochs.
+            dm_min: 1,
+            dm_max: 256,
+            inertia: 3,
+        }
+    }
+}
+
+impl MonitorConfig {
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.m_min == 0 {
+            return Err("m_min must be >= 1".into());
+        }
+        if self.m_min > self.m_max {
+            return Err("m_min must not exceed m_max".into());
+        }
+        if !(self.m_min..=self.m_max).contains(&self.m_init) {
+            return Err("m_init must lie within [m_min, m_max]".into());
+        }
+        if self.dm_min == 0 || self.dm_min > self.dm_max {
+            return Err("require 0 < dm_min <= dm_max".into());
+        }
+        Ok(())
+    }
+}
+
+/// The distributed governor's shared state machine.
+///
+/// All governors in a system produce identical `M` sequences from identical
+/// inputs (the paper relies on this to avoid inter-governor communication);
+/// [`tests::lockstep_replicas_agree`] verifies it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SystemMonitor {
+    cfg: MonitorConfig,
+    m: u32,
+    dm: u32,
+    /// Consecutive epochs with an unchanged rate direction (the paper's E).
+    e: u32,
+    rate_dir: RateDir,
+    delta_dir: DeltaDir,
+    epochs: u64,
+}
+
+impl SystemMonitor {
+    /// Creates a monitor in its initial state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` fails [`MonitorConfig::validate`]; configurations are
+    /// produced by code, not end users, so a bad one is a bug.
+    pub fn new(cfg: MonitorConfig) -> Self {
+        if let Err(e) = cfg.validate() {
+            panic!("invalid MonitorConfig: {e}");
+        }
+        Self {
+            cfg,
+            m: cfg.m_init,
+            dm: cfg.dm_min,
+            e: 0,
+            rate_dir: RateDir::Up,
+            delta_dir: DeltaDir::Down,
+            epochs: 0,
+        }
+    }
+
+    /// Advances one epoch given the saturation signal observed during the
+    /// epoch that just ended, returning the new multiplier `M`.
+    pub fn on_epoch(&mut self, sat: bool) -> u32 {
+        self.epochs += 1;
+        let new_dir = if sat { RateDir::Down } else { RateDir::Up };
+
+        if new_dir == self.rate_dir {
+            self.e = self.e.saturating_add(1);
+            if self.e >= self.cfg.inertia {
+                // Steady signal past the inertia window: accelerate
+                // exponentially (shift left).
+                self.dm = (self.dm * 2).min(self.cfg.dm_max);
+                self.delta_dir = DeltaDir::Up;
+            } else {
+                // Still inside the inertia window after a recent flip:
+                // keep settling so the loop damps into the noise band
+                // around the operating point.
+                self.dm = (self.dm / 2).max(self.cfg.dm_min);
+                self.delta_dir = DeltaDir::Down;
+            }
+        } else {
+            // Direction flip: the loop is hovering near the operating
+            // point — settle quickly (shift right by two).
+            self.e = 1;
+            self.dm = (self.dm / 4).max(self.cfg.dm_min);
+            self.delta_dir = DeltaDir::Down;
+        }
+        self.rate_dir = new_dir;
+
+        // M moves opposite to the goal rate.
+        if sat {
+            self.m = self.m.saturating_add(self.dm).min(self.cfg.m_max);
+        } else {
+            self.m = self.m.saturating_sub(self.dm).max(self.cfg.m_min);
+        }
+        self.m
+    }
+
+    /// Current multiplier.
+    pub fn m(&self) -> u32 {
+        self.m
+    }
+
+    /// Current step magnitude δM.
+    pub fn delta_m(&self) -> u32 {
+        self.dm
+    }
+
+    /// Consecutive epochs without a rate-direction switch.
+    pub fn steady_epochs(&self) -> u32 {
+        self.e
+    }
+
+    /// Phase: current rate and δM directions (Table I's "Phase").
+    pub fn phase(&self) -> (RateDir, DeltaDir) {
+        (self.rate_dir, self.delta_dir)
+    }
+
+    /// Total epochs processed.
+    pub fn epochs(&self) -> u64 {
+        self.epochs
+    }
+
+    /// The configuration the monitor was built with.
+    pub fn config(&self) -> MonitorConfig {
+        self.cfg
+    }
+}
+
+/// Stride scale used by the governor's rate computation: pass
+/// [`crate::qos::ShareTable::scaled_stride`] with this scale. The
+/// highest-weight class gets stride 64, which together with the default
+/// `F` of 4096 gives sub-cycle rate granularity per unit of `M`.
+pub const GOVERNOR_STRIDE_SCALE: u64 = 64;
+
+/// Translates the system-wide multiplier into class-specific request
+/// periods (Eqs. 3–4).
+///
+/// `class_period = (M × stride) / F` (Eq. 3) and `source_period =
+/// class_period × threads` (Eq. 4), distributing a class's allocation
+/// evenly over its active CPUs. The division by the fixed-point scale
+/// factor `F` is applied **after** the threads multiply so a unit step of
+/// `M` changes the enforced per-source period by `stride × threads / F`
+/// cycles — fractional rate control, exactly the role Eq. 3 gives `F`.
+///
+/// The paper quotes `F = 16` for its stride magnitudes; with
+/// [`GOVERNOR_STRIDE_SCALE`]-normalized strides the equivalent default is
+/// 4096 (see DESIGN.md §2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RateGenerator {
+    /// The constant scale factor `F`. Larger values converge more slowly;
+    /// smaller values can oscillate (§III-B2).
+    pub f_scale: u64,
+}
+
+impl Default for RateGenerator {
+    fn default() -> Self {
+        // Chosen so typical saturation operating points land at M in the
+        // low thousands: large relative to δM's bounds (stable) yet fine-
+        // grained (one step of M moves a 16-thread period by 1/64 cycle).
+        Self { f_scale: 65_536 }
+    }
+}
+
+impl RateGenerator {
+    /// Eq. 3: the class-wide goal period in cycles for multiplier `m`.
+    /// May round to zero for aggregate periods below one cycle; the
+    /// per-source period from [`RateGenerator::source_period`] is the
+    /// enforced quantity.
+    pub fn class_period(&self, m: u32, stride: Stride) -> Cycle {
+        (u64::from(m) * stride.get()) / self.f_scale
+    }
+
+    /// Eq. 4: the per-source period in cycles, scaling the class period by
+    /// the number of CPUs actively executing the class (division by `F`
+    /// applied last for precision).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero — an idle class has no sources to pace.
+    pub fn source_period(&self, m: u32, stride: Stride, threads: u32) -> Cycle {
+        assert!(threads > 0, "source_period requires at least one active thread");
+        (u64::from(m) * stride.get() * Cycle::from(threads)) / self.f_scale
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::qos::{ShareTable, QosId};
+
+    fn cfg() -> MonitorConfig {
+        MonitorConfig::default()
+    }
+
+    #[test]
+    fn m_rises_on_saturation_falls_on_headroom() {
+        let mut mon = SystemMonitor::new(cfg());
+        let m0 = mon.m();
+        let m1 = mon.on_epoch(true);
+        assert!(m1 > m0, "SAT=1 must raise M (throttle)");
+        let m2 = mon.on_epoch(false);
+        assert!(m2 < m1, "SAT=0 must lower M (drive traffic)");
+    }
+
+    #[test]
+    fn m_clamped_to_bounds() {
+        let mut mon = SystemMonitor::new(cfg());
+        // Enough epochs to traverse [m_init, m_max] at dm_max per epoch.
+        let climb = (2 * cfg().m_max / cfg().dm_max) as usize;
+        for _ in 0..climb {
+            mon.on_epoch(true);
+            assert!(mon.m() <= cfg().m_max);
+        }
+        assert_eq!(mon.m(), cfg().m_max);
+        for _ in 0..climb {
+            mon.on_epoch(false);
+            assert!(mon.m() >= cfg().m_min);
+        }
+        assert_eq!(mon.m(), cfg().m_min);
+    }
+
+    #[test]
+    fn delta_shrinks_on_noise() {
+        let mut mon = SystemMonitor::new(cfg());
+        // Grow δM with a long low-SAT run first.
+        for _ in 0..20 {
+            mon.on_epoch(false);
+        }
+        let grown = mon.delta_m();
+        assert!(grown > cfg().dm_min);
+        // Alternating signal must collapse δM to the minimum.
+        for _ in 0..20 {
+            mon.on_epoch(true);
+            mon.on_epoch(false);
+        }
+        assert_eq!(mon.delta_m(), cfg().dm_min);
+    }
+
+    #[test]
+    fn delta_grows_only_after_inertia() {
+        let mut mon = SystemMonitor::new(cfg());
+        mon.on_epoch(true); // reset low_run, δM at min
+        let base = mon.delta_m();
+        mon.on_epoch(false);
+        assert_eq!(mon.delta_m(), base, "1 low epoch < inertia, δM must hold");
+        mon.on_epoch(false);
+        assert_eq!(mon.delta_m(), base, "2 low epochs < inertia, δM must hold");
+        mon.on_epoch(false);
+        assert!(mon.delta_m() > base, "3rd consecutive low epoch grows δM");
+    }
+
+    #[test]
+    fn delta_growth_is_exponential() {
+        let mut mon = SystemMonitor::new(cfg());
+        for _ in 0..cfg().inertia {
+            mon.on_epoch(false);
+        }
+        let d0 = mon.delta_m();
+        mon.on_epoch(false);
+        assert_eq!(mon.delta_m(), (d0 * 2).min(cfg().dm_max));
+    }
+
+    #[test]
+    fn delta_clamped_to_max() {
+        let mut mon = SystemMonitor::new(cfg());
+        for _ in 0..1000 {
+            mon.on_epoch(false);
+        }
+        assert_eq!(mon.delta_m(), cfg().dm_max);
+    }
+
+    #[test]
+    fn steady_counter_resets_on_direction_flip() {
+        let mut mon = SystemMonitor::new(cfg());
+        mon.on_epoch(false);
+        mon.on_epoch(false);
+        let e_before = mon.steady_epochs();
+        assert!(e_before >= 2);
+        mon.on_epoch(true);
+        assert_eq!(mon.steady_epochs(), 1, "flip starts a new 1-epoch run");
+        mon.on_epoch(true);
+        assert_eq!(mon.steady_epochs(), 2);
+    }
+
+    #[test]
+    fn phase_reflects_directions() {
+        let mut mon = SystemMonitor::new(cfg());
+        mon.on_epoch(true);
+        assert_eq!(mon.phase(), (RateDir::Down, DeltaDir::Down));
+        for _ in 0..cfg().inertia {
+            mon.on_epoch(false);
+        }
+        assert_eq!(mon.phase(), (RateDir::Up, DeltaDir::Up));
+    }
+
+    #[test]
+    fn lockstep_replicas_agree() {
+        // The distributed-correctness claim: N monitors fed the same inputs
+        // produce identical M at every epoch.
+        let mut replicas: Vec<SystemMonitor> =
+            (0..32).map(|_| SystemMonitor::new(cfg())).collect();
+        let pattern = [true, false, false, true, false, false, false, true];
+        for (i, &sat) in pattern.iter().cycle().take(500).enumerate() {
+            let ms: Vec<u32> = replicas.iter_mut().map(|r| r.on_epoch(sat)).collect();
+            assert!(ms.windows(2).all(|w| w[0] == w[1]), "diverged at epoch {i}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid MonitorConfig")]
+    fn invalid_config_panics() {
+        let bad = MonitorConfig { m_min: 10, m_max: 5, ..MonitorConfig::default() };
+        let _ = SystemMonitor::new(bad);
+    }
+
+    #[test]
+    fn config_validation_messages() {
+        let mut c = MonitorConfig::default();
+        c.m_min = 0;
+        assert!(c.validate().unwrap_err().contains("m_min"));
+        let mut c = MonitorConfig::default();
+        c.dm_min = 0;
+        assert!(c.validate().unwrap_err().contains("dm_min"));
+        let mut c = MonitorConfig::default();
+        c.m_init = c.m_max + 1;
+        assert!(c.validate().unwrap_err().contains("m_init"));
+        assert!(MonitorConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn periods_proportional_to_strides() {
+        // The proportional-share invariant (Eq. 5): for any M, per-source
+        // periods are in stride ratio, hence rates are in weight ratio.
+        let shares = ShareTable::from_weights(&[4, 1]).unwrap();
+        let rg = RateGenerator::default();
+        let s0 = shares.scaled_stride(QosId::new(0), GOVERNOR_STRIDE_SCALE);
+        let s1 = shares.scaled_stride(QosId::new(1), GOVERNOR_STRIDE_SCALE);
+        // Use multipliers large enough that integer truncation of the
+        // period is negligible relative to the ratio.
+        for m in [8192u32, 100_000, 1 << 20] {
+            let p0 = rg.source_period(m, s0, 16);
+            let p1 = rg.source_period(m, s1, 16);
+            let ratio = p1 as f64 / p0 as f64;
+            assert!((ratio - 4.0).abs() < 0.05, "m={m}: p0={p0} p1={p1}");
+        }
+    }
+
+    #[test]
+    fn source_period_scales_by_threads() {
+        let shares = ShareTable::from_weights(&[2, 1]).unwrap();
+        let rg = RateGenerator::default();
+        let s = shares.scaled_stride(QosId::new(0), GOVERNOR_STRIDE_SCALE);
+        // Division-last keeps the threads scaling exact.
+        assert_eq!(rg.source_period(4096, s, 4), 4 * rg.source_period(4096, s, 1));
+    }
+
+    #[test]
+    fn unit_m_step_is_subcycle() {
+        // The role of F: one step of M moves a 16-thread source period by
+        // less than one cycle, so rates are finely controllable.
+        let shares = ShareTable::from_weights(&[1]).unwrap();
+        let rg = RateGenerator::default();
+        let s = shares.scaled_stride(QosId::new(0), GOVERNOR_STRIDE_SCALE);
+        let p = rg.source_period(1000, s, 16);
+        let p_next = rg.source_period(1001, s, 16);
+        assert!(p_next - p <= 1, "step {} too coarse", p_next - p);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one active thread")]
+    fn zero_threads_panics() {
+        let shares = ShareTable::from_weights(&[1]).unwrap();
+        let _ = RateGenerator::default().source_period(10, shares.stride(QosId::new(0)), 0);
+    }
+}

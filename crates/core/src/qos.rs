@@ -1,0 +1,311 @@
+//! QoS class identity and the proportional-share (weight / stride)
+//! interface.
+//!
+//! Following the paper's §II, software expresses allocations as integer
+//! *weights*; the hardware mechanism consumes the inverse, a *stride*
+//! (§II-C). A class with stride `2s` receives half the bandwidth of a class
+//! with stride `s`. Strides are derived from weights via a fixed scale,
+//! [`STRIDE_UNIT`], chosen highly divisible so that small integer weights
+//! yield exact integer strides.
+
+use std::fmt;
+
+/// Maximum number of concurrently defined QoS classes.
+///
+/// Matches commercial QoS architectures of the paper's era (Intel RDT
+/// exposes on the order of 8–16 classes of service).
+pub const MAX_CLASSES: usize = 16;
+
+/// Numerator used when converting weights to strides:
+/// `stride = STRIDE_UNIT / weight`.
+///
+/// 720720 = lcm(1..=16), so every weight up to 16 (and many beyond)
+/// produces an exact integer stride.
+pub const STRIDE_UNIT: u64 = 720_720;
+
+/// Identifies a QoS class (the paper's per-CPU `QoSID` register value).
+///
+/// # Examples
+///
+/// ```
+/// use pabst_core::qos::QosId;
+/// let id = QosId::new(2);
+/// assert_eq!(id.index(), 2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct QosId(u8);
+
+impl QosId {
+    /// Creates a class identifier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id >= MAX_CLASSES`.
+    pub fn new(id: u8) -> Self {
+        assert!((id as usize) < MAX_CLASSES, "QosId out of range");
+        Self(id)
+    }
+
+    /// The class index, suitable for array indexing.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for QosId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "qos{}", self.0)
+    }
+}
+
+/// A proportional-share weight. Higher weight ⇒ more bandwidth.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Weight(u32);
+
+impl Weight {
+    /// Creates a weight.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShareError::ZeroWeight`] when `w` is zero: a zero weight
+    /// would mean "no bandwidth ever", which the stride formulation cannot
+    /// express (and which would starve the class even of its work-conserving
+    /// share).
+    pub fn new(w: u32) -> Result<Self, ShareError> {
+        if w == 0 {
+            Err(ShareError::ZeroWeight)
+        } else {
+            Ok(Self(w))
+        }
+    }
+
+    /// The raw weight value.
+    pub fn get(self) -> u32 {
+        self.0
+    }
+}
+
+/// The inverse of a weight: the relative cost for a class to use bandwidth
+/// (paper Eq. 2). Produced from weights by [`ShareTable`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Stride(u64);
+
+impl Stride {
+    /// Derives the stride for `weight`: `STRIDE_UNIT / weight`, rounded to
+    /// at least 1.
+    pub fn from_weight(weight: Weight) -> Self {
+        Self((STRIDE_UNIT / u64::from(weight.get())).max(1))
+    }
+
+    /// Wraps a raw stride value (already in the caller's chosen scale).
+    pub fn from_raw(stride: u64) -> Self {
+        Self(stride.max(1))
+    }
+
+    /// The raw stride in virtual ticks.
+    pub fn get(self) -> u64 {
+        self.0
+    }
+}
+
+/// Errors from constructing shares.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShareError {
+    /// A weight of zero was supplied.
+    ZeroWeight,
+    /// More classes were supplied than [`MAX_CLASSES`].
+    TooManyClasses {
+        /// Number of classes requested.
+        requested: usize,
+    },
+    /// No classes were supplied.
+    Empty,
+}
+
+impl fmt::Display for ShareError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShareError::ZeroWeight => write!(f, "weights must be non-zero"),
+            ShareError::TooManyClasses { requested } => {
+                write!(f, "requested {requested} classes, max is {MAX_CLASSES}")
+            }
+            ShareError::Empty => write!(f, "at least one class is required"),
+        }
+    }
+}
+
+impl std::error::Error for ShareError {}
+
+/// The per-class weight/stride table programmed by privileged software
+/// (the paper's single added allocation control, §II-B).
+///
+/// # Examples
+///
+/// ```
+/// use pabst_core::qos::{QosId, ShareTable};
+///
+/// let t = ShareTable::from_weights(&[3, 1])?;
+/// // Shares follow Eq. 1: weight_i / sum(weights).
+/// assert!((t.share(QosId::new(0)) - 0.75).abs() < 1e-12);
+/// // Strides are inversely proportional to weights (Eq. 2).
+/// assert_eq!(t.stride(QosId::new(0)).get() * 3, t.stride(QosId::new(1)).get());
+/// # Ok::<(), pabst_core::qos::ShareError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShareTable {
+    weights: Vec<Weight>,
+    strides: Vec<Stride>,
+}
+
+impl ShareTable {
+    /// Builds a table from raw integer weights, class `i` receiving
+    /// `weights[i]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when `weights` is empty, longer than
+    /// [`MAX_CLASSES`], or contains a zero.
+    pub fn from_weights(weights: &[u32]) -> Result<Self, ShareError> {
+        if weights.is_empty() {
+            return Err(ShareError::Empty);
+        }
+        if weights.len() > MAX_CLASSES {
+            return Err(ShareError::TooManyClasses { requested: weights.len() });
+        }
+        let weights: Vec<Weight> =
+            weights.iter().map(|&w| Weight::new(w)).collect::<Result<_, _>>()?;
+        let strides = weights.iter().map(|&w| Stride::from_weight(w)).collect();
+        Ok(Self { weights, strides })
+    }
+
+    /// Number of classes in the table.
+    pub fn classes(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// The weight of `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not in the table.
+    pub fn weight(&self, id: QosId) -> Weight {
+        self.weights[id.index()]
+    }
+
+    /// The stride of `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not in the table.
+    pub fn stride(&self, id: QosId) -> Stride {
+        self.strides[id.index()]
+    }
+
+    /// The proportional share of `id` per Eq. 1: `weight_i / Σ weight_j`.
+    pub fn share(&self, id: QosId) -> f64 {
+        let total: u64 = self.weights.iter().map(|w| u64::from(w.get())).sum();
+        f64::from(self.weight(id).get()) / total as f64
+    }
+
+    /// Iterates over `(QosId, Stride)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (QosId, Stride)> + '_ {
+        self.strides.iter().enumerate().map(|(i, &s)| (QosId::new(i as u8), s))
+    }
+
+    /// A *scaled* stride for hardware consumption: the highest-weight class
+    /// receives stride `scale` and every other class
+    /// `round(scale × max_weight / weight)`.
+    ///
+    /// Raw [`STRIDE_UNIT`]-based strides encode shares exactly but are far
+    /// too large for the paper's small-integer datapaths (12-bit governor
+    /// arithmetic, an arbiter slack of ~128 virtual ticks). Scaling
+    /// normalizes the smallest stride to `scale`, preserving ratios to
+    /// within `1/scale` relative error (§V-A discusses why over-large
+    /// strides are harmful).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use pabst_core::qos::{QosId, ShareTable};
+    /// let t = ShareTable::from_weights(&[3, 1])?;
+    /// assert_eq!(t.scaled_stride(QosId::new(0), 16).get(), 16);
+    /// assert_eq!(t.scaled_stride(QosId::new(1), 16).get(), 48);
+    /// # Ok::<(), pabst_core::qos::ShareError>(())
+    /// ```
+    pub fn scaled_stride(&self, id: QosId, scale: u64) -> Stride {
+        let max_w = u64::from(
+            self.weights.iter().map(|w| w.get()).max().expect("table is non-empty"),
+        );
+        let w = u64::from(self.weight(id).get());
+        Stride::from_raw((scale * max_w + w / 2) / w)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stride_inverse_of_weight() {
+        let w1 = Weight::new(1).unwrap();
+        let w2 = Weight::new(2).unwrap();
+        assert_eq!(Stride::from_weight(w1).get(), 2 * Stride::from_weight(w2).get());
+    }
+
+    #[test]
+    fn zero_weight_rejected() {
+        assert_eq!(Weight::new(0), Err(ShareError::ZeroWeight));
+        assert_eq!(ShareTable::from_weights(&[1, 0]), Err(ShareError::ZeroWeight));
+    }
+
+    #[test]
+    fn empty_and_oversize_rejected() {
+        assert_eq!(ShareTable::from_weights(&[]), Err(ShareError::Empty));
+        let too_many = vec![1u32; MAX_CLASSES + 1];
+        assert!(matches!(
+            ShareTable::from_weights(&too_many),
+            Err(ShareError::TooManyClasses { .. })
+        ));
+    }
+
+    #[test]
+    fn shares_sum_to_one() {
+        let t = ShareTable::from_weights(&[7, 3, 5]).unwrap();
+        let sum: f64 = (0..3).map(|i| t.share(QosId::new(i))).sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shares_match_eq1() {
+        let t = ShareTable::from_weights(&[7, 3]).unwrap();
+        assert!((t.share(QosId::new(0)) - 0.7).abs() < 1e-12);
+        assert!((t.share(QosId::new(1)) - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn huge_weight_stride_floors_at_one() {
+        let w = Weight::new(u32::MAX).unwrap();
+        assert_eq!(Stride::from_weight(w).get(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn qosid_out_of_range_panics() {
+        let _ = QosId::new(MAX_CLASSES as u8);
+    }
+
+    #[test]
+    fn display_impls() {
+        assert_eq!(QosId::new(3).to_string(), "qos3");
+        assert_eq!(ShareError::ZeroWeight.to_string(), "weights must be non-zero");
+    }
+
+    #[test]
+    fn iter_yields_all_classes_in_order() {
+        let t = ShareTable::from_weights(&[4, 2, 1]).unwrap();
+        let ids: Vec<usize> = t.iter().map(|(id, _)| id.index()).collect();
+        assert_eq!(ids, vec![0, 1, 2]);
+        let strides: Vec<u64> = t.iter().map(|(_, s)| s.get()).collect();
+        assert!(strides[0] < strides[1] && strides[1] < strides[2]);
+    }
+}

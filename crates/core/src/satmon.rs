@@ -1,0 +1,119 @@
+//! The saturation monitor (§III-C1).
+//!
+//! Each memory controller averages its front-end read-queue occupancy over
+//! an epoch; when the average exceeds half the queue capacity, the
+//! controller's SAT bit is raised. The per-controller bits are combined by
+//! a global wired-OR ([`or_sat`]) and delivered to every governor at the
+//! epoch heartbeat.
+
+use pabst_simkit::stats::EpochAverage;
+
+/// Per-memory-controller occupancy averaging and threshold comparison.
+///
+/// # Examples
+///
+/// ```
+/// use pabst_core::satmon::SatMonitor;
+///
+/// let mut m = SatMonitor::new(32); // 32-entry read queue
+/// for _ in 0..100 { m.sample(20); } // consistently over half full
+/// assert!(m.take_epoch_sat());
+/// for _ in 0..100 { m.sample(3); }
+/// assert!(!m.take_epoch_sat());
+/// ```
+#[derive(Debug, Clone)]
+pub struct SatMonitor {
+    capacity: usize,
+    occupancy: EpochAverage,
+}
+
+impl SatMonitor {
+    /// Creates a monitor for a read queue of `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "queue capacity must be non-zero");
+        Self { capacity, occupancy: EpochAverage::new() }
+    }
+
+    /// Records the queue occupancy for one cycle.
+    pub fn sample(&mut self, occupancy: usize) {
+        debug_assert!(occupancy <= self.capacity, "occupancy above capacity");
+        self.occupancy.sample(occupancy as u64);
+    }
+
+    /// Computes the SAT bit for the epoch that just ended (mean occupancy
+    /// strictly greater than half capacity) and resets for the next epoch.
+    ///
+    /// An epoch with no samples reports unsaturated.
+    pub fn take_epoch_sat(&mut self) -> bool {
+        self.occupancy.take_mean() > self.capacity as f64 / 2.0
+    }
+
+    /// The monitored queue's capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+/// The global wired-OR of per-controller SAT bits: the system is saturated
+/// when *any* memory controller is (the paper's default aggregation; see
+/// §III-C1 for the per-controller alternative).
+pub fn or_sat(bits: impl IntoIterator<Item = bool>) -> bool {
+    bits.into_iter().any(|b| b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sat_requires_over_half_average() {
+        let mut m = SatMonitor::new(32);
+        for _ in 0..10 {
+            m.sample(16);
+        }
+        assert!(!m.take_epoch_sat(), "exactly half is not saturated");
+        for _ in 0..10 {
+            m.sample(17);
+        }
+        assert!(m.take_epoch_sat());
+    }
+
+    #[test]
+    fn averaging_smooths_transients() {
+        let mut m = SatMonitor::new(32);
+        // One full-queue blip among an idle epoch must not raise SAT.
+        m.sample(32);
+        for _ in 0..99 {
+            m.sample(0);
+        }
+        assert!(!m.take_epoch_sat());
+    }
+
+    #[test]
+    fn epoch_reset_is_complete() {
+        let mut m = SatMonitor::new(8);
+        for _ in 0..10 {
+            m.sample(8);
+        }
+        assert!(m.take_epoch_sat());
+        // New epoch, no samples: treated as unsaturated.
+        assert!(!m.take_epoch_sat());
+    }
+
+    #[test]
+    fn wired_or() {
+        assert!(!or_sat([false, false, false]));
+        assert!(or_sat([false, true, false]));
+        assert!(!or_sat(std::iter::empty::<bool>()));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_capacity_panics() {
+        let _ = SatMonitor::new(0);
+    }
+}

@@ -1,0 +1,138 @@
+//! Tracking of active CPUs per QoS class (§V-B).
+//!
+//! PABST's proportional shares are set per class, but the source pacers
+//! throttle individual CPUs, so the governors scale the class stride by
+//! the number of CPUs actively executing the class (Eq. 4). The paper
+//! assumes hardware maintains these counts in a memory-mapped register
+//! updated whenever a CPU's `QoSID` register changes, with updates
+//! broadcast to the class's CPUs (similar to ARM TLB-invalidate
+//! broadcasts). [`ActiveThreads`] models that registry.
+
+use crate::qos::{QosId, MAX_CLASSES};
+
+/// Per-class active-CPU counts, updated as software reprograms each CPU's
+/// `QoSID` register.
+///
+/// # Examples
+///
+/// ```
+/// use pabst_core::threads::ActiveThreads;
+/// use pabst_core::qos::QosId;
+///
+/// let mut t = ActiveThreads::new(4);
+/// t.set_qosid(0, QosId::new(1));
+/// t.set_qosid(1, QosId::new(1));
+/// assert_eq!(t.count(QosId::new(1)), 2);
+/// assert_eq!(t.count(QosId::new(0)), 2); // cpus 2 and 3 still default
+/// ```
+#[derive(Debug, Clone)]
+pub struct ActiveThreads {
+    qosid: Vec<QosId>,
+    counts: [u32; MAX_CLASSES],
+    /// Bumped on every change — stands in for the update broadcast, letting
+    /// governors detect that their cached `threads_c` went stale.
+    generation: u64,
+}
+
+impl ActiveThreads {
+    /// Creates a registry for `cpus` CPUs, all initially in class 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cpus` is zero.
+    pub fn new(cpus: usize) -> Self {
+        assert!(cpus > 0, "at least one CPU required");
+        let mut counts = [0u32; MAX_CLASSES];
+        counts[0] = cpus as u32;
+        Self { qosid: vec![QosId::new(0); cpus], counts, generation: 0 }
+    }
+
+    /// Number of CPUs tracked.
+    pub fn cpus(&self) -> usize {
+        self.qosid.len()
+    }
+
+    /// Reprograms `cpu`'s `QoSID` register to `class`, updating both
+    /// classes' counts. A no-op write does not bump the generation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cpu` is out of range.
+    pub fn set_qosid(&mut self, cpu: usize, class: QosId) {
+        let old = self.qosid[cpu];
+        if old == class {
+            return;
+        }
+        self.counts[old.index()] -= 1;
+        self.counts[class.index()] += 1;
+        self.qosid[cpu] = class;
+        self.generation += 1;
+    }
+
+    /// The class `cpu` currently runs.
+    pub fn qosid(&self, cpu: usize) -> QosId {
+        self.qosid[cpu]
+    }
+
+    /// Active CPUs in `class` (Eq. 4's `threads_c`).
+    pub fn count(&self, class: QosId) -> u32 {
+        self.counts[class.index()]
+    }
+
+    /// Monotone change counter (the broadcast stand-in).
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_follow_reassignment() {
+        let mut t = ActiveThreads::new(8);
+        assert_eq!(t.count(QosId::new(0)), 8);
+        for cpu in 0..3 {
+            t.set_qosid(cpu, QosId::new(2));
+        }
+        assert_eq!(t.count(QosId::new(0)), 5);
+        assert_eq!(t.count(QosId::new(2)), 3);
+        t.set_qosid(0, QosId::new(0));
+        assert_eq!(t.count(QosId::new(2)), 2);
+    }
+
+    #[test]
+    fn totals_are_conserved() {
+        let mut t = ActiveThreads::new(16);
+        for cpu in 0..16 {
+            t.set_qosid(cpu, QosId::new((cpu % 4) as u8));
+        }
+        let total: u32 = (0..MAX_CLASSES).map(|c| t.count(QosId::new(c as u8))).sum();
+        assert_eq!(total, 16);
+    }
+
+    #[test]
+    fn generation_bumps_only_on_change() {
+        let mut t = ActiveThreads::new(2);
+        let g0 = t.generation();
+        t.set_qosid(0, QosId::new(0)); // no-op
+        assert_eq!(t.generation(), g0);
+        t.set_qosid(0, QosId::new(1));
+        assert_eq!(t.generation(), g0 + 1);
+    }
+
+    #[test]
+    fn qosid_readback() {
+        let mut t = ActiveThreads::new(2);
+        t.set_qosid(1, QosId::new(3));
+        assert_eq!(t.qosid(1), QosId::new(3));
+        assert_eq!(t.qosid(0), QosId::new(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one CPU")]
+    fn zero_cpus_panics() {
+        let _ = ActiveThreads::new(0);
+    }
+}

@@ -1,0 +1,133 @@
+//! Property-based tests for the PABST mechanism invariants.
+
+use pabst_core::arbiter::{VirtualClocks, VirtualDeadline};
+use pabst_core::governor::{MonitorConfig, RateGenerator, SystemMonitor};
+use pabst_core::pacer::Pacer;
+use pabst_core::qos::{QosId, ShareTable};
+use proptest::prelude::*;
+
+proptest! {
+    /// M stays within its configured bounds under any SAT sequence.
+    #[test]
+    fn monitor_m_always_bounded(sats in proptest::collection::vec(any::<bool>(), 1..500)) {
+        let cfg = MonitorConfig::default();
+        let mut mon = SystemMonitor::new(cfg);
+        for sat in sats {
+            let m = mon.on_epoch(sat);
+            prop_assert!(m >= cfg.m_min && m <= cfg.m_max);
+            prop_assert!(mon.delta_m() >= cfg.dm_min && mon.delta_m() <= cfg.dm_max);
+        }
+    }
+
+    /// Replicated monitors never diverge, regardless of input sequence.
+    #[test]
+    fn monitor_replicas_lockstep(sats in proptest::collection::vec(any::<bool>(), 1..300)) {
+        let cfg = MonitorConfig::default();
+        let mut a = SystemMonitor::new(cfg);
+        let mut b = SystemMonitor::new(cfg);
+        for sat in sats {
+            prop_assert_eq!(a.on_epoch(sat), b.on_epoch(sat));
+        }
+    }
+
+    /// The pacer never admits more than `elapsed/period + burst` requests
+    /// over any window when continuously backlogged.
+    #[test]
+    fn pacer_rate_bound(period in 1u64..200, burst in 1u64..32, cycles in 100u64..20_000) {
+        let mut p = Pacer::with_burst(period, burst);
+        let mut admitted = 0u64;
+        for now in 0..cycles {
+            if p.try_issue(now) {
+                admitted += 1;
+            }
+        }
+        let bound = cycles / period + burst + 1;
+        prop_assert!(admitted <= bound, "admitted={admitted} bound={bound}");
+    }
+
+    /// Pacer credit never exceeds the burst window.
+    #[test]
+    fn pacer_credit_bounded(period in 1u64..100, burst in 1u64..32, idle in 0u64..1_000_000) {
+        let mut p = Pacer::with_burst(period, burst);
+        let _ = p.try_issue(0);
+        prop_assert!(p.credit(idle) <= burst * period);
+    }
+
+    /// Refund/charge accounting cannot underflow or make the pacer
+    /// permanently stuck: after refunds, issuing is at least as permissive.
+    #[test]
+    fn pacer_refund_never_hurts(period in 1u64..100, ops in proptest::collection::vec(0u8..3, 1..100)) {
+        let mut with_refunds = Pacer::new(period);
+        let mut without = Pacer::new(period);
+        let mut now = 0u64;
+        for op in ops {
+            match op {
+                0 => {
+                    now += period / 2 + 1;
+                    let a = with_refunds.try_issue(now);
+                    let b = without.try_issue(now);
+                    // Refunds only loosen the gate.
+                    if b { prop_assert!(a); }
+                }
+                1 => with_refunds.on_shared_hit(),
+                _ => now += 1,
+            }
+        }
+    }
+
+    /// Virtual-deadline stamps per class are strictly increasing while the
+    /// slack cap is not binding, and never decrease overall.
+    #[test]
+    fn arbiter_stamps_nondecreasing(weights in proptest::collection::vec(1u32..16, 1..8),
+                                    picks in proptest::collection::vec(0usize..8, 1..200)) {
+        let shares = ShareTable::from_weights(&weights).unwrap();
+        let n = shares.classes();
+        let mut vc = VirtualClocks::new(&shares, 128);
+        let mut last: Vec<Option<VirtualDeadline>> = vec![None; n];
+        for p in picks {
+            let id = QosId::new((p % n) as u8);
+            let d = vc.stamp(id);
+            if let Some(prev) = last[id.index()] {
+                prop_assert!(d >= prev, "stamp regressed for {id}");
+            }
+            last[id.index()] = Some(d);
+            vc.on_picked(id, d);
+        }
+    }
+
+    /// Among continuously backlogged classes the EDF service counts track
+    /// the weight ratio within 10%.
+    #[test]
+    fn arbiter_service_proportional(w0 in 1u32..9, w1 in 1u32..9) {
+        let shares = ShareTable::from_weights(&[w0, w1]).unwrap();
+        let mut vc = VirtualClocks::new(&shares, u64::MAX);
+        let ids = [QosId::new(0), QosId::new(1)];
+        let mut pending = [vc.stamp(ids[0]), vc.stamp(ids[1])];
+        let mut served = [0u64; 2];
+        for _ in 0..20_000 {
+            let idx = VirtualClocks::pick_earliest(pending.iter().copied()).unwrap();
+            vc.on_picked(ids[idx], pending[idx]);
+            served[idx] += 1;
+            pending[idx] = vc.stamp(ids[idx]);
+        }
+        let observed = served[0] as f64 / served[1] as f64;
+        let target = w0 as f64 / w1 as f64;
+        prop_assert!((observed / target - 1.0).abs() < 0.1,
+            "observed={observed} target={target}");
+    }
+
+    /// Rate generator: periods scale monotonically in M, and the
+    /// per-source period brackets threads x class period (division-last
+    /// fixed point).
+    #[test]
+    fn rategen_monotonic(m1 in 1u32..2000, m2 in 1u32..2000, w in 1u32..16) {
+        let shares = ShareTable::from_weights(&[w]).unwrap();
+        let rg = RateGenerator::default();
+        let s = shares.scaled_stride(QosId::new(0), pabst_core::governor::GOVERNOR_STRIDE_SCALE);
+        let (lo, hi) = if m1 <= m2 { (m1, m2) } else { (m2, m1) };
+        prop_assert!(rg.class_period(lo, s) <= rg.class_period(hi, s));
+        let sp = rg.source_period(m1, s, 8);
+        let cp = rg.class_period(m1, s);
+        prop_assert!(sp >= 8 * cp && sp <= 8 * (cp + 1));
+    }
+}

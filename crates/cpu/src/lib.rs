@@ -1,0 +1,22 @@
+//! Cycle-approximate out-of-order CPU model.
+//!
+//! Mirrors the paper's methodology (§IV-A): an out-of-order but
+//! non-speculative core with perfect branch prediction and perfect memory
+//! disambiguation, but *real* register/address dependences and structural
+//! hazards — a finite re-order buffer (ROB), dispatch/retire width, and a
+//! bounded number of outstanding loads. This gives high fidelity on
+//! workloads bottlenecked by the memory system, which is all the
+//! evaluation measures.
+//!
+//! A [`ops::Workload`] generator supplies an infinite abstract instruction
+//! stream; the [`core_model::OooCore`] executes it against a memory port
+//! supplied by the SoC wiring.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod core_model;
+pub mod ops;
+
+pub use core_model::{Access, CoreConfig, CoreStats, MemPort, OooCore};
+pub use ops::{LoadId, Op, Workload};

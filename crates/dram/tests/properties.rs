@@ -1,0 +1,108 @@
+//! Property tests for the memory controller: conservation, latency floors
+//! and accounting invariants under random request streams.
+
+use pabst_cache::LineAddr;
+use pabst_core::qos::{QosId, ShareTable};
+use pabst_dram::{ArbiterMode, DramConfig, MemController, MemReq};
+use proptest::prelude::*;
+
+fn drive(
+    mode: ArbiterMode,
+    reqs: &[(u64, u8, bool)],
+    max_cycles: u64,
+) -> (u64, u64, MemController) {
+    let shares = ShareTable::from_weights(&[3, 1]).unwrap();
+    let mut mc = MemController::new(DramConfig::default(), mode, &shares, 128);
+    let mut pushed = 0u64;
+    let mut completed = 0u64;
+    let mut it = reqs.iter();
+    let mut now = 0u64;
+    let mut pending_req: Option<MemReq> = None;
+    loop {
+        // Offer one request per cycle until the stream is exhausted.
+        if pending_req.is_none() {
+            pending_req = it.next().map(|&(line, class, wr)| MemReq {
+                line: LineAddr::new(line),
+                class: QosId::new(class % 2),
+                is_write: wr,
+                token: line,
+            });
+        }
+        if let Some(req) = pending_req.take() {
+            match mc.push(req) {
+                Ok(()) => pushed += 1,
+                Err(r) => pending_req = Some(r),
+            }
+        }
+        completed += mc.step(now).len() as u64;
+        now += 1;
+        if pending_req.is_none() && it.len() == 0 && mc.pending() == 0 {
+            break;
+        }
+        if now >= max_cycles {
+            break;
+        }
+    }
+    (pushed, completed, mc)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every accepted request completes exactly once, in every mode.
+    #[test]
+    fn requests_conserved(reqs in proptest::collection::vec(
+        (0u64..100_000, 0u8..2, any::<bool>()), 1..120)) {
+        for mode in [ArbiterMode::Fcfs, ArbiterMode::Edf, ArbiterMode::Fqm] {
+            let (pushed, completed, mc) = drive(mode, &reqs, 2_000_000);
+            prop_assert_eq!(pushed, completed, "mode {:?}", mode);
+            prop_assert_eq!(mc.pending(), 0);
+        }
+    }
+
+    /// Byte accounting: per-class bytes sum to 64 x completions.
+    #[test]
+    fn bytes_accounted(reqs in proptest::collection::vec(
+        (0u64..100_000, 0u8..2, any::<bool>()), 1..100)) {
+        let (_, completed, mc) = drive(ArbiterMode::Edf, &reqs, 2_000_000);
+        let bytes: u64 = mc.stats().bytes.iter().sum();
+        prop_assert_eq!(bytes, completed * 64);
+    }
+
+    /// No read ever completes faster than the raw access pipeline
+    /// (activation + CAS + burst on an idle bank).
+    #[test]
+    fn latency_floor(reqs in proptest::collection::vec(
+        (0u64..100_000, 0u8..2), 1..60)) {
+        let reads: Vec<(u64, u8, bool)> =
+            reqs.into_iter().map(|(l, c)| (l, c, false)).collect();
+        let (_, _, mc) = drive(ArbiterMode::Fcfs, &reads, 2_000_000);
+        let cfg = DramConfig::default();
+        let floor = (cfg.t_rcd + cfg.t_cl + cfg.t_burst) as f64;
+        for class in 0..2u8 {
+            if let Some(lat) = mc.stats().mean_read_latency(QosId::new(class)) {
+                prop_assert!(lat >= floor, "class {class}: {lat} < {floor}");
+            }
+        }
+    }
+
+    /// Row-hit rate is a valid fraction and sequential streams beat random
+    /// ones on it.
+    #[test]
+    fn row_hit_rate_sane(seed in 0u64..1000) {
+        let seq: Vec<(u64, u8, bool)> = (0..80).map(|i| (i, 0u8, false)).collect();
+        let mut x = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        let rnd: Vec<(u64, u8, bool)> = (0..80)
+            .map(|_| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                (x >> 20, 0u8, false)
+            })
+            .collect();
+        let (_, _, mc_seq) = drive(ArbiterMode::Fcfs, &seq, 2_000_000);
+        let (_, _, mc_rnd) = drive(ArbiterMode::Fcfs, &rnd, 2_000_000);
+        let (hs, hr) = (mc_seq.stats().row_hit_rate(), mc_rnd.stats().row_hit_rate());
+        prop_assert!((0.0..=1.0).contains(&hs));
+        prop_assert!((0.0..=1.0).contains(&hr));
+        prop_assert!(hs >= hr, "sequential {hs} < random {hr}");
+    }
+}

@@ -1,0 +1,241 @@
+//! System configuration (the paper's Table III class of machine).
+
+use std::fmt;
+
+use pabst_cache::CacheConfig;
+use pabst_core::governor::MonitorConfig;
+use pabst_dram::DramConfig;
+use pabst_simkit::Cycle;
+
+/// Which PABST components are active — the four configurations the paper
+/// compares (Figs. 1, 7, 10, 12).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RegulationMode {
+    /// No bandwidth QoS at all (the contention baseline).
+    None,
+    /// Governor + pacer only (source-based regulation).
+    SourceOnly,
+    /// Priority arbiter only (target-based regulation).
+    TargetOnly,
+    /// Both — full PABST.
+    Pabst,
+}
+
+impl RegulationMode {
+    /// True when the source governor/pacer is active.
+    pub fn source_active(self) -> bool {
+        matches!(self, RegulationMode::SourceOnly | RegulationMode::Pabst)
+    }
+
+    /// True when the memory-controller priority arbiter is active.
+    pub fn target_active(self) -> bool {
+        matches!(self, RegulationMode::TargetOnly | RegulationMode::Pabst)
+    }
+
+    /// Display label used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            RegulationMode::None => "none",
+            RegulationMode::SourceOnly => "source-only",
+            RegulationMode::TargetOnly => "target-only",
+            RegulationMode::Pabst => "pabst",
+        }
+    }
+}
+
+/// Who gets charged for memory writes caused by dirty L3 evictions (§V-C).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WbAccounting {
+    /// Charge the class whose demand fill caused the eviction (the paper's
+    /// default, §III-B3): the response carries a writeback flag and the
+    /// pacer adds one period.
+    #[default]
+    ChargeDemand,
+    /// Charge the class that owned the evicted line.
+    ChargeOwner,
+    /// Charge nobody (writeback bandwidth rides free).
+    ChargeNone,
+}
+
+/// Full system configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct SystemConfig {
+    /// Number of tiles (cores).
+    pub cores: usize,
+    /// Number of memory controllers.
+    pub mcs: usize,
+    /// Epoch length in cycles (10 µs at 2 GHz = 20 000).
+    pub epoch_cycles: Cycle,
+    /// Core structural parameters.
+    pub core: pabst_cpu::CoreConfig,
+    /// L1D geometry.
+    pub l1: CacheConfig,
+    /// Private L2 geometry.
+    pub l2: CacheConfig,
+    /// Shared L3 geometry (way-partitioned between classes).
+    pub l3: CacheConfig,
+    /// L2 MSHR entries per tile.
+    pub l2_mshrs: usize,
+    /// L3 MSHR entries (global).
+    pub l3_mshrs: usize,
+    /// L1 hit latency, cycles.
+    pub l1_lat: u64,
+    /// L2 hit latency, cycles.
+    pub l2_lat: u64,
+    /// Tile → L3 network + L3 array latency, cycles.
+    pub l3_lat: Cycle,
+    /// L3/MC → tile response latency, cycles.
+    pub resp_lat: Cycle,
+    /// DRAM timing/geometry per controller.
+    pub dram: DramConfig,
+    /// Governor feedback-loop parameters.
+    pub monitor: MonitorConfig,
+    /// Pacer burst window, requests.
+    pub pacer_burst: u64,
+    /// Arbiter slack, virtual ticks.
+    pub arbiter_slack: u64,
+    /// Writeback charging policy.
+    pub wb_accounting: WbAccounting,
+    /// Per-MC regulation (SIII-C1's alternative): one SAT signal and one
+    /// governor per memory controller, and one pacer per (tile, MC). The
+    /// paper's default is a single global wired-OR SAT and one governor;
+    /// the per-MC variant avoids under-utilizing lightly loaded channels
+    /// when traffic is skewed across controllers.
+    pub per_mc_regulation: bool,
+}
+
+impl SystemConfig {
+    /// The paper's 32-core baseline (Table III): 8×4 tiled SoC, 32 KiB
+    /// L1D, 256 KiB L2, 16 MiB shared L3 (16-way), 4 DDR channels.
+    pub fn baseline_32core() -> Self {
+        Self {
+            cores: 32,
+            mcs: 4,
+            epoch_cycles: 20_000,
+            core: pabst_cpu::CoreConfig::default(),
+            l1: CacheConfig::with_capacity(32 * 1024, 8),
+            l2: CacheConfig::with_capacity(256 * 1024, 8),
+            l3: CacheConfig::with_capacity(16 * 1024 * 1024, 16),
+            // 16 per-core L2 MSHRs: one 16-core streaming class's
+            // outstanding requests (256) fit within the four controllers'
+            // aggregate queueing (~320), while two classes' (512) do not —
+            // the boundary Fig. 1 exercises.
+            l2_mshrs: 16,
+            l3_mshrs: 512,
+            l1_lat: 4,
+            l2_lat: 14,
+            // Mesh hop + L3 array: low enough that the chaser (4 chains x
+            // 16 cores = 64 outstanding) can saturate memory in isolation,
+            // as the paper's methodology requires (SIV-A).
+            l3_lat: 24,
+            resp_lat: 8,
+            dram: DramConfig::default(),
+            monitor: MonitorConfig::default(),
+            pacer_burst: 16,
+            arbiter_slack: 128,
+            wb_accounting: WbAccounting::ChargeDemand,
+            per_mc_regulation: false,
+        }
+    }
+
+    /// The paper's memcached machine: everything scaled down 4× from the
+    /// 32-core system (8 cores, 1 memory controller, 4 MiB L3).
+    pub fn scaled_8core() -> Self {
+        let mut c = Self::baseline_32core();
+        c.cores = 8;
+        c.mcs = 1;
+        c.l3 = CacheConfig::with_capacity(4 * 1024 * 1024, 16);
+        c.l3_mshrs = 128;
+        c
+    }
+
+    /// A tiny configuration for fast unit tests (4 cores, 1 MC, small
+    /// caches). Not used by any experiment.
+    pub fn small_test() -> Self {
+        let mut c = Self::baseline_32core();
+        c.cores = 4;
+        c.mcs = 1;
+        c.l3 = CacheConfig::with_capacity(256 * 1024, 16);
+        c.l3_mshrs = 64;
+        c.epoch_cycles = 2_000;
+        c
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] describing the first violated constraint.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.cores == 0 {
+            return Err(ConfigError("cores must be non-zero".into()));
+        }
+        if self.mcs == 0 {
+            return Err(ConfigError("mcs must be non-zero".into()));
+        }
+        if self.epoch_cycles == 0 {
+            return Err(ConfigError("epoch_cycles must be non-zero".into()));
+        }
+        if self.l2_mshrs == 0 || self.l3_mshrs == 0 {
+            return Err(ConfigError("MSHR capacities must be non-zero".into()));
+        }
+        self.dram.validate().map_err(ConfigError)?;
+        self.monitor.validate().map_err(ConfigError)?;
+        Ok(())
+    }
+}
+
+/// An invalid [`SystemConfig`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError(pub String);
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid system config: {}", self.0)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_is_valid() {
+        assert!(SystemConfig::baseline_32core().validate().is_ok());
+        assert!(SystemConfig::scaled_8core().validate().is_ok());
+        assert!(SystemConfig::small_test().validate().is_ok());
+    }
+
+    #[test]
+    fn scaled_system_is_quarter_size() {
+        let big = SystemConfig::baseline_32core();
+        let small = SystemConfig::scaled_8core();
+        assert_eq!(small.cores * 4, big.cores);
+        assert_eq!(small.mcs * 4, big.mcs);
+        assert_eq!(small.l3.bytes() * 4, big.l3.bytes());
+    }
+
+    #[test]
+    fn mode_component_activation() {
+        assert!(RegulationMode::Pabst.source_active());
+        assert!(RegulationMode::Pabst.target_active());
+        assert!(RegulationMode::SourceOnly.source_active());
+        assert!(!RegulationMode::SourceOnly.target_active());
+        assert!(!RegulationMode::TargetOnly.source_active());
+        assert!(RegulationMode::TargetOnly.target_active());
+        assert!(!RegulationMode::None.source_active());
+        assert!(!RegulationMode::None.target_active());
+    }
+
+    #[test]
+    fn validation_rejects_zero_cores() {
+        let mut c = SystemConfig::baseline_32core();
+        c.cores = 0;
+        assert!(c.validate().is_err());
+        let mut c = SystemConfig::baseline_32core();
+        c.epoch_cycles = 0;
+        assert!(c.validate().is_err());
+    }
+}

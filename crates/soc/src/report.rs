@@ -1,0 +1,163 @@
+//! Formatted end-of-run reports: the per-class numbers an operator would
+//! want from a QoS experiment (bandwidth, shares, IPC, cache behaviour).
+
+use crate::system::System;
+
+/// Per-class summary over the measurement window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassReport {
+    /// Class index.
+    pub class: usize,
+    /// Programmed weight.
+    pub weight: u32,
+    /// Target share per Eq. 1.
+    pub target_share: f64,
+    /// Observed share of delivered bandwidth.
+    pub observed_share: f64,
+    /// Delivered bandwidth, bytes per cycle.
+    pub bytes_per_cycle: f64,
+    /// Mean per-core IPC of the class's tiles.
+    pub mean_ipc: f64,
+    /// Number of cores in the class.
+    pub cores: usize,
+}
+
+/// Whole-system summary over the measurement window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SystemReport {
+    /// One entry per class.
+    pub classes: Vec<ClassReport>,
+    /// Aggregate data-bus utilization.
+    pub bus_utilization: f64,
+    /// Measurement window length in cycles.
+    pub window_cycles: u64,
+}
+
+impl SystemReport {
+    /// Builds the report from a system that has run past
+    /// [`System::mark_measurement`].
+    pub fn collect(sys: &System) -> Self {
+        let window = sys.now() - sys.metrics().measure_from;
+        let n_classes = sys.shares().classes();
+        let total_bytes: u64 = (0..n_classes).map(|c| sys.bytes_since_mark(c)).sum();
+        let mut classes = Vec::with_capacity(n_classes);
+        for c in 0..n_classes {
+            let id = pabst_core::qos::QosId::new(c as u8);
+            let tiles: Vec<usize> = (0..sys.tiles().len())
+                .filter(|&i| sys.tile_class(i) == id)
+                .collect();
+            let bytes = sys.bytes_since_mark(c);
+            let mean_ipc = if tiles.is_empty() || window == 0 {
+                0.0
+            } else {
+                tiles.iter().map(|&i| sys.ipc_since_mark(i)).sum::<f64>()
+                    / tiles.len() as f64
+            };
+            classes.push(ClassReport {
+                class: c,
+                weight: sys.shares().weight(id).get(),
+                target_share: sys.shares().share(id),
+                observed_share: if total_bytes == 0 {
+                    0.0
+                } else {
+                    bytes as f64 / total_bytes as f64
+                },
+                bytes_per_cycle: if window == 0 {
+                    0.0
+                } else {
+                    bytes as f64 / window as f64
+                },
+                mean_ipc,
+                cores: tiles.len(),
+            });
+        }
+        Self {
+            classes,
+            bus_utilization: sys.bus_utilization_since_mark(),
+            window_cycles: window,
+        }
+    }
+
+    /// Renders a plain-text table.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "measurement window: {} cycles; bus utilization {:.1}%\n",
+            self.window_cycles,
+            self.bus_utilization * 100.0
+        );
+        out.push_str(
+            "class  weight  cores  target%  observed%  GB/s    IPC/core\n",
+        );
+        out.push_str("------------------------------------------------------------\n");
+        for c in &self.classes {
+            out.push_str(&format!(
+                "{:<5}  {:<6}  {:<5}  {:<7.1}  {:<9.1}  {:<6.1}  {:.3}\n",
+                c.class,
+                c.weight,
+                c.cores,
+                c.target_share * 100.0,
+                c.observed_share * 100.0,
+                pabst_simkit::bytes_per_cycle_to_gbps(c.bytes_per_cycle),
+                c.mean_ipc,
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{RegulationMode, SystemConfig};
+    use crate::system::SystemBuilder;
+    use pabst_cpu::{Op, Workload};
+
+    struct Idle;
+    impl Workload for Idle {
+        fn next_op(&mut self) -> Op {
+            Op::Compute(4)
+        }
+        fn name(&self) -> &str {
+            "idle"
+        }
+    }
+
+    #[test]
+    fn report_covers_all_classes() {
+        let mut sys =
+            SystemBuilder::new(SystemConfig::small_test(), RegulationMode::Pabst)
+                .class(3, vec![Box::new(Idle) as Box<dyn Workload>])
+                .class(1, vec![Box::new(Idle) as Box<dyn Workload>])
+                .build()
+                .unwrap();
+        sys.run_epochs(1);
+        sys.mark_measurement();
+        sys.run_epochs(2);
+        let r = SystemReport::collect(&sys);
+        assert_eq!(r.classes.len(), 2);
+        assert_eq!(r.classes[0].weight, 3);
+        assert!((r.classes[0].target_share - 0.75).abs() < 1e-9);
+        assert_eq!(r.classes[0].cores, 1);
+        assert!(r.classes[0].mean_ipc > 0.0, "idle compute still retires");
+        assert!(r.window_cycles > 0);
+        let text = r.render();
+        assert!(text.contains("class"));
+        assert!(text.lines().count() >= 5);
+    }
+
+    #[test]
+    fn idle_system_reports_zero_shares_without_nan() {
+        let mut sys =
+            SystemBuilder::new(SystemConfig::small_test(), RegulationMode::None)
+                .class(1, vec![Box::new(Idle) as Box<dyn Workload>])
+                .build()
+                .unwrap();
+        sys.run_epochs(1);
+        sys.mark_measurement();
+        sys.run_epochs(1);
+        let r = SystemReport::collect(&sys);
+        assert_eq!(r.classes[0].observed_share, 0.0);
+        assert_eq!(r.classes[0].bytes_per_cycle, 0.0);
+        assert!(r.render().contains("0.0"));
+    }
+}

@@ -1,0 +1,683 @@
+//! The assembled system and its cycle-stepped main loop.
+
+use std::collections::VecDeque;
+
+use pabst_cache::{LineAddr, MshrTable, SetAssocCache, WayMask};
+use pabst_core::governor::{RateGenerator, SystemMonitor, GOVERNOR_STRIDE_SCALE};
+use pabst_core::pacer::Pacer;
+use pabst_core::qos::{QosId, ShareTable};
+use pabst_core::satmon::or_sat;
+use pabst_cpu::{OooCore, Workload};
+use pabst_dram::{ArbiterMode, Completion, MemController, MemReq};
+use pabst_simkit::queue::DelayQueue;
+use pabst_simkit::Cycle;
+
+use crate::config::{ConfigError, RegulationMode, SystemConfig, WbAccounting};
+use crate::metrics::Metrics;
+use crate::tile::{Tile, TileMem};
+
+/// A message travelling from a tile to the shared L3.
+#[derive(Debug, Clone, Copy)]
+struct L3Req {
+    line: LineAddr,
+    class: QosId,
+    tile: usize,
+    store: bool,
+    /// Pure L2 writeback into the L3 (no response needed).
+    l2_wb: bool,
+}
+
+/// A response returning to a tile.
+#[derive(Debug, Clone, Copy)]
+struct TileResp {
+    line: LineAddr,
+    tile: usize,
+    /// Serviced by the shared cache (pacer refunds one period).
+    l3_hit: bool,
+    /// The demand fill evicted a dirty L3 line (pacer charges one period).
+    wb_flag: bool,
+}
+
+/// A waiter on an L3 MSHR entry.
+#[derive(Debug, Clone, Copy)]
+struct L3Waiter {
+    tile: usize,
+    store: bool,
+}
+
+/// The full modelled machine.
+///
+/// Built by [`SystemBuilder`]; stepped by [`System::run_epochs`] /
+/// [`System::run_cycles`]; inspected through [`System::metrics`] and the
+/// per-component accessors.
+#[derive(Debug)]
+pub struct System {
+    cfg: SystemConfig,
+    mode: RegulationMode,
+    shares: ShareTable,
+    now: Cycle,
+    tiles: Vec<Tile>,
+    /// Tile index → class id (redundant with tiles, for quick scans).
+    tile_class: Vec<QosId>,
+    /// Active thread count per class (Eq. 4's `threads_c`).
+    threads: Vec<u32>,
+    l3: SetAssocCache,
+    l3_mshrs: MshrTable<L3Waiter>,
+    /// Network + L3 array pipeline.
+    l3_in: DelayQueue<L3Req>,
+    /// Misses refused an L3 MSHR (table full), retried in order.
+    mshr_wait: VecDeque<L3Req>,
+    /// Per-(MC, class) queues between the L3 miss path and each MC
+    /// ingress, drained round-robin across classes like a mesh NoC's
+    /// per-source-fair arbitration. This is where requests "queue
+    /// elsewhere in the system" when a controller is oversubscribed —
+    /// FAIR, but not *prioritized* (the Fig. 1b effect): a flooding class
+    /// is pinned to its fair share of admissions, no more, no less,
+    /// regardless of the arbiter inside the controller. Bounded in
+    /// practice by the L2/L3 MSHR budgets.
+    mc_out: Vec<Vec<VecDeque<MemReq>>>,
+    /// Round-robin cursor per MC over the class queues.
+    mc_out_rr: Vec<usize>,
+    mcs: Vec<MemController>,
+    /// Response network back to the tiles.
+    resp_net: DelayQueue<TileResp>,
+    /// One monitor for the paper's global-SAT design; one per MC in the
+    /// per-MC variant (SIII-C1).
+    monitors: Vec<SystemMonitor>,
+    rategen: RateGenerator,
+    metrics: Metrics,
+    /// Round-robin start index for tile injection fairness.
+    inject_rr: usize,
+    epochs_run: usize,
+}
+
+impl System {
+    /// Current simulated cycle.
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+
+    /// Epochs completed.
+    pub fn epochs_run(&self) -> usize {
+        self.epochs_run
+    }
+
+    /// The QoS class of tile `i`.
+    pub fn tile_class(&self, i: usize) -> QosId {
+        self.tile_class[i]
+    }
+
+    /// The share table in force.
+    pub fn shares(&self) -> &ShareTable {
+        &self.shares
+    }
+
+    /// Collected metrics.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Mutable metrics (service-time percentiles need `&mut`).
+    pub fn metrics_mut(&mut self) -> &mut Metrics {
+        &mut self.metrics
+    }
+
+    /// The tiles (inspection only).
+    pub fn tiles(&self) -> &[Tile] {
+        &self.tiles
+    }
+
+    /// Instructions retired by core `i` since the measurement mark.
+    pub fn retired_since_mark(&self, i: usize) -> u64 {
+        self.tiles[i].core.stats().retired - self.metrics.retired_at_start[i]
+    }
+
+    /// IPC of core `i` over the measurement window.
+    pub fn ipc_since_mark(&self, i: usize) -> f64 {
+        let cycles = self.now - self.metrics.measure_from;
+        if cycles == 0 {
+            0.0
+        } else {
+            self.retired_since_mark(i) as f64 / cycles as f64
+        }
+    }
+
+    /// Aggregate data-bus utilization across MCs over the measurement
+    /// window (the paper's memory-efficiency metric, Fig. 12).
+    pub fn bus_utilization_since_mark(&self) -> f64 {
+        let busy: u64 = self.mcs.iter().map(|m| m.stats().bus_busy).sum();
+        let window = (self.now - self.metrics.measure_from) * self.cfg.mcs as u64;
+        if window == 0 {
+            0.0
+        } else {
+            (busy - self.metrics.bus_busy_at_start) as f64 / window as f64
+        }
+    }
+
+    /// Mean in-controller read latency per class (cycles), aggregated
+    /// across MCs over the whole run (diagnostic).
+    pub fn mc_read_latency(&self, class: usize) -> Option<f64> {
+        let id = QosId::new(class as u8);
+        let (mut sum, mut n) = (0.0, 0u64);
+        for mc in &self.mcs {
+            let s = mc.stats();
+            if let Some(lat) = s.mean_read_latency(id) {
+                let k = s.read_lat_n[id.index()];
+                sum += lat * k as f64;
+                n += k;
+            }
+        }
+        if n == 0 { None } else { Some(sum / n as f64) }
+    }
+
+    /// Total requests refused at MC ingress ports (backpressure events).
+    pub fn ingress_rejects(&self) -> u64 {
+        self.mcs.iter().map(|m| m.ingress_rejects()).sum()
+    }
+
+    /// Bytes delivered per class since the measurement mark.
+    pub fn bytes_since_mark(&self, class: usize) -> u64 {
+        let total: u64 = self.mcs.iter().map(|m| m.stats().bytes[class]).sum();
+        total - self.metrics.bytes_at_start[class]
+    }
+
+    /// Marks the start of the measurement window (call after warmup).
+    pub fn mark_measurement(&mut self) {
+        self.metrics.measure_from = self.now;
+        for (i, t) in self.tiles.iter().enumerate() {
+            self.metrics.retired_at_start[i] = t.core.stats().retired;
+        }
+        self.metrics.bus_busy_at_start = self.mcs.iter().map(|m| m.stats().bus_busy).sum();
+        for c in 0..pabst_core::qos::MAX_CLASSES {
+            self.metrics.bytes_at_start[c] =
+                self.mcs.iter().map(|m| m.stats().bytes[c]).sum();
+        }
+        for h in &mut self.metrics.service {
+            *h = pabst_simkit::stats::Histogram::new();
+        }
+        for m in &mut self.metrics.last_marker {
+            *m = None;
+        }
+    }
+
+    /// Runs `n` epochs (each `epoch_cycles` long).
+    pub fn run_epochs(&mut self, n: usize) {
+        for _ in 0..n {
+            for _ in 0..self.cfg.epoch_cycles {
+                self.step();
+            }
+            self.on_epoch_boundary();
+        }
+    }
+
+    /// Runs an exact number of cycles (epoch boundaries still fire on
+    /// schedule).
+    pub fn run_cycles(&mut self, n: Cycle) {
+        for _ in 0..n {
+            self.step();
+            if self.now % self.cfg.epoch_cycles == 0 {
+                self.on_epoch_boundary();
+            }
+        }
+    }
+
+    /// One cycle of the whole machine.
+    fn step(&mut self) {
+        let now = self.now;
+
+        // 1. Memory controllers: advance DRAM, collect completions.
+        let mut completions: Vec<Completion> = Vec::new();
+        for mc in &mut self.mcs {
+            completions.extend(mc.step(now));
+        }
+        for c in completions {
+            self.on_mc_completion(c);
+        }
+
+        // 2. Drain per-MC staging into MC ingress, round-robin across
+        //    class queues (per-source-fair network arbitration).
+        for (k, queues) in self.mc_out.iter_mut().enumerate() {
+            let n = queues.len();
+            'mc: loop {
+                let mut progressed = false;
+                for off in 0..n {
+                    let c = (self.mc_out_rr[k] + off) % n;
+                    if let Some(&req) = queues[c].front() {
+                        if self.mcs[k].push(req).is_err() {
+                            break 'mc; // ingress full
+                        }
+                        queues[c].pop_front();
+                        self.mc_out_rr[k] = (c + 1) % n;
+                        progressed = true;
+                        break;
+                    }
+                }
+                if !progressed {
+                    break;
+                }
+            }
+        }
+
+        // 3. Shared L3: consume the network head (head-of-line blocking
+        //    when the miss path is backed up).
+        self.l3_service(now);
+
+        // 4. Responses reach tiles.
+        while let Some(resp) = self.resp_net.pop_ready(now) {
+            self.on_tile_response(resp);
+        }
+
+        // 5. Tiles: inject paced L2 misses + L2 writebacks, then step cores.
+        self.tile_injection(now);
+        for (i, tile) in self.tiles.iter_mut().enumerate() {
+            tile.step_core(now);
+            for (tag, at) in tile.core.take_markers() {
+                let _ = tag;
+                if let Some(prev) = self.metrics.last_marker[i] {
+                    self.metrics.service[i].record(at - prev);
+                }
+                self.metrics.last_marker[i] = Some(at);
+            }
+        }
+
+        self.now += 1;
+    }
+
+    /// Service the L3 input pipeline: hits respond, misses go to memory.
+    /// The L3 is banked and never head-of-line blocks: misses that cannot
+    /// get an MSHR wait in `mshr_wait`; admitted misses queue per-MC in
+    /// `mc_out`.
+    fn l3_service(&mut self, now: Cycle) {
+        // Retry MSHR-refused misses first (oldest first).
+        while !self.l3_mshrs.is_full() {
+            let Some(req) = self.mshr_wait.pop_front() else { break };
+            self.admit_miss(req);
+        }
+        // Bounded number of L3 operations per cycle (banked array).
+        for _ in 0..4 {
+            let Some(req) = self.l3_in.pop_ready(now) else { break };
+            if req.l2_wb {
+                // L2 writeback into the L3: mark dirty if present, else
+                // install dirty (may evict another dirty line to memory).
+                if !self.l3.probe_write(req.line) {
+                    let ev = self.l3.fill(req.line, req.class, true);
+                    if let Some(ev) = ev {
+                        if ev.dirty {
+                            self.emit_l3_writeback(ev.line, ev.owner, req.class);
+                        }
+                    }
+                }
+                continue;
+            }
+            let hit =
+                if req.store { self.l3.probe_write(req.line) } else { self.l3.probe(req.line) };
+            if hit {
+                self.resp_net.push(
+                    now,
+                    TileResp { line: req.line, tile: req.tile, l3_hit: true, wb_flag: false },
+                );
+                continue;
+            }
+            if self.l3_mshrs.contains(req.line) {
+                // Secondary miss: merge.
+                self.l3_mshrs.alloc(req.line, L3Waiter { tile: req.tile, store: req.store });
+            } else if self.l3_mshrs.is_full() {
+                self.mshr_wait.push_back(req);
+            } else {
+                self.admit_miss(req);
+            }
+        }
+    }
+
+    /// Allocates the L3 MSHR for a primary miss and queues it toward its
+    /// memory controller.
+    fn admit_miss(&mut self, req: L3Req) {
+        debug_assert!(!req.l2_wb && !self.l3_mshrs.contains(req.line));
+        self.l3_mshrs.alloc(req.line, L3Waiter { tile: req.tile, store: req.store });
+        let mc = req.line.interleave(self.cfg.mcs);
+        self.mc_out[mc][req.class.index()].push_back(MemReq {
+            line: req.line,
+            class: req.class,
+            is_write: false,
+            token: 0,
+        });
+    }
+
+    /// Routes a memory-controller completion: reads fill the L3 and wake
+    /// tile waiters; writes are fire-and-forget.
+    fn on_mc_completion(&mut self, c: Completion) {
+        if c.is_write {
+            return;
+        }
+        let now = self.now;
+        let waiters = self.l3_mshrs.complete(c.line);
+        let any_store = waiters.iter().any(|w| w.store);
+        // Fill the L3 on behalf of the demanding class.
+        let mut wb_flag = false;
+        if let Some(ev) = self.l3.fill(c.line, c.class, any_store) {
+            if ev.dirty {
+                self.emit_l3_writeback(ev.line, ev.owner, c.class);
+                wb_flag = true;
+            }
+        }
+        for w in waiters {
+            self.resp_net.push(
+                now,
+                TileResp { line: c.line, tile: w.tile, l3_hit: false, wb_flag },
+            );
+            // Only one response should carry the charge.
+            wb_flag = false;
+        }
+    }
+
+    /// Queues a dirty-L3-eviction writeback to memory, attributed per the
+    /// configured accounting policy.
+    fn emit_l3_writeback(&mut self, line: LineAddr, owner: QosId, demand: QosId) {
+        let class = match self.cfg.wb_accounting {
+            WbAccounting::ChargeDemand => demand,
+            WbAccounting::ChargeOwner => owner,
+            WbAccounting::ChargeNone => demand, // bytes still attributed somewhere
+        };
+        let mc = line.interleave(self.cfg.mcs);
+        self.mc_out[mc][class.index()].push_back(MemReq {
+            line,
+            class,
+            is_write: true,
+            token: 0,
+        });
+    }
+
+    /// A response arrives at a tile: fill caches, wake the core, settle
+    /// pacer accounting.
+    fn on_tile_response(&mut self, resp: TileResp) {
+        let now = self.now;
+        let tile = &mut self.tiles[resp.tile];
+        let waiters = tile.mem.on_fill(resp.line);
+        for w in &waiters {
+            if let Some(id) = w.load {
+                tile.core.on_fill(now, id);
+                tile.core.release_slot();
+            }
+        }
+        tile.mem.settle_response(resp.line, resp.l3_hit, resp.wb_flag);
+        // L2 victims displaced by this fill go back to the L3.
+        while let Some(line) = tile.mem.pop_l2_writeback() {
+            let class = tile.mem.class;
+            self.l3_in.push(
+                now,
+                L3Req { line, class, tile: resp.tile, store: false, l2_wb: true },
+            );
+        }
+    }
+
+    /// Paced injection of L2 misses into the network, round-robin across
+    /// tiles for fairness.
+    fn tile_injection(&mut self, now: Cycle) {
+        let n = self.tiles.len();
+        for off in 0..n {
+            let i = (self.inject_rr + off) % n;
+            // One injection per tile per cycle.
+            if let Some(req) = self.tiles[i].mem.try_inject(now) {
+                let class = self.tiles[i].mem.class;
+                self.l3_in.push(
+                    now,
+                    L3Req { line: req.line, class, tile: i, store: req.store, l2_wb: false },
+                );
+            }
+        }
+        self.inject_rr = (self.inject_rr + 1) % n;
+    }
+
+    /// Epoch heartbeat: SAT aggregation, governor update, pacer
+    /// reprogramming, metrics snapshot.
+    fn on_epoch_boundary(&mut self) {
+        let now = self.now;
+        let sats: Vec<bool> = self.mcs.iter_mut().map(|m| m.take_epoch_sat()).collect();
+        let ms: Vec<u32> = if self.monitors.len() == 1 {
+            // Global wired-OR SAT, one governor (the paper's default).
+            let sat = or_sat(sats.iter().copied());
+            vec![self.monitors[0].on_epoch(sat)]
+        } else {
+            // Per-MC SAT and governors (SIII-C1 variant).
+            self.monitors.iter_mut().zip(&sats).map(|(mon, &s)| mon.on_epoch(s)).collect()
+        };
+        self.metrics.m_series.push(ms[0]);
+        self.metrics.sat_series.push(or_sat(sats.iter().copied()));
+
+        if self.mode.source_active() {
+            for tile in &mut self.tiles {
+                let class = tile.mem.class;
+                let stride = self.shares.scaled_stride(class, GOVERNOR_STRIDE_SCALE);
+                let threads = self.threads[class.index()].max(1);
+                for (k, p) in tile.mem.pacers_mut().iter_mut().enumerate() {
+                    let m = ms[k.min(ms.len() - 1)];
+                    let period = self.rategen.source_period(m, stride, threads);
+                    p.set_period(period, now);
+                }
+            }
+        }
+
+        // Per-class bandwidth this epoch.
+        let mut bytes = vec![0f64; self.shares.classes()];
+        for mc in &mut self.mcs {
+            let per_class = mc.stats_mut().take_epoch_bytes();
+            for (c, b) in bytes.iter_mut().enumerate() {
+                *b += per_class[c] as f64;
+            }
+        }
+        self.metrics.bw_series.push_epoch(&bytes);
+        self.epochs_run += 1;
+    }
+}
+
+/// Assembles a [`System`] from QoS classes with weights and per-core
+/// workloads.
+///
+/// Cores are assigned to classes in the order `class` is called; the L3 is
+/// partitioned into equal exclusive way groups per class (override with
+/// [`SystemBuilder::l3_ways`]).
+pub struct SystemBuilder {
+    cfg: SystemConfig,
+    mode: RegulationMode,
+    weights: Vec<u32>,
+    workloads: Vec<Vec<Box<dyn Workload>>>,
+    l3_ways: Vec<Option<(usize, usize)>>,
+}
+
+impl SystemBuilder {
+    /// Starts building a system with the given configuration and
+    /// regulation mode.
+    pub fn new(cfg: SystemConfig, mode: RegulationMode) -> Self {
+        Self { cfg, mode, weights: Vec::new(), workloads: Vec::new(), l3_ways: Vec::new() }
+    }
+
+    /// Adds a QoS class with proportional-share `weight`, running one
+    /// workload per core (consuming `workloads.len()` cores).
+    pub fn class(mut self, weight: u32, workloads: Vec<Box<dyn Workload>>) -> Self {
+        self.weights.push(weight);
+        self.workloads.push(workloads);
+        self.l3_ways.push(None);
+        self
+    }
+
+    /// Overrides the L3 way partition of the most recently added class:
+    /// `count` ways starting at `first`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before any `class`.
+    pub fn l3_ways(mut self, first: usize, count: usize) -> Self {
+        *self.l3_ways.last_mut().expect("call class() first") = Some((first, count));
+        self
+    }
+
+    /// Builds the system.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] when the configuration is invalid, the
+    /// classes exceed the core count, or shares are malformed.
+    pub fn build(self) -> Result<System, ConfigError> {
+        self.cfg.validate()?;
+        let total_cores: usize = self.workloads.iter().map(Vec::len).sum();
+        if total_cores == 0 {
+            return Err(ConfigError("at least one core must run a workload".into()));
+        }
+        if total_cores > self.cfg.cores {
+            return Err(ConfigError(format!(
+                "classes use {total_cores} cores but the system has {}",
+                self.cfg.cores
+            )));
+        }
+        let shares = ShareTable::from_weights(&self.weights)
+            .map_err(|e| ConfigError(e.to_string()))?;
+
+        // L3 partitioning: equal exclusive slices by default.
+        let mut l3 = SetAssocCache::new(self.cfg.l3);
+        let classes = self.weights.len();
+        let default_slice = (self.cfg.l3.ways / classes).max(1);
+        for c in 0..classes {
+            let (first, count) = self.l3_ways[c]
+                .unwrap_or((c * default_slice, default_slice));
+            l3.set_partition(QosId::new(c as u8), WayMask::range(first, count));
+        }
+
+        let arb = if self.mode.target_active() { ArbiterMode::Edf } else { ArbiterMode::Fcfs };
+        let mcs = (0..self.cfg.mcs)
+            .map(|_| MemController::new(self.cfg.dram, arb, &shares, self.cfg.arbiter_slack))
+            .collect();
+
+        let mut tiles = Vec::new();
+        let mut tile_class = Vec::new();
+        let mut threads = vec![0u32; classes];
+        for (c, class_workloads) in self.workloads.into_iter().enumerate() {
+            let class = QosId::new(c as u8);
+            for workload in class_workloads {
+                let pacers = if !self.mode.source_active() {
+                    Vec::new()
+                } else if self.cfg.per_mc_regulation {
+                    (0..self.cfg.mcs)
+                        .map(|_| Pacer::with_burst(0, self.cfg.pacer_burst))
+                        .collect()
+                } else {
+                    vec![Pacer::with_burst(0, self.cfg.pacer_burst)]
+                };
+                let mem = TileMem::new(
+                    class,
+                    SetAssocCache::new(self.cfg.l1),
+                    SetAssocCache::new(self.cfg.l2),
+                    self.cfg.l2_mshrs,
+                    self.cfg.l1_lat,
+                    self.cfg.l2_lat,
+                    pacers,
+                    self.cfg.mcs,
+                );
+                tiles.push(Tile { core: OooCore::new(self.cfg.core), mem, workload });
+                tile_class.push(class);
+                threads[c] += 1;
+            }
+        }
+
+        let cores = tiles.len();
+        Ok(System {
+            metrics: Metrics::new(cores, classes, self.cfg.epoch_cycles),
+            l3,
+            l3_mshrs: MshrTable::new(self.cfg.l3_mshrs),
+            l3_in: DelayQueue::new(self.cfg.l3_lat),
+            mshr_wait: VecDeque::new(),
+            mc_out: (0..self.cfg.mcs)
+                .map(|_| (0..classes).map(|_| VecDeque::new()).collect())
+                .collect(),
+            mc_out_rr: vec![0; self.cfg.mcs],
+            mcs,
+            resp_net: DelayQueue::new(self.cfg.resp_lat),
+            monitors: (0..if self.cfg.per_mc_regulation { self.cfg.mcs } else { 1 })
+                .map(|_| SystemMonitor::new(self.cfg.monitor))
+                .collect(),
+            rategen: RateGenerator::default(),
+            tiles,
+            tile_class,
+            threads,
+            shares,
+            now: 0,
+            inject_rr: 0,
+            epochs_run: 0,
+            cfg: self.cfg,
+            mode: self.mode,
+        })
+    }
+}
+
+impl std::fmt::Debug for SystemBuilder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SystemBuilder")
+            .field("mode", &self.mode)
+            .field("weights", &self.weights)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pabst_cpu::Op;
+
+    struct Idle;
+    impl Workload for Idle {
+        fn next_op(&mut self) -> Op {
+            Op::Compute(4)
+        }
+        fn name(&self) -> &str {
+            "idle"
+        }
+    }
+
+    fn idle_boxes(n: usize) -> Vec<Box<dyn Workload>> {
+        (0..n).map(|_| Box::new(Idle) as Box<dyn Workload>).collect()
+    }
+
+    #[test]
+    fn builder_rejects_too_many_cores() {
+        let cfg = SystemConfig::small_test(); // 4 cores
+        let err = SystemBuilder::new(cfg, RegulationMode::Pabst)
+            .class(1, idle_boxes(5))
+            .build();
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn builder_rejects_empty() {
+        let cfg = SystemConfig::small_test();
+        assert!(SystemBuilder::new(cfg, RegulationMode::Pabst).build().is_err());
+    }
+
+    #[test]
+    fn idle_system_advances_and_reports_no_traffic() {
+        let cfg = SystemConfig::small_test();
+        let mut sys = SystemBuilder::new(cfg, RegulationMode::Pabst)
+            .class(1, idle_boxes(2))
+            .build()
+            .unwrap();
+        sys.run_epochs(3);
+        assert_eq!(sys.epochs_run(), 3);
+        assert_eq!(sys.now(), 3 * cfg.epoch_cycles);
+        assert!(sys.metrics().mean_bytes_per_cycle(0, 0) < 1e-6);
+        // Idle cores still retire compute at full width.
+        assert!(sys.tiles()[0].core.stats().retired > 0);
+        // No saturation ever.
+        assert!(sys.metrics().sat_series.iter().all(|&s| !s));
+    }
+
+    #[test]
+    fn partitions_default_to_equal_slices() {
+        // Two classes on a 16-way L3: 8 ways each; build must not panic and
+        // the system must run.
+        let cfg = SystemConfig::small_test();
+        let mut sys = SystemBuilder::new(cfg, RegulationMode::None)
+            .class(1, idle_boxes(1))
+            .class(1, idle_boxes(1))
+            .build()
+            .unwrap();
+        sys.run_epochs(1);
+    }
+}

@@ -1,0 +1,350 @@
+//! One tile: core + L1D + private L2 with MSHRs + the PABST pacer.
+//!
+//! The tile implements the core's [`pabst_cpu::MemPort`]: L1 and L2 are
+//! probed inline (their latency is returned to the core), an L2 miss
+//! allocates an MSHR and enqueues a network injection, and the *pacer*
+//! gates injections into the SoC network — the paper's source-regulation
+//! point (§III-B3).
+
+use std::collections::VecDeque;
+
+use pabst_cache::{LineAddr, MshrOutcome, MshrTable, SetAssocCache};
+use pabst_core::pacer::Pacer;
+use pabst_core::qos::QosId;
+use pabst_cpu::{Access, LoadId, MemPort, OooCore, Workload};
+use pabst_simkit::Cycle;
+
+/// A waiter merged into an L2 MSHR entry: which dynamic load (or a store)
+/// wants the line.
+#[derive(Debug, Clone, Copy)]
+pub struct L2Waiter {
+    /// The core-side load identity; `None` for stores.
+    pub load: Option<LoadId>,
+    /// Whether the line must be filled dirty (write-allocate store).
+    pub store: bool,
+}
+
+/// A request the tile wants to inject into the SoC network.
+#[derive(Debug, Clone, Copy)]
+pub struct InjectReq {
+    /// Missed line.
+    pub line: LineAddr,
+    /// Whether any waiter is a store (fill dirty).
+    pub store: bool,
+}
+
+/// The tile's L1/L2 front end, kept separate from the core so the borrow
+/// of the core during `step` doesn't alias the port.
+#[derive(Debug)]
+pub struct TileMem {
+    /// Tile's QoS class.
+    pub class: QosId,
+    l1: SetAssocCache,
+    l2: SetAssocCache,
+    pub(crate) mshrs: MshrTable<L2Waiter>,
+    /// Primary misses awaiting injection into the network (pacer-gated).
+    pub(crate) inject_q: VecDeque<InjectReq>,
+    /// The source pacers: empty when source regulation is disabled, one
+    /// entry for the paper's single global governor, or one per memory
+    /// controller for the per-MC variant (SIII-C1), selected by the
+    /// request's home controller.
+    pub(crate) pacers: Vec<Pacer>,
+    /// Number of memory controllers (for per-MC pacer selection).
+    mcs: usize,
+    l1_lat: u64,
+    l2_lat: u64,
+    /// Dirty L2 victims waiting to be written back into the L3.
+    pub(crate) l2_wb_q: VecDeque<LineAddr>,
+}
+
+impl TileMem {
+    /// Builds the tile memory front end.
+    pub fn new(
+        class: QosId,
+        l1: SetAssocCache,
+        l2: SetAssocCache,
+        mshrs: usize,
+        l1_lat: u64,
+        l2_lat: u64,
+        pacers: Vec<Pacer>,
+        mcs: usize,
+    ) -> Self {
+        assert!(mcs > 0, "at least one memory controller");
+        assert!(
+            pacers.is_empty() || pacers.len() == 1 || pacers.len() == mcs,
+            "pacer count must be 0 (off), 1 (global) or one per MC"
+        );
+        Self {
+            class,
+            l1,
+            l2,
+            mshrs: MshrTable::new(mshrs),
+            inject_q: VecDeque::new(),
+            pacers,
+            mcs,
+            l1_lat,
+            l2_lat,
+            l2_wb_q: VecDeque::new(),
+        }
+    }
+
+    /// The pacer responsible for `line` (per-MC mode selects by the home
+    /// controller).
+    fn pacer_for(&mut self, line: LineAddr) -> Option<&mut Pacer> {
+        match self.pacers.len() {
+            0 => None,
+            1 => self.pacers.first_mut(),
+            _ => {
+                let idx = line.interleave(self.mcs);
+                self.pacers.get_mut(idx)
+            }
+        }
+    }
+
+    /// Handles a fill returning from the L3/memory: fills L2 (and L1),
+    /// releases the MSHR, and returns the waiters plus any dirty L2 victim
+    /// that must be written back to the L3.
+    pub fn on_fill(&mut self, line: LineAddr) -> Vec<L2Waiter> {
+        let waiters = self.mshrs.complete(line);
+        let dirty = waiters.iter().any(|w| w.store);
+        if let Some(ev) = self.l2.fill(line, self.class, dirty) {
+            if ev.dirty {
+                self.l2_wb_q.push_back(ev.line);
+            }
+        }
+        // Fill L1 as well; L1 victims are clean or folded into L2.
+        if let Some(ev) = self.l1.fill(line, self.class, dirty) {
+            if ev.dirty {
+                // Write-back L1 victim into L2 (mark dirty if present).
+                self.l2.probe_write(ev.line);
+            }
+        }
+        waiters
+    }
+
+    /// All pacers (empty when source regulation is off).
+    pub fn pacers_mut(&mut self) -> &mut [Pacer] {
+        &mut self.pacers
+    }
+
+    /// Settles response-side accounting for `line`: refund when the shared
+    /// cache serviced it, extra charge when its fill caused a writeback.
+    pub fn settle_response(&mut self, line: LineAddr, l3_hit: bool, wb_flag: bool) {
+        if let Some(p) = self.pacer_for(line) {
+            if l3_hit {
+                p.on_shared_hit();
+            }
+            if wb_flag {
+                p.on_writeback();
+            }
+        }
+    }
+
+    /// Attempts to release the oldest pending injection, gated by the
+    /// responsible pacer. Returns the request when the network may take it
+    /// this cycle.
+    pub fn try_inject(&mut self, now: Cycle) -> Option<InjectReq> {
+        let head = *self.inject_q.front()?;
+        if let Some(p) = self.pacer_for(head.line) {
+            if !p.try_issue(now) {
+                return None;
+            }
+        }
+        self.inject_q.pop_front();
+        Some(head)
+    }
+
+    /// Pending L2 writebacks to the L3.
+    pub fn pop_l2_writeback(&mut self) -> Option<LineAddr> {
+        self.l2_wb_q.pop_front()
+    }
+
+    /// L2 demand hit/miss counts (for reports).
+    pub fn l2_stats(&self) -> (u64, u64) {
+        (self.l2.hits(), self.l2.misses())
+    }
+}
+
+impl MemPort for TileMem {
+    fn access(&mut self, _now: Cycle, line: LineAddr, store: bool, id: LoadId) -> Access {
+        // L1 probe.
+        let l1_hit = if store { self.l1.probe_write(line) } else { self.l1.probe(line) };
+        if l1_hit {
+            // Store dirtiness must eventually reach L2 on L1 eviction; the
+            // fill path handles it. For hits, also mark L2 (inclusive-ish).
+            if store {
+                self.l2.probe_write(line);
+            }
+            return Access::Hit(self.l1_lat);
+        }
+        // L2 probe.
+        let l2_hit = if store { self.l2.probe_write(line) } else { self.l2.probe(line) };
+        if l2_hit {
+            if let Some(ev) = self.l1.fill(line, self.class, store) {
+                if ev.dirty {
+                    self.l2.probe_write(ev.line);
+                }
+            }
+            return Access::Hit(self.l2_lat);
+        }
+        // L2 miss: allocate an MSHR.
+        let waiter = L2Waiter { load: (!store).then_some(id), store };
+        match self.mshrs.alloc(line, waiter) {
+            MshrOutcome::Primary => {
+                self.inject_q.push_back(InjectReq { line, store });
+                Access::Miss
+            }
+            MshrOutcome::Secondary => Access::Miss,
+            MshrOutcome::Full => Access::Stall,
+        }
+    }
+}
+
+/// A full tile: the core plus its memory front end and workload.
+pub struct Tile {
+    /// The out-of-order core.
+    pub core: OooCore,
+    /// L1/L2/MSHR/pacer front end.
+    pub mem: TileMem,
+    /// The workload generator driving the core.
+    pub workload: Box<dyn Workload>,
+}
+
+impl std::fmt::Debug for Tile {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Tile")
+            .field("class", &self.mem.class)
+            .field("workload", &self.workload.name())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Tile {
+    /// Advances the core one cycle against the tile's memory front end.
+    pub fn step_core(&mut self, now: Cycle) {
+        self.core.step(now, self.workload.as_mut(), &mut self.mem);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pabst_cache::CacheConfig;
+    use pabst_cpu::Access;
+
+    fn mem(pacers: Vec<Pacer>) -> TileMem {
+        TileMem::new(
+            QosId::new(0),
+            SetAssocCache::new(CacheConfig { sets: 8, ways: 2 }),
+            SetAssocCache::new(CacheConfig { sets: 32, ways: 4 }),
+            4,
+            4,
+            14,
+            pacers,
+            4,
+        )
+    }
+
+    fn line(n: u64) -> LineAddr {
+        LineAddr::new(n)
+    }
+
+    #[test]
+    fn miss_allocates_mshr_and_queues_injection() {
+        let mut m = mem(Vec::new());
+        let r = m.access(0, line(1), false, LoadId(1));
+        assert_eq!(r, Access::Miss);
+        assert_eq!(m.mshrs.len(), 1);
+        assert!(m.try_inject(0).is_some(), "primary miss must inject");
+        assert!(m.try_inject(0).is_none(), "only one injection per miss");
+    }
+
+    #[test]
+    fn secondary_miss_does_not_reinject() {
+        let mut m = mem(Vec::new());
+        assert_eq!(m.access(0, line(1), false, LoadId(1)), Access::Miss);
+        assert_eq!(m.access(0, line(1), false, LoadId(2)), Access::Miss);
+        assert_eq!(m.mshrs.len(), 1, "secondary merges");
+        let _ = m.try_inject(0);
+        assert!(m.try_inject(0).is_none());
+    }
+
+    #[test]
+    fn mshr_exhaustion_stalls() {
+        let mut m = mem(Vec::new());
+        for i in 0..4 {
+            assert_eq!(m.access(0, line(i * 64), false, LoadId(i)), Access::Miss);
+        }
+        assert_eq!(m.access(0, line(999), false, LoadId(9)), Access::Stall);
+    }
+
+    #[test]
+    fn fill_wakes_all_waiters_and_hits_after() {
+        let mut m = mem(Vec::new());
+        let _ = m.access(0, line(5), false, LoadId(1));
+        let _ = m.access(0, line(5), false, LoadId(2));
+        let waiters = m.on_fill(line(5));
+        assert_eq!(waiters.len(), 2);
+        // Now a hit in L1 (fast path).
+        assert_eq!(m.access(1, line(5), false, LoadId(3)), Access::Hit(4));
+    }
+
+    #[test]
+    fn store_miss_fills_dirty_and_later_evicts_as_writeback() {
+        let mut m = mem(Vec::new());
+        assert_eq!(m.access(0, line(7), true, LoadId(1)), Access::Miss);
+        let w = m.on_fill(line(7));
+        assert!(w[0].store);
+        // Thrash the L2 set containing line 7 to force its eviction
+        // (L2 has 32 sets, 4 ways: lines 7+32k share its set; the L1
+        // eviction path may refresh line 7's recency, so overfill).
+        let mut wbs = Vec::new();
+        for k in 1..=8 {
+            let l = line(7 + 32 * k);
+            let _ = m.access(0, l, false, LoadId(10 + k));
+            m.on_fill(l);
+            while let Some(wb) = m.pop_l2_writeback() {
+                wbs.push(wb);
+            }
+        }
+        assert!(wbs.contains(&line(7)), "dirty victim must write back, got {wbs:?}");
+    }
+
+    #[test]
+    fn pacer_gates_injection() {
+        let mut m = mem(vec![Pacer::with_burst(1000, 1)]);
+        let _ = m.access(0, line(1), false, LoadId(1));
+        let _ = m.access(0, line(2), false, LoadId(2));
+        assert!(m.try_inject(0).is_some(), "first injection rides initial credit");
+        assert!(m.try_inject(1).is_none(), "second is paced");
+        assert!(m.try_inject(1000).is_some(), "period elapsed");
+    }
+
+    #[test]
+    fn l1_hit_is_fastest_path() {
+        let mut m = mem(Vec::new());
+        let _ = m.access(0, line(3), false, LoadId(1));
+        m.on_fill(line(3));
+        assert_eq!(m.access(1, line(3), false, LoadId(2)), Access::Hit(4));
+        // A line only in L2 (L1 victimized) returns the L2 latency.
+        // Fill enough lines mapping to L1 set of line 3 (8 sets, 2 ways).
+        for k in 1..=2 {
+            let l = line(3 + 8 * k);
+            let _ = m.access(2, l, false, LoadId(10 + k));
+            m.on_fill(l);
+        }
+        assert_eq!(m.access(3, line(3), false, LoadId(5)), Access::Hit(14));
+    }
+
+    #[test]
+    fn l2_stats_track_hits_and_misses() {
+        let mut m = mem(Vec::new());
+        let _ = m.access(0, line(1), false, LoadId(1));
+        m.on_fill(line(1));
+        let (h0, mi0) = m.l2_stats();
+        // L1 was filled too, so probe L2 via an L1-missing line.
+        let _ = m.access(1, line(1 + 8), false, LoadId(2)); // different L1 set? ensure miss
+        let (h1, mi1) = m.l2_stats();
+        assert!(h1 + mi1 > h0 + mi0, "L2 must have been probed");
+    }
+}

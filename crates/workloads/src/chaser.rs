@@ -1,0 +1,140 @@
+//! The latency-bound microbenchmark (the paper's `chaser`).
+//!
+//! Performs four independent random pointer chases per CPU: each chase is
+//! a chain of loads whose address depends on the previous load's value, so
+//! a single chain cannot overlap its own misses. Four chains together
+//! sustain up to four concurrent memory requests, making the benchmark
+//! sensitive to both memory latency and (when many threads run) bandwidth
+//! (§IV-A).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use pabst_cpu::{LoadId, Op, Workload};
+
+use crate::region::Region;
+
+/// Four (configurable) interleaved dependent pointer chases over a region.
+///
+/// # Examples
+///
+/// ```
+/// use pabst_workloads::{ChaserGen, Region};
+/// use pabst_cpu::{Op, Workload};
+///
+/// let mut c = ChaserGen::new(Region::new(0, 1 << 16), 4, 1234);
+/// // Every load depends on the previous load of its chain.
+/// let mut saw_dep = false;
+/// for _ in 0..32 {
+///     if let Op::Load { dep, .. } = c.next_op() {
+///         saw_dep |= dep.is_some();
+///     }
+/// }
+/// assert!(saw_dep);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ChaserGen {
+    region: Region,
+    rng: SmallRng,
+    /// Last load id per chain.
+    chains: Vec<Option<LoadId>>,
+    next_chain: usize,
+    load_seq: u64,
+    /// ALU instructions between loads (address computation).
+    compute: u32,
+    emit_load: bool,
+}
+
+impl ChaserGen {
+    /// Creates a chaser with `chains` concurrent pointer chases (the paper
+    /// uses four) over `region`, seeded deterministically.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chains` is zero.
+    pub fn new(region: Region, chains: usize, seed: u64) -> Self {
+        assert!(chains > 0, "need at least one chain");
+        Self {
+            region,
+            rng: SmallRng::seed_from_u64(seed),
+            chains: vec![None; chains],
+            next_chain: 0,
+            load_seq: seed << 40,
+            compute: 2,
+            emit_load: false,
+        }
+    }
+}
+
+impl Workload for ChaserGen {
+    fn next_op(&mut self) -> Op {
+        self.emit_load = !self.emit_load;
+        if !self.emit_load {
+            return Op::Compute(self.compute);
+        }
+        let chain = self.next_chain;
+        self.next_chain = (self.next_chain + 1) % self.chains.len();
+        let line = self.rng.gen_range(0..self.region.lines());
+        let addr = self.region.line_addr(line);
+        self.load_seq += 1;
+        let id = LoadId(self.load_seq);
+        let dep = self.chains[chain];
+        self.chains[chain] = Some(id);
+        Op::Load { addr, id, dep }
+    }
+
+    fn name(&self) -> &str {
+        "chaser"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chains_form_dependence_chains() {
+        let mut c = ChaserGen::new(Region::new(0, 1 << 12), 2, 7);
+        let mut loads = Vec::new();
+        while loads.len() < 6 {
+            if let Op::Load { id, dep, .. } = c.next_op() {
+                loads.push((id, dep));
+            }
+        }
+        // First load of each chain has no dep; later ones chain within
+        // their own chain: load[2k].dep == id of load[2k-2].
+        assert_eq!(loads[0].1, None);
+        assert_eq!(loads[1].1, None);
+        assert_eq!(loads[2].1, Some(loads[0].0));
+        assert_eq!(loads[3].1, Some(loads[1].0));
+        assert_eq!(loads[4].1, Some(loads[2].0));
+    }
+
+    #[test]
+    fn addresses_stay_in_region() {
+        let r = Region::new(1 << 30, 256);
+        let mut c = ChaserGen::new(r, 4, 1);
+        for _ in 0..200 {
+            if let Op::Load { addr, .. } = c.next_op() {
+                assert!(addr.get() >= r.base().get());
+                assert!(addr.get() < r.base().get() + r.bytes());
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let ops = |seed| {
+            let mut c = ChaserGen::new(Region::new(0, 1 << 10), 4, seed);
+            (0..50).map(|_| c.next_op()).collect::<Vec<_>>()
+        };
+        assert_eq!(ops(5), ops(5));
+        assert_ne!(ops(5), ops(6));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one chain")]
+    fn zero_chains_panics() {
+        let _ = ChaserGen::new(Region::new(0, 16), 0, 0);
+    }
+}

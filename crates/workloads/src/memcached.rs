@@ -1,0 +1,205 @@
+//! A memcached server proxy (drives Fig. 9).
+//!
+//! Models the memory behaviour of one memcached server thread processing a
+//! closed-loop stream of GET transactions: each transaction walks a hash
+//! bucket (a short dependent-load chain), reads the value (a few
+//! independent lines), and does protocol/compute work. A [`pabst_cpu::Op::Marker`]
+//! retires at each transaction boundary so the SoC can compute exact
+//! per-transaction service times.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use pabst_cpu::{LoadId, Op, Workload};
+
+use crate::region::Region;
+
+/// Shape of one GET transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TxnShape {
+    /// Dependent loads in the hash-bucket walk.
+    pub chain_len: u32,
+    /// Independent value-read lines.
+    pub value_lines: u32,
+    /// Protocol parse/format compute, instructions per transaction.
+    pub compute: u32,
+}
+
+impl Default for TxnShape {
+    fn default() -> Self {
+        Self { chain_len: 3, value_lines: 2, compute: 150 }
+    }
+}
+
+/// The server-thread generator: an endless closed-loop sequence of GET
+/// transactions over a large item heap.
+///
+/// # Examples
+///
+/// ```
+/// use pabst_workloads::{MemcachedGen, Region};
+/// use pabst_cpu::{Op, Workload};
+///
+/// let mut m = MemcachedGen::new(Region::new(0, 1 << 18), 42);
+/// let mut markers = 0;
+/// for _ in 0..100 {
+///     if matches!(m.next_op(), Op::Marker(_)) { markers += 1; }
+/// }
+/// assert!(markers >= 2, "transactions delimited by markers");
+/// ```
+#[derive(Debug, Clone)]
+pub struct MemcachedGen {
+    region: Region,
+    shape: TxnShape,
+    rng: SmallRng,
+    load_seq: u64,
+    txn: u64,
+    /// Remaining ops of the current transaction, emitted back-to-front.
+    queue: Vec<Op>,
+}
+
+impl MemcachedGen {
+    /// Creates a server over an item heap `region` with the default
+    /// transaction shape.
+    pub fn new(region: Region, seed: u64) -> Self {
+        Self::with_shape(region, TxnShape::default(), seed)
+    }
+
+    /// Creates a server with an explicit transaction shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shape has no memory accesses at all.
+    pub fn with_shape(region: Region, shape: TxnShape, seed: u64) -> Self {
+        assert!(
+            shape.chain_len + shape.value_lines > 0,
+            "a transaction must access memory"
+        );
+        Self {
+            region,
+            shape,
+            rng: SmallRng::seed_from_u64(seed ^ 0x3e3c),
+            load_seq: seed << 40,
+            txn: 0,
+            queue: Vec::new(),
+        }
+    }
+
+    /// Transactions generated so far.
+    pub fn transactions(&self) -> u64 {
+        self.txn
+    }
+
+    fn fill_txn(&mut self) {
+        // Built in reverse (emitted via pop): marker last.
+        self.queue.push(Op::Marker(self.txn));
+        self.queue.push(Op::Compute(self.shape.compute / 2));
+        // Value read: independent lines.
+        for _ in 0..self.shape.value_lines {
+            let line = self.rng.gen_range(0..self.region.lines());
+            self.load_seq += 1;
+            self.queue.push(Op::Load {
+                addr: self.region.line_addr(line),
+                id: LoadId(self.load_seq),
+                dep: None,
+            });
+        }
+        // Hash-bucket walk: dependent chain.
+        let mut prev: Option<LoadId> = None;
+        let mut chain = Vec::new();
+        for _ in 0..self.shape.chain_len {
+            let line = self.rng.gen_range(0..self.region.lines());
+            self.load_seq += 1;
+            let id = LoadId(self.load_seq);
+            chain.push(Op::Load { addr: self.region.line_addr(line), id, dep: prev });
+            prev = Some(id);
+        }
+        // Reverse so the chain head is emitted first.
+        for op in chain.into_iter().rev() {
+            self.queue.push(op);
+        }
+        self.queue.push(Op::Compute(self.shape.compute / 2));
+        self.txn += 1;
+    }
+}
+
+impl Workload for MemcachedGen {
+    fn next_op(&mut self) -> Op {
+        if self.queue.is_empty() {
+            self.fill_txn();
+        }
+        self.queue.pop().expect("transaction just filled")
+    }
+
+    fn name(&self) -> &str {
+        "memcached"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transaction_structure_chain_then_values_then_marker() {
+        let mut m = MemcachedGen::with_shape(
+            Region::new(0, 1 << 12),
+            TxnShape { chain_len: 2, value_lines: 1, compute: 10 },
+            1,
+        );
+        let ops: Vec<Op> = (0..6).map(|_| m.next_op()).collect();
+        assert!(matches!(ops[0], Op::Compute(5)));
+        let (id0, dep0) = match ops[1] {
+            Op::Load { id, dep, .. } => (id, dep),
+            other => panic!("expected chain head, got {other:?}"),
+        };
+        assert_eq!(dep0, None);
+        match ops[2] {
+            Op::Load { dep, .. } => assert_eq!(dep, Some(id0), "chain link"),
+            other => panic!("expected chain link, got {other:?}"),
+        }
+        match ops[3] {
+            Op::Load { dep, .. } => assert_eq!(dep, None, "value read independent"),
+            other => panic!("expected value read, got {other:?}"),
+        }
+        assert!(matches!(ops[4], Op::Compute(5)));
+        assert!(matches!(ops[5], Op::Marker(0)));
+    }
+
+    #[test]
+    fn marker_tags_increment_per_transaction() {
+        let mut m = MemcachedGen::new(Region::new(0, 1 << 12), 9);
+        let mut tags = Vec::new();
+        for _ in 0..200 {
+            if let Op::Marker(t) = m.next_op() {
+                tags.push(t);
+            }
+        }
+        assert!(tags.len() >= 2);
+        for (i, t) in tags.iter().enumerate() {
+            assert_eq!(*t, i as u64);
+        }
+    }
+
+    #[test]
+    fn addresses_in_region() {
+        let r = Region::new(1 << 32, 1 << 10);
+        let mut m = MemcachedGen::new(r, 2);
+        for _ in 0..300 {
+            if let Op::Load { addr, .. } = m.next_op() {
+                assert!(addr.get() >= r.base().get());
+                assert!(addr.get() < r.base().get() + r.bytes());
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must access memory")]
+    fn empty_shape_panics() {
+        let _ = MemcachedGen::with_shape(
+            Region::new(0, 16),
+            TxnShape { chain_len: 0, value_lines: 0, compute: 10 },
+            0,
+        );
+    }
+}

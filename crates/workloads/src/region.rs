@@ -1,0 +1,110 @@
+//! Address regions assigned to workload instances.
+//!
+//! Every workload instance operates within a private [`Region`] of the
+//! physical address space, assigned by the SoC builder. Disjoint regions
+//! are how the experiments isolate classes in the (way-partitioned) caches
+//! while still contending for memory bandwidth.
+
+use pabst_cache::Addr;
+use pabst_simkit::LINE_BYTES;
+
+/// A contiguous, line-aligned slice of the physical address space.
+///
+/// # Examples
+///
+/// ```
+/// use pabst_workloads::Region;
+///
+/// let r = Region::new(1 << 30, 4096);
+/// assert_eq!(r.lines(), 4096);
+/// assert_eq!(r.line_addr(0).get() % 64, 0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Region {
+    base: u64,
+    lines: u64,
+}
+
+impl Region {
+    /// Creates a region of `lines` cache lines starting at byte `base`
+    /// (aligned down to a line boundary).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lines` is zero.
+    pub fn new(base: u64, lines: u64) -> Self {
+        assert!(lines > 0, "region must contain at least one line");
+        Self { base: base & !(LINE_BYTES - 1), lines }
+    }
+
+    /// Creates a region sized in bytes (rounded up to whole lines).
+    pub fn with_bytes(base: u64, bytes: u64) -> Self {
+        Self::new(base, bytes.div_ceil(LINE_BYTES))
+    }
+
+    /// Number of lines in the region.
+    pub fn lines(&self) -> u64 {
+        self.lines
+    }
+
+    /// Size in bytes.
+    pub fn bytes(&self) -> u64 {
+        self.lines * LINE_BYTES
+    }
+
+    /// The byte address of line `i % lines` (wraps).
+    pub fn line_addr(&self, i: u64) -> Addr {
+        Addr::new(self.base + (i % self.lines) * LINE_BYTES)
+    }
+
+    /// The first byte address.
+    pub fn base(&self) -> Addr {
+        Addr::new(self.base)
+    }
+
+    /// Splits off the first `lines` lines as a sub-region (for phased
+    /// workloads that shrink their working set).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lines` exceeds the region size or is zero.
+    pub fn prefix(&self, lines: u64) -> Region {
+        assert!(lines > 0 && lines <= self.lines, "prefix out of range");
+        Region { base: self.base, lines }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alignment_and_wrap() {
+        let r = Region::new(100, 4); // base aligns down to 64
+        assert_eq!(r.base().get(), 64);
+        assert_eq!(r.line_addr(0).get(), 64);
+        assert_eq!(r.line_addr(4).get(), 64, "wraps at region size");
+        assert_eq!(r.line_addr(5).get(), 128);
+    }
+
+    #[test]
+    fn bytes_round_up() {
+        let r = Region::with_bytes(0, 100);
+        assert_eq!(r.lines(), 2);
+        assert_eq!(r.bytes(), 128);
+    }
+
+    #[test]
+    fn prefix_shrinks() {
+        let r = Region::new(0, 100);
+        let p = r.prefix(10);
+        assert_eq!(p.lines(), 10);
+        assert_eq!(p.base(), r.base());
+    }
+
+    #[test]
+    #[should_panic(expected = "prefix out of range")]
+    fn prefix_too_large_panics() {
+        let _ = Region::new(0, 4).prefix(5);
+    }
+}

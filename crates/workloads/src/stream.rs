@@ -1,0 +1,360 @@
+//! Streaming microbenchmarks (the paper's `stream`).
+//!
+//! A hand-optimized loop that walks an array at a 128-byte stride with
+//! fully independent loads (or stores), so performance is limited only by
+//! available bandwidth (§IV-A).
+
+use pabst_cpu::{LoadId, Op, Workload};
+
+use crate::region::Region;
+
+/// The bandwidth-bound streamer: independent accesses every other cache
+/// line (128-byte stride), wrapping over its region forever.
+///
+/// # Examples
+///
+/// ```
+/// use pabst_workloads::{Region, StreamGen};
+/// use pabst_cpu::{Op, Workload};
+///
+/// let mut s = StreamGen::reads(Region::new(0, 1024), 0);
+/// // Ops alternate a small compute gap and an independent load.
+/// let kinds: Vec<bool> = (0..4).map(|_| matches!(s.next_op(), Op::Load { .. })).collect();
+/// assert_eq!(kinds.iter().filter(|&&k| k).count(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct StreamGen {
+    region: Region,
+    /// Lines skipped per access (2 = the paper's 128-byte stride).
+    stride_lines: u64,
+    write: bool,
+    /// ALU instructions between accesses (loop overhead).
+    compute: u32,
+    next: u64,
+    load_seq: u64,
+    emit_access: bool,
+    name: String,
+}
+
+impl StreamGen {
+    /// A read streamer over `region`; `id_salt` disambiguates load ids
+    /// across cores sharing one address space.
+    pub fn reads(region: Region, id_salt: u64) -> Self {
+        Self::new(region, false, id_salt)
+    }
+
+    /// A write streamer over `region`.
+    pub fn writes(region: Region, id_salt: u64) -> Self {
+        Self::new(region, true, id_salt)
+    }
+
+    fn new(region: Region, write: bool, id_salt: u64) -> Self {
+        Self {
+            region,
+            stride_lines: 2,
+            write,
+            compute: 2,
+            next: 0,
+            load_seq: id_salt << 40,
+            emit_access: false,
+            name: if write { "write-stream".into() } else { "read-stream".into() },
+        }
+    }
+
+    /// Overrides the compute gap between accesses.
+    pub fn with_compute(mut self, insts: u32) -> Self {
+        self.compute = insts;
+        self
+    }
+}
+
+impl Workload for StreamGen {
+    fn next_op(&mut self) -> Op {
+        self.emit_access = !self.emit_access;
+        if !self.emit_access {
+            return Op::Compute(self.compute);
+        }
+        let addr = self.region.line_addr(self.next * self.stride_lines);
+        self.next += 1;
+        if self.write {
+            Op::Store { addr }
+        } else {
+            self.load_seq += 1;
+            Op::Load { addr, id: LoadId(self.load_seq), dep: None }
+        }
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// Phase of the periodic streamer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    /// Streaming the full (memory-resident) region.
+    Memory,
+    /// Streaming a small cache-resident prefix: no DRAM traffic once warm.
+    CacheResident,
+}
+
+/// A streamer that alternates between a memory-resident phase and a
+/// cache-resident phase — the Fig. 6 workload that exercises work
+/// conservation.
+///
+/// Phase lengths are separate access counts because the two phases run at
+/// wildly different rates: cache-resident accesses complete orders of
+/// magnitude faster than paced DRAM accesses.
+#[derive(Debug, Clone)]
+pub struct PeriodicStreamGen {
+    inner: StreamGen,
+    full: Region,
+    resident: Region,
+    phase: Phase,
+    mem_accesses: u64,
+    resident_accesses: u64,
+    accesses_in_phase: u64,
+}
+
+impl PeriodicStreamGen {
+    /// Creates the periodic streamer: streams `region` for `mem_accesses`
+    /// accesses, then `region.prefix(resident_lines)` for
+    /// `resident_accesses` accesses, forever.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either phase length is zero or `resident_lines` doesn't
+    /// fit the region.
+    pub fn new(
+        region: Region,
+        resident_lines: u64,
+        mem_accesses: u64,
+        resident_accesses: u64,
+        id_salt: u64,
+    ) -> Self {
+        assert!(mem_accesses > 0 && resident_accesses > 0, "phases must contain accesses");
+        let resident = region.prefix(resident_lines);
+        Self {
+            inner: StreamGen::reads(region, id_salt),
+            full: region,
+            resident,
+            phase: Phase::Memory,
+            mem_accesses,
+            resident_accesses,
+            accesses_in_phase: 0,
+        }
+    }
+
+    /// The phase the generator is currently in (true = memory-resident).
+    pub fn in_memory_phase(&self) -> bool {
+        self.phase == Phase::Memory
+    }
+}
+
+impl Workload for PeriodicStreamGen {
+    fn next_op(&mut self) -> Op {
+        let op = self.inner.next_op();
+        if matches!(op, Op::Load { .. } | Op::Store { .. }) {
+            self.accesses_in_phase += 1;
+            let limit = match self.phase {
+                Phase::Memory => self.mem_accesses,
+                Phase::CacheResident => self.resident_accesses,
+            };
+            if self.accesses_in_phase >= limit {
+                self.accesses_in_phase = 0;
+                self.phase = match self.phase {
+                    Phase::Memory => Phase::CacheResident,
+                    Phase::CacheResident => Phase::Memory,
+                };
+                self.inner.region = match self.phase {
+                    Phase::Memory => self.full,
+                    Phase::CacheResident => self.resident,
+                };
+                self.inner.next = 0;
+            }
+        }
+        op
+    }
+
+    fn name(&self) -> &str {
+        "periodic-stream"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pabst_cache::Addr;
+
+    fn collect_addrs(w: &mut dyn Workload, n: usize) -> Vec<Addr> {
+        let mut out = Vec::new();
+        while out.len() < n {
+            match w.next_op() {
+                Op::Load { addr, .. } | Op::Store { addr } => out.push(addr),
+                _ => {}
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn stride_is_128_bytes() {
+        let mut s = StreamGen::reads(Region::new(0, 1 << 20), 0);
+        let a = collect_addrs(&mut s, 3);
+        assert_eq!(a[1].get() - a[0].get(), 128);
+        assert_eq!(a[2].get() - a[1].get(), 128);
+    }
+
+    #[test]
+    fn loads_are_independent_and_unique() {
+        let mut s = StreamGen::reads(Region::new(0, 64), 0);
+        for _ in 0..100 {
+            if let Op::Load { dep, .. } = s.next_op() {
+                assert!(dep.is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn write_variant_emits_stores() {
+        let mut s = StreamGen::writes(Region::new(0, 64), 0);
+        let mut stores = 0;
+        for _ in 0..100 {
+            if matches!(s.next_op(), Op::Store { .. }) {
+                stores += 1;
+            }
+        }
+        assert!(stores >= 40);
+    }
+
+    #[test]
+    fn wraps_within_region() {
+        let r = Region::new(1 << 20, 8);
+        let mut s = StreamGen::reads(r, 0);
+        for a in collect_addrs(&mut s, 50) {
+            assert!(a.get() >= r.base().get());
+            assert!(a.get() < r.base().get() + r.bytes());
+        }
+    }
+
+    #[test]
+    fn load_ids_unique_across_salts() {
+        let mut a = StreamGen::reads(Region::new(0, 64), 1);
+        let mut b = StreamGen::reads(Region::new(0, 64), 2);
+        let id_of = |w: &mut StreamGen| loop {
+            if let Op::Load { id, .. } = w.next_op() {
+                return id;
+            }
+        };
+        assert_ne!(id_of(&mut a), id_of(&mut b));
+    }
+
+    #[test]
+    fn periodic_switches_phases() {
+        let r = Region::new(0, 1 << 16);
+        let mut p = PeriodicStreamGen::new(r, 64, 10, 10, 0);
+        assert!(p.in_memory_phase());
+        let _ = collect_addrs(&mut p, 10);
+        assert!(!p.in_memory_phase(), "after 10 accesses, cache-resident");
+        // Cache-resident phase touches only the 64-line prefix.
+        for a in collect_addrs(&mut p, 9) {
+            assert!(a.get() < 64 * 64);
+        }
+        let _ = collect_addrs(&mut p, 1);
+        assert!(p.in_memory_phase(), "back to memory phase");
+    }
+
+    #[test]
+    fn asymmetric_phase_lengths() {
+        let r = Region::new(0, 1 << 16);
+        let mut p = PeriodicStreamGen::new(r, 64, 3, 7, 0);
+        let _ = collect_addrs(&mut p, 3);
+        assert!(!p.in_memory_phase());
+        let _ = collect_addrs(&mut p, 6);
+        assert!(!p.in_memory_phase(), "resident phase lasts 7 accesses");
+        let _ = collect_addrs(&mut p, 1);
+        assert!(p.in_memory_phase());
+    }
+
+    #[test]
+    #[should_panic(expected = "phases must contain accesses")]
+    fn zero_phase_panics() {
+        let _ = PeriodicStreamGen::new(Region::new(0, 128), 8, 0, 5, 0);
+    }
+}
+
+/// A streamer whose every access targets a single memory controller
+/// (skewed traffic): used to evaluate the per-MC governor variant of
+/// §III-C1, where a global wired-OR saturation signal over-throttles the
+/// channels the skewed class is *not* using.
+#[derive(Debug, Clone)]
+pub struct SkewedStreamGen {
+    region: Region,
+    target_mc: usize,
+    n_mcs: usize,
+    cursor: u64,
+    load_seq: u64,
+    emit_access: bool,
+}
+
+impl SkewedStreamGen {
+    /// Creates a read streamer over `region` that touches only lines homed
+    /// on `target_mc` of `n_mcs` controllers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target_mc >= n_mcs` or the region is too small to
+    /// contain any line mapping to the target controller.
+    pub fn new(region: Region, target_mc: usize, n_mcs: usize, id_salt: u64) -> Self {
+        assert!(target_mc < n_mcs, "target controller out of range");
+        let probe = (0..region.lines().min(4 * n_mcs as u64))
+            .any(|i| region.line_addr(i).line().interleave(n_mcs) == target_mc);
+        assert!(probe, "region contains no line homed on the target controller");
+        Self { region, target_mc, n_mcs, cursor: 0, load_seq: id_salt << 40, emit_access: false }
+    }
+}
+
+impl Workload for SkewedStreamGen {
+    fn next_op(&mut self) -> Op {
+        self.emit_access = !self.emit_access;
+        if !self.emit_access {
+            return Op::Compute(2);
+        }
+        // Advance to the next line homed on the target controller.
+        loop {
+            let addr = self.region.line_addr(self.cursor);
+            self.cursor += 1;
+            if addr.line().interleave(self.n_mcs) == self.target_mc {
+                self.load_seq += 1;
+                return Op::Load { addr, id: LoadId(self.load_seq), dep: None };
+            }
+        }
+    }
+
+    fn name(&self) -> &str {
+        "skewed-stream"
+    }
+}
+
+#[cfg(test)]
+mod skew_tests {
+    use super::*;
+
+    #[test]
+    fn all_accesses_home_on_target_mc() {
+        let mut g = SkewedStreamGen::new(Region::new(0, 1 << 14), 2, 4, 0);
+        let mut seen = 0;
+        while seen < 200 {
+            if let Op::Load { addr, .. } = g.next_op() {
+                assert_eq!(addr.line().interleave(4), 2);
+                seen += 1;
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_target_panics() {
+        let _ = SkewedStreamGen::new(Region::new(0, 64), 4, 4, 0);
+    }
+}

@@ -1,0 +1,28 @@
+//! Shared helpers for the runnable PABST examples.
+//!
+//! The examples exercise the public API end to end:
+//!
+//! * `quickstart` — build a two-class system, split bandwidth 3:1.
+//! * `colocate_memcached` — protect a latency-critical server from a
+//!   bandwidth aggressor (the paper's Fig. 9 use case).
+//! * `iaas_fairshare` — four equal-share tenants with work conservation
+//!   (the Fig. 11 use case).
+//! * `governor_trace` — watch the governor's M/δM/SAT dynamics converge.
+
+use pabst_cpu::Workload;
+use pabst_workloads::{Region, StreamGen};
+
+/// A disjoint address region for (class, core).
+pub fn region_for(class: usize, core: usize, lines: u64) -> Region {
+    Region::new(((class as u64) << 40) + ((core as u64) << 32), lines)
+}
+
+/// `n` read streamers for a class.
+pub fn read_streamers(class: usize, n: usize) -> Vec<Box<dyn Workload>> {
+    (0..n)
+        .map(|i| {
+            Box::new(StreamGen::reads(region_for(class, i, 1 << 20), (class * 64 + i) as u64))
+                as Box<dyn Workload>
+        })
+        .collect()
+}
