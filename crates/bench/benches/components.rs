@@ -1,9 +1,10 @@
-//! Criterion micro-benchmarks of the PABST components and substrates:
+//! Micro-benchmarks of the PABST components and substrates:
 //! per-operation costs of the pacer, arbiter, governor, caches, MSHRs,
 //! memory controller, and the full-system cycle step.
+//!
+//! Uses the in-repo `pabst_bench::timing` harness (harness = false).
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
-
+use pabst_bench::timing::{bench, bench_batched};
 use pabst_cache::{CacheConfig, LineAddr, MshrTable, SetAssocCache};
 use pabst_core::arbiter::VirtualClocks;
 use pabst_core::governor::{MonitorConfig, SystemMonitor};
@@ -13,110 +14,84 @@ use pabst_dram::{ArbiterMode, DramConfig, MemController, MemReq};
 use pabst_soc::config::{RegulationMode, SystemConfig};
 use pabst_soc::system::SystemBuilder;
 
-fn bench_pacer(c: &mut Criterion) {
-    let mut g = c.benchmark_group("pacer");
-    g.throughput(Throughput::Elements(1));
-    g.bench_function("try_issue", |b| {
-        let mut p = Pacer::new(10);
-        let mut now = 0u64;
-        b.iter(|| {
-            now += 1;
-            std::hint::black_box(p.try_issue(now));
-        });
+fn bench_pacer() {
+    let mut p = Pacer::new(10);
+    let mut now = 0u64;
+    bench("pacer/try_issue", 1_000_000, || {
+        now += 1;
+        std::hint::black_box(p.try_issue(now));
     });
-    g.finish();
 }
 
-fn bench_arbiter(c: &mut Criterion) {
+fn bench_arbiter() {
     let shares = ShareTable::from_weights(&[3, 1]).unwrap();
-    let mut g = c.benchmark_group("arbiter");
-    g.throughput(Throughput::Elements(1));
-    g.bench_function("stamp_and_pick", |b| {
-        let mut vc = VirtualClocks::new(&shares, 128);
-        let mut i = 0u8;
-        b.iter(|| {
-            i = (i + 1) % 2;
-            let id = QosId::new(i);
-            let d = vc.stamp(id);
-            vc.on_picked(id, d);
-        });
+    let mut vc = VirtualClocks::new(&shares, 128);
+    let mut i = 0u8;
+    bench("arbiter/stamp_and_pick", 1_000_000, || {
+        i = (i + 1) % 2;
+        let id = QosId::new(i);
+        let d = vc.stamp(id);
+        vc.on_picked(id, d);
     });
-    g.finish();
 }
 
-fn bench_governor(c: &mut Criterion) {
-    let mut g = c.benchmark_group("governor");
-    g.throughput(Throughput::Elements(1));
-    g.bench_function("on_epoch", |b| {
-        let mut mon = SystemMonitor::new(MonitorConfig::default());
-        let mut i = 0u32;
-        b.iter(|| {
-            i = i.wrapping_add(1);
-            std::hint::black_box(mon.on_epoch(i % 3 == 0));
-        });
+fn bench_governor() {
+    let mut mon = SystemMonitor::new(MonitorConfig::default());
+    let mut i = 0u32;
+    bench("governor/on_epoch", 1_000_000, || {
+        i = i.wrapping_add(1);
+        std::hint::black_box(mon.on_epoch(i.is_multiple_of(3)));
     });
-    g.finish();
 }
 
-fn bench_cache(c: &mut Criterion) {
-    let mut g = c.benchmark_group("cache");
-    g.throughput(Throughput::Elements(1));
-    g.bench_function("l2_probe_fill", |b| {
-        let mut cache = SetAssocCache::new(CacheConfig::with_capacity(256 * 1024, 8));
-        let q = QosId::new(0);
-        let mut line = 0u64;
-        b.iter(|| {
-            line = line.wrapping_add(97);
-            let l = LineAddr::new(line & 0xffff);
-            if !cache.probe(l) {
-                std::hint::black_box(cache.fill(l, q, false));
-            }
-        });
+fn bench_cache() {
+    let mut cache = SetAssocCache::new(CacheConfig::with_capacity(256 * 1024, 8));
+    let q = QosId::new(0);
+    let mut line = 0u64;
+    bench("cache/l2_probe_fill", 1_000_000, || {
+        line = line.wrapping_add(97);
+        let l = LineAddr::new(line & 0xffff);
+        if !cache.probe(l) {
+            std::hint::black_box(cache.fill(l, q, false));
+        }
     });
-    g.bench_function("mshr_alloc_complete", |b| {
-        let mut m: MshrTable<u64> = MshrTable::new(16);
-        let mut line = 0u64;
-        b.iter(|| {
-            line = line.wrapping_add(1);
-            let l = LineAddr::new(line % 8);
-            m.alloc(l, line);
-            std::hint::black_box(m.complete(l));
-        });
+
+    let mut m: MshrTable<u64> = MshrTable::new(16);
+    let mut mline = 0u64;
+    bench("cache/mshr_alloc_complete", 1_000_000, || {
+        mline = mline.wrapping_add(1);
+        let l = LineAddr::new(mline % 8);
+        m.alloc(l, mline);
+        std::hint::black_box(m.complete(l));
     });
-    g.finish();
 }
 
-fn bench_dram(c: &mut Criterion) {
+fn bench_dram() {
     let shares = ShareTable::from_weights(&[1]).unwrap();
-    let mut g = c.benchmark_group("dram");
-    g.throughput(Throughput::Elements(1));
-    g.bench_function("mc_step_saturated", |b| {
-        let mut mc = MemController::new(DramConfig::default(), ArbiterMode::Edf, &shares, 128);
-        let mut now = 0u64;
-        let mut line = 0u64;
-        b.iter(|| {
-            while mc.can_accept() {
-                if mc
-                    .push(MemReq {
-                        line: LineAddr::new(line),
-                        class: QosId::new(0),
-                        is_write: false,
-                        token: 0,
-                    })
-                    .is_err()
-                {
-                    break;
-                }
-                line += 1;
+    let mut mc = MemController::new(DramConfig::default(), ArbiterMode::Edf, &shares, 128);
+    let mut now = 0u64;
+    let mut line = 0u64;
+    bench("dram/mc_step_saturated", 100_000, || {
+        while mc.can_accept() {
+            if mc
+                .push(MemReq {
+                    line: LineAddr::new(line),
+                    class: QosId::new(0),
+                    is_write: false,
+                    token: 0,
+                })
+                .is_err()
+            {
+                break;
             }
-            now += 1;
-            std::hint::black_box(mc.step(now).len());
-        });
+            line += 1;
+        }
+        now += 1;
+        std::hint::black_box(mc.step(now).len());
     });
-    g.finish();
 }
 
-fn bench_system(c: &mut Criterion) {
+fn bench_system() {
     use pabst_cpu::{Op, Workload};
     struct Mini {
         n: u64,
@@ -124,7 +99,7 @@ fn bench_system(c: &mut Criterion) {
     impl Workload for Mini {
         fn next_op(&mut self) -> Op {
             self.n += 1;
-            if self.n % 2 == 0 {
+            if self.n.is_multiple_of(2) {
                 Op::Compute(2)
             } else {
                 Op::Load {
@@ -139,38 +114,27 @@ fn bench_system(c: &mut Criterion) {
         }
     }
 
-    let mut g = c.benchmark_group("system");
-    g.throughput(Throughput::Elements(2_000));
-    g.sample_size(10);
-    g.bench_function("one_epoch_small_system", |b| {
-        b.iter_batched(
-            || {
-                SystemBuilder::new(SystemConfig::small_test(), RegulationMode::Pabst)
-                    .class(3, vec![Box::new(Mini { n: 0 }), Box::new(Mini { n: 1 << 32 })])
-                    .class(
-                        1,
-                        vec![Box::new(Mini { n: 2 << 32 }), Box::new(Mini { n: 3 << 32 })],
-                    )
-                    .build()
-                    .unwrap()
-            },
-            |mut sys| {
-                sys.run_epochs(1);
-                std::hint::black_box(sys.now());
-            },
-            BatchSize::LargeInput,
-        );
-    });
-    g.finish();
+    bench_batched(
+        "system/one_epoch_small_system",
+        || {
+            SystemBuilder::new(SystemConfig::small_test(), RegulationMode::Pabst)
+                .class(3, vec![Box::new(Mini { n: 0 }), Box::new(Mini { n: 1 << 32 })])
+                .class(1, vec![Box::new(Mini { n: 2 << 32 }), Box::new(Mini { n: 3 << 32 })])
+                .build()
+                .unwrap()
+        },
+        |mut sys| {
+            sys.run_epochs(1);
+            std::hint::black_box(sys.now());
+        },
+    );
 }
 
-criterion_group!(
-    benches,
-    bench_pacer,
-    bench_arbiter,
-    bench_governor,
-    bench_cache,
-    bench_dram,
-    bench_system
-);
-criterion_main!(benches);
+fn main() {
+    bench_pacer();
+    bench_arbiter();
+    bench_governor();
+    bench_cache();
+    bench_dram();
+    bench_system();
+}

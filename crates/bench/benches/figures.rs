@@ -1,31 +1,24 @@
-//! Criterion wrappers around scaled-down versions of the paper's figure
+//! Timing wrappers around scaled-down versions of the paper's figure
 //! experiments, so regressions in end-to-end simulation cost are caught.
 //!
 //! These measure *simulator throughput*, not the figures themselves — run
 //! the `fig*` binaries for the actual reproduction numbers.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-
 use pabst_bench::scenarios::{fig1_cell, fig5_series, fig8_run, fig9_run, Fig1Mix};
+use pabst_bench::timing::bench;
 use pabst_soc::config::RegulationMode;
 
-fn bench_fig1(c: &mut Criterion) {
-    let mut g = c.benchmark_group("figures");
-    g.sample_size(10);
-    g.bench_function("fig1_stream_stream_pabst_4epochs", |b| {
-        b.iter(|| std::hint::black_box(fig1_cell(Fig1Mix::StreamStream, RegulationMode::Pabst, 4)));
+fn main() {
+    bench("figures/fig1_stream_stream_pabst_4epochs", 1, || {
+        std::hint::black_box(fig1_cell(Fig1Mix::StreamStream, RegulationMode::Pabst, 4));
     });
-    g.bench_function("fig5_series_4epochs", |b| {
-        b.iter(|| std::hint::black_box(fig5_series(4)));
+    bench("figures/fig5_series_4epochs", 1, || {
+        std::hint::black_box(fig5_series(4));
     });
-    g.bench_function("fig8_run_4epochs", |b| {
-        b.iter(|| std::hint::black_box(fig8_run(4)));
+    bench("figures/fig8_run_4epochs", 1, || {
+        std::hint::black_box(fig8_run(4));
     });
-    g.bench_function("fig9_memcached_quick", |b| {
-        b.iter(|| std::hint::black_box(fig9_run(RegulationMode::Pabst, true, 4)));
+    bench("figures/fig9_memcached_quick", 1, || {
+        std::hint::black_box(fig9_run(RegulationMode::Pabst, true, 4));
     });
-    g.finish();
 }
-
-criterion_group!(figures, bench_fig1);
-criterion_main!(figures);

@@ -54,7 +54,9 @@ fn main() {
 
     println!("\nAblation 5 — per-MC governors under skewed traffic (SIII-C1)\n");
     let mut t = Table::new(vec!["regulation granularity", "total GB/s"]);
-    for (name, per_mc) in [("global wired-OR SAT (paper default)", false), ("per-MC SAT + governor", true)] {
+    for (name, per_mc) in
+        [("global wired-OR SAT (paper default)", false), ("per-MC SAT + governor", true)]
+    {
         let bpc = skewed_traffic_utilization(per_mc, epochs);
         t.row(vec![name.into(), format!("{:.1}", pabst_simkit::bytes_per_cycle_to_gbps(bpc))]);
     }

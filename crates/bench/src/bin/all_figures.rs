@@ -12,8 +12,7 @@ fn main() {
     // fig10 prints both the Fig. 10 and Fig. 12 tables (same runs, two
     // metrics), so fig12 is not re-run here.
     let bins = [
-        "table03", "fig01", "fig05", "fig06", "fig07", "fig08", "fig09", "fig10", "fig11",
-        "ablate",
+        "table03", "fig01", "fig05", "fig06", "fig07", "fig08", "fig09", "fig10", "fig11", "ablate",
     ];
     let exe = std::env::current_exe().expect("current exe");
     let dir = exe.parent().expect("bin dir").to_path_buf();

@@ -12,17 +12,10 @@ use pabst_soc::config::RegulationMode;
 
 fn main() {
     let epochs = if pabst_bench::quick_flag() { 10 } else { 40 };
-    let mut t = Table::new(vec![
-        "mix",
-        "regulator",
-        "class0 GB/s",
-        "class1 GB/s",
-        "alloc error %",
-    ]);
-    for (mix, mix_name) in [
-        (Fig1Mix::StreamStream, "stream+stream"),
-        (Fig1Mix::ChaserStream, "chaser+stream"),
-    ] {
+    let mut t = Table::new(vec!["mix", "regulator", "class0 GB/s", "class1 GB/s", "alloc error %"]);
+    for (mix, mix_name) in
+        [(Fig1Mix::StreamStream, "stream+stream"), (Fig1Mix::ChaserStream, "chaser+stream")]
+    {
         for mode in [RegulationMode::SourceOnly, RegulationMode::TargetOnly] {
             let r = fig1_cell(mix, mode, epochs);
             t.row(vec![

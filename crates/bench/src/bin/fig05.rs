@@ -29,7 +29,6 @@ fn main() {
     print!("{}", t.render());
     let from = epochs / 2;
     let mean0: f64 =
-        s.points[from..].iter().map(|p| p[0] / (p[0] + p[1])).sum::<f64>()
-            / (epochs - from) as f64;
+        s.points[from..].iter().map(|p| p[0] / (p[0] + p[1])).sum::<f64>() / (epochs - from) as f64;
     println!("\nsteady-state class0 share: {mean0:.3} (target 0.700)");
 }

@@ -8,8 +8,7 @@ use pabst_bench::table::Table;
 fn main() {
     let epochs = if pabst_bench::quick_flag() { 40 } else { 170 };
     let s = fig6_series(epochs);
-    let mut t =
-        Table::new(vec!["epoch", "periodic GB/s", "constant GB/s", "constant share"]);
+    let mut t = Table::new(vec!["epoch", "periodic GB/s", "constant GB/s", "constant share"]);
     for (e, p) in s.points.iter().enumerate() {
         let total: f64 = p.iter().sum();
         t.row(vec![
@@ -25,10 +24,7 @@ fn main() {
     let series1: Vec<f64> = s.points.iter().map(|p| p[1]).collect();
     println!(
         "{}\n",
-        pabst_bench::spark::spark_rows(
-            &["periodic (70%)", "constant (30%)"],
-            &[series0, series1]
-        )
+        pabst_bench::spark::spark_rows(&["periodic (70%)", "constant (30%)"], &[series0, series1])
     );
     print!("{}", t.render());
 

@@ -9,13 +9,10 @@ fn main() {
     let epochs = if pabst_bench::quick_flag() { 20 } else { 60 };
     let r = fig8_run(epochs);
     let mut t = Table::new(vec!["class", "allocation", "observed share"]);
-    for (i, (name, alloc)) in [
-        ("L3-resident stream", "25%"),
-        ("DDR stream (high)", "50%"),
-        ("DDR stream (low)", "25%"),
-    ]
-    .iter()
-    .enumerate()
+    for (i, (name, alloc)) in
+        [("L3-resident stream", "25%"), ("DDR stream (high)", "50%"), ("DDR stream (low)", "25%")]
+            .iter()
+            .enumerate()
     {
         t.row(vec![name.to_string(), alloc.to_string(), format!("{:.1}%", r.shares[i] * 100.0)]);
     }

@@ -10,8 +10,7 @@ use pabst_soc::config::RegulationMode;
 
 fn main() {
     let epochs = if pabst_bench::quick_flag() { 20 } else { 40 };
-    let mut t =
-        Table::new(vec!["configuration", "txns", "mean (cyc)", "p50", "p95", "p99"]);
+    let mut t = Table::new(vec!["configuration", "txns", "mean (cyc)", "p50", "p95", "p99"]);
     for (label, mode, aggr) in [
         ("isolated", RegulationMode::None, false),
         ("contended, no QoS", RegulationMode::None, true),

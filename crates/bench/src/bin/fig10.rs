@@ -20,13 +20,7 @@ fn main() {
         RegulationMode::TargetOnly,
         RegulationMode::Pabst,
     ];
-    let mut slow = Table::new(vec![
-        "workload",
-        "no-QoS",
-        "source-only",
-        "target-only",
-        "pabst",
-    ]);
+    let mut slow = Table::new(vec!["workload", "no-QoS", "source-only", "target-only", "pabst"]);
     let mut eff = Table::new(vec![
         "workload",
         "no-QoS",

@@ -12,7 +12,11 @@
 //!
 //! or a single figure, e.g. `cargo run -p pabst-bench --bin fig10 --release`.
 //! Every binary accepts `--quick` for a shortened run (fewer epochs, looser
-//! numbers) used by CI and the Criterion wrappers.
+//! numbers) used by CI and the micro-benchmark wrappers.
+//!
+//! Micro-benchmarks (`cargo bench -p pabst-bench`) use the in-repo
+//! [`timing`] harness — the workspace builds without network access, so
+//! no external benchmarking framework is pulled in.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -20,6 +24,7 @@
 pub mod scenarios;
 pub mod spark;
 pub mod table;
+pub mod timing;
 
 /// Parses the common `--quick` flag from `std::env::args`.
 pub fn quick_flag() -> bool {

@@ -153,13 +153,8 @@ pub struct SeriesResult {
 
 /// Runs Fig. 5: two 16-core read-stream classes at 7:3.
 pub fn fig5_series(epochs: usize) -> SeriesResult {
-    let mut sys = two_class(
-        RegulationMode::Pabst,
-        7,
-        3,
-        read_streamers(0, 16),
-        read_streamers(1, 16),
-    );
+    let mut sys =
+        two_class(RegulationMode::Pabst, 7, 3, read_streamers(0, 16), read_streamers(1, 16));
     sys.run_epochs(epochs);
     collect_series(&sys)
 }
@@ -213,9 +208,7 @@ pub struct Fig8Result {
 /// DDR streamers; the resident class's excess must split 2:1.
 pub fn fig8_run(epochs: usize) -> Fig8Result {
     let resident: Vec<Box<dyn Workload>> = (0..8)
-        .map(|i| {
-            Box::new(StreamGen::reads(region_for(0, i, 4096), i as u64)) as Box<dyn Workload>
-        })
+        .map(|i| Box::new(StreamGen::reads(region_for(0, i, 4096), i as u64)) as Box<dyn Workload>)
         .collect();
     let hi: Vec<Box<dyn Workload>> = (0..12)
         .map(|i| {
@@ -271,9 +264,8 @@ pub struct ServiceResult {
 pub fn fig9_run(mode: RegulationMode, aggressor: bool, epochs: usize) -> ServiceResult {
     let server: Vec<Box<dyn Workload>> =
         vec![Box::new(MemcachedGen::new(region_for(0, 0, 1 << 18), 7))];
-    let mut b = SystemBuilder::new(SystemConfig::scaled_8core(), mode)
-        .class(20, server)
-        .l3_ways(0, 8);
+    let mut b =
+        SystemBuilder::new(SystemConfig::scaled_8core(), mode).class(20, server).l3_ways(0, 8);
     if aggressor {
         let streamers: Vec<Box<dyn Workload>> = (0..7)
             .map(|i| {

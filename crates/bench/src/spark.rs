@@ -30,11 +30,7 @@ pub fn sparkline(values: &[f64], max: f64) -> String {
 /// scaled to the common maximum.
 pub fn spark_rows(labels: &[&str], series: &[Vec<f64>]) -> String {
     assert_eq!(labels.len(), series.len(), "one label per series");
-    let max = series
-        .iter()
-        .flat_map(|s| s.iter().copied())
-        .fold(f64::MIN, f64::max)
-        .max(1e-12);
+    let max = series.iter().flat_map(|s| s.iter().copied()).fold(f64::MIN, f64::max).max(1e-12);
     let width = labels.iter().map(|l| l.len()).max().unwrap_or(0);
     labels
         .iter()

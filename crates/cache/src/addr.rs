@@ -129,10 +129,7 @@ mod tests {
             counts[LineAddr::new(i).interleave(n)] += 1;
         }
         for &c in &counts {
-            assert!(
-                (c as f64 - 10_000.0).abs() < 600.0,
-                "uneven interleave: {counts:?}"
-            );
+            assert!((c as f64 - 10_000.0).abs() < 600.0, "uneven interleave: {counts:?}");
         }
     }
 

@@ -7,7 +7,7 @@
 //! system backs up — the queuing-outside-the-target effect central to the
 //! paper's Fig. 1(b).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::addr::LineAddr;
 
@@ -40,7 +40,10 @@ pub enum MshrOutcome {
 /// ```
 #[derive(Debug, Clone)]
 pub struct MshrTable<W> {
-    entries: HashMap<LineAddr, Vec<W>>,
+    /// Keyed by line address in a BTreeMap so any future iteration over
+    /// in-flight entries is address-ordered, never hasher-ordered — a
+    /// simlint L1 requirement for simulation determinism.
+    entries: BTreeMap<LineAddr, Vec<W>>,
     capacity: usize,
     peak: usize,
 }
@@ -53,7 +56,7 @@ impl<W> MshrTable<W> {
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "MSHR capacity must be non-zero");
-        Self { entries: HashMap::with_capacity(capacity), capacity, peak: 0 }
+        Self { entries: BTreeMap::new(), capacity, peak: 0 }
     }
 
     /// Attempts to register a miss on `line` for `waiter`.

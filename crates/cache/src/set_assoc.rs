@@ -254,9 +254,7 @@ impl SetAssocCache {
         let victim = &mut set[slot];
         let evicted = if victim.valid {
             Some(Evicted {
-                line: LineAddr::new(
-                    (victim.tag << self.cfg.sets.trailing_zeros()) | si as u64,
-                ),
+                line: LineAddr::new((victim.tag << self.cfg.sets.trailing_zeros()) | si as u64),
                 owner: victim.owner,
                 dirty: victim.dirty,
             })
@@ -292,11 +290,7 @@ impl SetAssocCache {
 
     /// Valid lines currently held by `class` (occupancy monitoring, §II-B).
     pub fn occupancy(&self, class: QosId) -> usize {
-        self.sets
-            .iter()
-            .flat_map(|s| s.iter())
-            .filter(|w| w.valid && w.owner == class)
-            .count()
+        self.sets.iter().flat_map(|s| s.iter()).filter(|w| w.valid && w.owner == class).count()
     }
 }
 

@@ -1,9 +1,15 @@
-//! Property tests: the set-associative cache against a reference model,
-//! and partition isolation invariants.
+//! Property-style tests: the set-associative cache against a reference
+//! model, and partition isolation invariants.
+//!
+//! Each property runs over a deterministic seeded sweep of randomized
+//! access streams; a failure message carries the sweep seed, which
+//! replays the exact case.
+
+use std::collections::BTreeSet;
 
 use pabst_cache::{CacheConfig, LineAddr, MshrOutcome, MshrTable, SetAssocCache, WayMask};
 use pabst_core::qos::QosId;
-use proptest::prelude::*;
+use pabst_simkit::rng::SimRng;
 
 /// A trivially correct LRU set-associative reference: per set, a Vec kept
 /// in recency order.
@@ -35,70 +41,87 @@ impl RefCache {
     }
 }
 
-proptest! {
-    /// probe+fill behaves exactly like the reference LRU on arbitrary
-    /// access streams (single class, no partitioning).
-    #[test]
-    fn lru_matches_reference(accesses in proptest::collection::vec(0u64..64, 1..500)) {
+/// probe+fill behaves exactly like the reference LRU on arbitrary access
+/// streams (single class, no partitioning).
+#[test]
+fn lru_matches_reference() {
+    for seed in 0..64u64 {
+        let mut rng = SimRng::seed_from_u64(seed ^ 0x1c6e);
         let mut c = SetAssocCache::new(CacheConfig { sets: 4, ways: 4 });
         let mut r = RefCache::new(4, 4);
         let q = QosId::new(0);
-        for a in accesses {
+        let accesses = 1 + rng.gen_range(0..500);
+        for _ in 0..accesses {
+            let a = rng.gen_range(0..64);
             let line = LineAddr::new(a);
             let model_hit = r.access(a);
             let dut_hit = c.probe(line);
             if !dut_hit {
                 c.fill(line, q, false);
             }
-            prop_assert_eq!(dut_hit, model_hit, "divergence at line {}", a);
+            assert_eq!(dut_hit, model_hit, "seed {seed}: divergence at line {a}");
         }
     }
+}
 
-    /// With exclusive partitions, a class's fills never evict another
-    /// class's lines.
-    #[test]
-    fn partitions_never_cross_evict(accesses in proptest::collection::vec((0u64..256, 0u8..2), 1..500)) {
+/// With exclusive partitions, a class's fills never evict another class's
+/// lines.
+#[test]
+fn partitions_never_cross_evict() {
+    for seed in 0..64u64 {
+        let mut rng = SimRng::seed_from_u64(seed ^ 0x9a57);
         let mut c = SetAssocCache::new(CacheConfig { sets: 8, ways: 8 });
         c.set_partition(QosId::new(0), WayMask::range(0, 4));
         c.set_partition(QosId::new(1), WayMask::range(4, 4));
-        for (a, cls) in accesses {
+        let accesses = 1 + rng.gen_range(0..500);
+        for _ in 0..accesses {
+            let a = rng.gen_range(0..256);
+            let cls = rng.gen_range(0..2) as u8;
             let class = QosId::new(cls);
             // Give classes disjoint address spaces, as the experiments do.
             let line = LineAddr::new(a + u64::from(cls) * (1 << 20));
             if !c.probe(line) {
                 if let Some(ev) = c.fill(line, class, false) {
-                    prop_assert_eq!(ev.owner, class, "cross-partition eviction");
+                    assert_eq!(ev.owner, class, "seed {seed}: cross-partition eviction");
                 }
             }
         }
     }
+}
 
-    /// A cache never holds more lines for a class than its partition allows
-    /// (ways * sets).
-    #[test]
-    fn occupancy_bounded_by_partition(accesses in proptest::collection::vec(0u64..1024, 1..600)) {
+/// A cache never holds more lines for a class than its partition allows
+/// (ways * sets).
+#[test]
+fn occupancy_bounded_by_partition() {
+    for seed in 0..64u64 {
+        let mut rng = SimRng::seed_from_u64(seed ^ 0x0cc0);
         let mut c = SetAssocCache::new(CacheConfig { sets: 4, ways: 8 });
         let q0 = QosId::new(0);
         c.set_partition(q0, WayMask::range(0, 2));
-        for a in accesses {
-            let line = LineAddr::new(a);
+        let accesses = 1 + rng.gen_range(0..600);
+        for _ in 0..accesses {
+            let line = LineAddr::new(rng.gen_range(0..1024));
             if !c.probe(line) {
                 c.fill(line, q0, false);
             }
-            prop_assert!(c.occupancy(q0) <= 2 * 4);
+            assert!(c.occupancy(q0) <= 2 * 4, "seed {seed}: partition overflow");
         }
     }
+}
 
-    /// MSHR: waiters are returned exactly once, in merge order, and
-    /// occupancy never exceeds capacity.
-    #[test]
-    fn mshr_waiters_conserved(ops in proptest::collection::vec((0u64..8, any::<bool>()), 1..300)) {
+/// MSHR: waiters are returned exactly once, in merge order, and occupancy
+/// never exceeds capacity.
+#[test]
+fn mshr_waiters_conserved() {
+    for seed in 0..64u64 {
+        let mut rng = SimRng::seed_from_u64(seed ^ 0x35a8);
         let mut m: MshrTable<u64> = MshrTable::new(4);
         let mut next_waiter = 0u64;
-        let mut outstanding: std::collections::HashSet<u64> = Default::default();
-        for (line, is_alloc) in ops {
-            let line = LineAddr::new(line);
-            if is_alloc {
+        let mut outstanding: BTreeSet<u64> = BTreeSet::new();
+        let ops = 1 + rng.gen_range(0..300);
+        for _ in 0..ops {
+            let line = LineAddr::new(rng.gen_range(0..8));
+            if rng.gen_bool(0.5) {
                 match m.alloc(line, next_waiter) {
                     MshrOutcome::Primary | MshrOutcome::Secondary => {
                         outstanding.insert(next_waiter);
@@ -108,17 +131,17 @@ proptest! {
                 }
             } else {
                 for w in m.complete(line) {
-                    prop_assert!(outstanding.remove(&w), "waiter {} returned twice", w);
+                    assert!(outstanding.remove(&w), "seed {seed}: waiter {w} returned twice");
                 }
             }
-            prop_assert!(m.len() <= m.capacity());
+            assert!(m.len() <= m.capacity(), "seed {seed}: MSHR overflow");
         }
         // Drain: every allocated waiter comes back exactly once.
         for l in 0..8 {
             for w in m.complete(LineAddr::new(l)) {
-                prop_assert!(outstanding.remove(&w));
+                assert!(outstanding.remove(&w), "seed {seed}: waiter {w} returned twice");
             }
         }
-        prop_assert!(outstanding.is_empty(), "lost waiters: {:?}", outstanding);
+        assert!(outstanding.is_empty(), "seed {seed}: lost waiters: {outstanding:?}");
     }
 }

@@ -134,8 +134,7 @@ impl VirtualClocks {
     /// conflict). Pairs with [`VirtualClocks::stamp_deferred`].
     pub fn charge(&mut self, id: QosId, cost_units: u64) {
         let i = id.index();
-        self.clocks[i] =
-            self.clocks[i].saturating_add(self.strides[i].saturating_mul(cost_units));
+        self.clocks[i] = self.clocks[i].saturating_add(self.strides[i].saturating_mul(cost_units));
     }
 
     /// Selects, among `candidates` of `(QosId, VirtualDeadline)`, the index
@@ -145,11 +144,7 @@ impl VirtualClocks {
     where
         I: IntoIterator<Item = VirtualDeadline>,
     {
-        candidates
-            .into_iter()
-            .enumerate()
-            .min_by_key(|&(i, d)| (d, i))
-            .map(|(i, _)| i)
+        candidates.into_iter().enumerate().min_by_key(|&(i, d)| (d, i)).map(|(i, _)| i)
     }
 
     /// Current virtual time of `id`.
@@ -254,11 +249,10 @@ mod tests {
         let a = QosId::new(0);
         let b = QosId::new(1);
         // Queue of one pending request per class, re-stamped after service.
-        let mut pending = vec![(a, vc.stamp(a)), (b, vc.stamp(b))];
+        let mut pending = [(a, vc.stamp(a)), (b, vc.stamp(b))];
         let mut served = [0u64; 2];
         for _ in 0..4000 {
-            let idx =
-                VirtualClocks::pick_earliest(pending.iter().map(|&(_, d)| d)).unwrap();
+            let idx = VirtualClocks::pick_earliest(pending.iter().map(|&(_, d)| d)).unwrap();
             let (id, d) = pending[idx];
             vc.on_picked(id, d);
             served[id.index()] += 1;

@@ -285,7 +285,7 @@ impl RateGenerator {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::qos::{ShareTable, QosId};
+    use crate::qos::{QosId, ShareTable};
 
     fn cfg() -> MonitorConfig {
         MonitorConfig::default()
@@ -396,8 +396,7 @@ mod tests {
     fn lockstep_replicas_agree() {
         // The distributed-correctness claim: N monitors fed the same inputs
         // produce identical M at every epoch.
-        let mut replicas: Vec<SystemMonitor> =
-            (0..32).map(|_| SystemMonitor::new(cfg())).collect();
+        let mut replicas: Vec<SystemMonitor> = (0..32).map(|_| SystemMonitor::new(cfg())).collect();
         let pattern = [true, false, false, true, false, false, false, true];
         for (i, &sat) in pattern.iter().cycle().take(500).enumerate() {
             let ms: Vec<u32> = replicas.iter_mut().map(|r| r.on_epoch(sat)).collect();
@@ -414,11 +413,9 @@ mod tests {
 
     #[test]
     fn config_validation_messages() {
-        let mut c = MonitorConfig::default();
-        c.m_min = 0;
+        let c = MonitorConfig { m_min: 0, ..MonitorConfig::default() };
         assert!(c.validate().unwrap_err().contains("m_min"));
-        let mut c = MonitorConfig::default();
-        c.dm_min = 0;
+        let c = MonitorConfig { dm_min: 0, ..MonitorConfig::default() };
         assert!(c.validate().unwrap_err().contains("dm_min"));
         let mut c = MonitorConfig::default();
         c.m_init = c.m_max + 1;

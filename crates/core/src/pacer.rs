@@ -131,6 +131,19 @@ impl Pacer {
         now.saturating_sub(self.c_next)
     }
 
+    /// Cycles `C_next` currently trails `now`, *without* applying the lazy
+    /// clamp — the raw view the invariant sanitizer inspects right after
+    /// an epoch-boundary reprogramming (which clamps).
+    pub fn credit_at(&self, now: Cycle) -> Cycle {
+        now.saturating_sub(self.c_next)
+    }
+
+    /// The credit ceiling in cycles, `(burst - 1) × period`: the largest
+    /// clamped credit [`Pacer::clamp_credit`] may leave behind.
+    pub fn burst_window(&self) -> Cycle {
+        (self.burst - 1).saturating_mul(self.period)
+    }
+
     /// Enforces the bounded-credit rule: `C_next >= now - (burst-1) × period`,
     /// so that exactly `burst` back-to-back requests can issue after long
     /// idleness (the request at the window boundary itself is the burst's
@@ -233,7 +246,7 @@ mod tests {
     fn set_period_takes_effect_and_reclamps() {
         let mut p = Pacer::with_burst(1000, 2);
         let _ = p.try_issue(0); // c_next = 1000
-        // Shrink period drastically; stale credit floor must follow new window.
+                                // Shrink period drastically; stale credit floor must follow new window.
         p.set_period(10, 500);
         // c_next was 1000; floor is 500-20=480, so c_next stays 1000: still throttled.
         assert!(!p.try_issue(500));

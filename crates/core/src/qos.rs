@@ -202,6 +202,10 @@ impl ShareTable {
     }
 
     /// The proportional share of `id` per Eq. 1: `weight_i / Σ weight_j`.
+    ///
+    /// Reporting-only: the regulation datapath works in integer strides;
+    /// this fraction exists for figures and assertions.
+    // simlint: allow(float-math): reporting-only Eq. 1 share fraction; never feeds the integer credit/stride datapath
     pub fn share(&self, id: QosId) -> f64 {
         let total: u64 = self.weights.iter().map(|w| u64::from(w.get())).sum();
         f64::from(self.weight(id).get()) / total as f64
@@ -233,9 +237,9 @@ impl ShareTable {
     /// # Ok::<(), pabst_core::qos::ShareError>(())
     /// ```
     pub fn scaled_stride(&self, id: QosId, scale: u64) -> Stride {
-        let max_w = u64::from(
-            self.weights.iter().map(|w| w.get()).max().expect("table is non-empty"),
-        );
+        // from_weights rejects empty tables, so the max exists; fall back
+        // to 1 rather than unwrap to keep core panic-free (simlint L4).
+        let max_w = u64::from(self.weights.iter().map(|w| w.get()).max().unwrap_or(1));
         let w = u64::from(self.weight(id).get());
         Stride::from_raw((scale * max_w + w / 2) / w)
     }

@@ -1,39 +1,60 @@
-//! Property-based tests for the PABST mechanism invariants.
+//! Property-style tests for the PABST mechanism invariants.
+//!
+//! Each property is exercised over a deterministic seeded sweep of
+//! randomized cases (no external property-testing framework, no
+//! shrinking): a failure message carries the sweep seed, which replays
+//! the exact case.
 
 use pabst_core::arbiter::{VirtualClocks, VirtualDeadline};
 use pabst_core::governor::{MonitorConfig, RateGenerator, SystemMonitor};
 use pabst_core::pacer::Pacer;
 use pabst_core::qos::{QosId, ShareTable};
-use proptest::prelude::*;
+use pabst_simkit::rng::SimRng;
 
-proptest! {
-    /// M stays within its configured bounds under any SAT sequence.
-    #[test]
-    fn monitor_m_always_bounded(sats in proptest::collection::vec(any::<bool>(), 1..500)) {
+/// M stays within its configured bounds under any SAT sequence.
+#[test]
+fn monitor_m_always_bounded() {
+    for seed in 0..64u64 {
+        let mut rng = SimRng::seed_from_u64(seed);
+        let epochs = 1 + rng.gen_range(0..500);
         let cfg = MonitorConfig::default();
         let mut mon = SystemMonitor::new(cfg);
-        for sat in sats {
-            let m = mon.on_epoch(sat);
-            prop_assert!(m >= cfg.m_min && m <= cfg.m_max);
-            prop_assert!(mon.delta_m() >= cfg.dm_min && mon.delta_m() <= cfg.dm_max);
+        for _ in 0..epochs {
+            let m = mon.on_epoch(rng.gen_bool(0.5));
+            assert!(m >= cfg.m_min && m <= cfg.m_max, "seed {seed}: M={m} escaped bounds");
+            assert!(
+                mon.delta_m() >= cfg.dm_min && mon.delta_m() <= cfg.dm_max,
+                "seed {seed}: delta_m escaped bounds"
+            );
         }
     }
+}
 
-    /// Replicated monitors never diverge, regardless of input sequence.
-    #[test]
-    fn monitor_replicas_lockstep(sats in proptest::collection::vec(any::<bool>(), 1..300)) {
+/// Replicated monitors never diverge, regardless of input sequence.
+#[test]
+fn monitor_replicas_lockstep() {
+    for seed in 0..32u64 {
+        let mut rng = SimRng::seed_from_u64(seed ^ 0xA5A5);
+        let epochs = 1 + rng.gen_range(0..300);
         let cfg = MonitorConfig::default();
         let mut a = SystemMonitor::new(cfg);
         let mut b = SystemMonitor::new(cfg);
-        for sat in sats {
-            prop_assert_eq!(a.on_epoch(sat), b.on_epoch(sat));
+        for _ in 0..epochs {
+            let sat = rng.gen_bool(0.5);
+            assert_eq!(a.on_epoch(sat), b.on_epoch(sat), "seed {seed}: replicas diverged");
         }
     }
+}
 
-    /// The pacer never admits more than `elapsed/period + burst` requests
-    /// over any window when continuously backlogged.
-    #[test]
-    fn pacer_rate_bound(period in 1u64..200, burst in 1u64..32, cycles in 100u64..20_000) {
+/// The pacer never admits more than `elapsed/period + burst` requests
+/// over any window when continuously backlogged.
+#[test]
+fn pacer_rate_bound() {
+    for seed in 0..64u64 {
+        let mut rng = SimRng::seed_from_u64(seed ^ 0x9ace);
+        let period = 1 + rng.gen_range(0..199);
+        let burst = 1 + rng.gen_range(0..31);
+        let cycles = 100 + rng.gen_range(0..19_900);
         let mut p = Pacer::with_burst(period, burst);
         let mut admitted = 0u64;
         for now in 0..cycles {
@@ -42,92 +63,134 @@ proptest! {
             }
         }
         let bound = cycles / period + burst + 1;
-        prop_assert!(admitted <= bound, "admitted={admitted} bound={bound}");
+        assert!(
+            admitted <= bound,
+            "seed {seed}: period={period} burst={burst} admitted={admitted} bound={bound}"
+        );
     }
+}
 
-    /// Pacer credit never exceeds the burst window.
-    #[test]
-    fn pacer_credit_bounded(period in 1u64..100, burst in 1u64..32, idle in 0u64..1_000_000) {
+/// Pacer credit never exceeds the burst window, even after arbitrarily
+/// long idle gaps.
+#[test]
+fn pacer_credit_bounded() {
+    for seed in 0..64u64 {
+        let mut rng = SimRng::seed_from_u64(seed ^ 0xc4ed);
+        let period = 1 + rng.gen_range(0..99);
+        let burst = 1 + rng.gen_range(0..31);
+        let idle = rng.gen_range(0..1_000_000);
         let mut p = Pacer::with_burst(period, burst);
         let _ = p.try_issue(0);
-        prop_assert!(p.credit(idle) <= burst * period);
+        assert!(
+            p.credit(idle) <= burst * period,
+            "seed {seed}: credit after idle={idle} exceeds burst window"
+        );
     }
+}
 
-    /// Refund/charge accounting cannot underflow or make the pacer
-    /// permanently stuck: after refunds, issuing is at least as permissive.
-    #[test]
-    fn pacer_refund_never_hurts(period in 1u64..100, ops in proptest::collection::vec(0u8..3, 1..100)) {
+/// Refund/charge accounting cannot underflow or make the pacer
+/// permanently stuck: after refunds, issuing is at least as permissive.
+#[test]
+fn pacer_refund_never_hurts() {
+    for seed in 0..64u64 {
+        let mut rng = SimRng::seed_from_u64(seed ^ 0x3ef0);
+        let period = 1 + rng.gen_range(0..99);
+        let ops = 1 + rng.gen_range(0..99);
         let mut with_refunds = Pacer::new(period);
         let mut without = Pacer::new(period);
         let mut now = 0u64;
-        for op in ops {
-            match op {
+        for _ in 0..ops {
+            match rng.gen_range(0..3) {
                 0 => {
                     now += period / 2 + 1;
                     let a = with_refunds.try_issue(now);
                     let b = without.try_issue(now);
                     // Refunds only loosen the gate.
-                    if b { prop_assert!(a); }
+                    if b {
+                        assert!(a, "seed {seed}: refund tightened the pacer at cycle {now}");
+                    }
                 }
                 1 => with_refunds.on_shared_hit(),
                 _ => now += 1,
             }
         }
     }
+}
 
-    /// Virtual-deadline stamps per class are strictly increasing while the
-    /// slack cap is not binding, and never decrease overall.
-    #[test]
-    fn arbiter_stamps_nondecreasing(weights in proptest::collection::vec(1u32..16, 1..8),
-                                    picks in proptest::collection::vec(0usize..8, 1..200)) {
-        let shares = ShareTable::from_weights(&weights).unwrap();
+/// Virtual-deadline stamps per class never decrease.
+#[test]
+fn arbiter_stamps_nondecreasing() {
+    for seed in 0..64u64 {
+        let mut rng = SimRng::seed_from_u64(seed ^ 0xa4b1);
+        let classes = 1 + rng.gen_range(0..7) as usize;
+        let weights: Vec<u32> = (0..classes).map(|_| 1 + rng.gen_range(0..15) as u32).collect();
+        let shares = ShareTable::from_weights(&weights).expect("weights are nonzero");
         let n = shares.classes();
         let mut vc = VirtualClocks::new(&shares, 128);
         let mut last: Vec<Option<VirtualDeadline>> = vec![None; n];
-        for p in picks {
-            let id = QosId::new((p % n) as u8);
+        let picks = 1 + rng.gen_range(0..199);
+        for _ in 0..picks {
+            let id = QosId::new(rng.gen_range(0..n as u64) as u8);
             let d = vc.stamp(id);
             if let Some(prev) = last[id.index()] {
-                prop_assert!(d >= prev, "stamp regressed for {id}");
+                assert!(d >= prev, "seed {seed}: stamp regressed for {id}");
             }
             last[id.index()] = Some(d);
             vc.on_picked(id, d);
         }
     }
+}
 
-    /// Among continuously backlogged classes the EDF service counts track
-    /// the weight ratio within 10%.
-    #[test]
-    fn arbiter_service_proportional(w0 in 1u32..9, w1 in 1u32..9) {
-        let shares = ShareTable::from_weights(&[w0, w1]).unwrap();
-        let mut vc = VirtualClocks::new(&shares, u64::MAX);
-        let ids = [QosId::new(0), QosId::new(1)];
-        let mut pending = [vc.stamp(ids[0]), vc.stamp(ids[1])];
-        let mut served = [0u64; 2];
-        for _ in 0..20_000 {
-            let idx = VirtualClocks::pick_earliest(pending.iter().copied()).unwrap();
-            vc.on_picked(ids[idx], pending[idx]);
-            served[idx] += 1;
-            pending[idx] = vc.stamp(ids[idx]);
+/// Among continuously backlogged classes the EDF service counts track
+/// the weight ratio within 10%, for every weight pair in 1..9.
+#[test]
+fn arbiter_service_proportional() {
+    for w0 in 1u32..9 {
+        for w1 in 1u32..9 {
+            let shares = ShareTable::from_weights(&[w0, w1]).expect("weights are nonzero");
+            let mut vc = VirtualClocks::new(&shares, u64::MAX);
+            let ids = [QosId::new(0), QosId::new(1)];
+            let mut pending = [vc.stamp(ids[0]), vc.stamp(ids[1])];
+            let mut served = [0u64; 2];
+            for _ in 0..20_000 {
+                let idx = VirtualClocks::pick_earliest(pending.iter().copied())
+                    .expect("two pending deadlines");
+                vc.on_picked(ids[idx], pending[idx]);
+                served[idx] += 1;
+                pending[idx] = vc.stamp(ids[idx]);
+            }
+            let observed = served[0] as f64 / served[1] as f64;
+            let target = f64::from(w0) / f64::from(w1);
+            assert!(
+                (observed / target - 1.0).abs() < 0.1,
+                "weights {w0}:{w1}: observed={observed} target={target}"
+            );
         }
-        let observed = served[0] as f64 / served[1] as f64;
-        let target = w0 as f64 / w1 as f64;
-        prop_assert!((observed / target - 1.0).abs() < 0.1,
-            "observed={observed} target={target}");
     }
+}
 
-    /// Rate generator: periods scale monotonically in M, and the
-    /// per-source period brackets threads x class period (division-last
-    /// fixed point).
-    #[test]
-    fn rategen_monotonic(m1 in 1u32..2000, m2 in 1u32..2000, w in 1u32..16) {
-        let shares = ShareTable::from_weights(&[w]).unwrap();
+/// Rate generator: periods scale monotonically in M, and the per-source
+/// period brackets threads x class period (division-last fixed point).
+#[test]
+fn rategen_monotonic() {
+    for seed in 0..128u64 {
+        let mut rng = SimRng::seed_from_u64(seed ^ 0x47e9);
+        let m1 = 1 + rng.gen_range(0..1999) as u32;
+        let m2 = 1 + rng.gen_range(0..1999) as u32;
+        let w = 1 + rng.gen_range(0..15) as u32;
+        let shares = ShareTable::from_weights(&[w]).expect("weight is nonzero");
         let rg = RateGenerator::default();
         let s = shares.scaled_stride(QosId::new(0), pabst_core::governor::GOVERNOR_STRIDE_SCALE);
         let (lo, hi) = if m1 <= m2 { (m1, m2) } else { (m2, m1) };
-        prop_assert!(rg.class_period(lo, s) <= rg.class_period(hi, s));
+        assert!(
+            rg.class_period(lo, s) <= rg.class_period(hi, s),
+            "seed {seed}: period not monotone in M"
+        );
         let sp = rg.source_period(m1, s, 8);
         let cp = rg.class_period(m1, s);
-        prop_assert!(sp >= 8 * cp && sp <= 8 * (cp + 1));
+        assert!(
+            sp >= 8 * cp && sp <= 8 * (cp + 1),
+            "seed {seed}: source period {sp} outside bracket of class period {cp}"
+        );
     }
 }

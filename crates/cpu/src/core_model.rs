@@ -7,7 +7,7 @@
 //! proportional to actionable work, not ROB size — the simulator spends
 //! most of its time here.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 use pabst_cache::LineAddr;
 use pabst_simkit::Cycle;
@@ -89,12 +89,23 @@ enum LoadState {
 #[derive(Debug)]
 enum Entry {
     /// Aggregated ALU work: `left` instructions still to retire.
-    Insts { left: u32 },
-    Load { id: LoadId, line: LineAddr, state: LoadState },
+    Insts {
+        left: u32,
+    },
+    Load {
+        id: LoadId,
+        line: LineAddr,
+        state: LoadState,
+    },
     /// A store waiting to be accepted by the port (`issued` false) or
     /// retired (`issued` true).
-    Store { line: LineAddr, issued: bool },
-    Marker { tag: u64 },
+    Store {
+        line: LineAddr,
+        issued: bool,
+    },
+    Marker {
+        tag: u64,
+    },
 }
 
 /// A cycle-approximate out-of-order core.
@@ -110,7 +121,9 @@ pub struct OooCore {
     head_seq: u64,
     rob_insts: u32,
     /// Load id → entry sequence number, for fills and dependence checks.
-    load_pos: HashMap<LoadId, u64>,
+    /// A BTreeMap so any iteration is id-ordered, never hasher-ordered
+    /// (simlint L1: simulation state must be deterministic).
+    load_pos: BTreeMap<LoadId, u64>,
     /// Entry seqs that still need issue-stage work.
     attention: Vec<u64>,
     outstanding: usize,
@@ -133,7 +146,7 @@ impl OooCore {
             rob: VecDeque::new(),
             head_seq: 0,
             rob_insts: 0,
-            load_pos: HashMap::new(),
+            load_pos: BTreeMap::new(),
             attention: Vec::new(),
             outstanding: 0,
             stats: CoreStats::default(),
@@ -256,8 +269,7 @@ impl OooCore {
                             }
                         };
                         if dep_done {
-                            if let Some(Entry::Load { state, .. }) =
-                                self.rob.get_mut(idx as usize)
+                            if let Some(Entry::Load { state, .. }) = self.rob.get_mut(idx as usize)
                             {
                                 *state = LoadState::Ready;
                             }
@@ -267,8 +279,7 @@ impl OooCore {
                         }
                     }
                     // Try to issue a Ready load.
-                    if issued_this_cycle < 2 && self.outstanding < self.cfg.max_outstanding
-                    {
+                    if issued_this_cycle < 2 && self.outstanding < self.cfg.max_outstanding {
                         match port.access(now, line, false, id) {
                             Access::Hit(lat) => {
                                 if let Some(Entry::Load { state, .. }) =
@@ -418,11 +429,7 @@ mod tests {
                 Op::Compute(self.gap)
             } else {
                 self.next += 1;
-                Op::Load {
-                    addr: Addr::new(self.next * 64),
-                    id: LoadId(self.next),
-                    dep: None,
-                }
+                Op::Load { addr: Addr::new(self.next * 64), id: LoadId(self.next), dep: None }
             }
         }
         fn name(&self) -> &str {

@@ -71,10 +71,7 @@ mod tests {
     #[test]
     fn op_inst_counts() {
         assert_eq!(Op::Compute(7).insts(), 7);
-        assert_eq!(
-            Op::Load { addr: Addr::new(0), id: LoadId(0), dep: None }.insts(),
-            1
-        );
+        assert_eq!(Op::Load { addr: Addr::new(0), id: LoadId(0), dep: None }.insts(), 1);
         assert_eq!(Op::Store { addr: Addr::new(0) }.insts(), 1);
         assert_eq!(Op::Marker(3).insts(), 0);
     }

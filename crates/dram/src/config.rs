@@ -149,17 +149,14 @@ mod tests {
 
     #[test]
     fn validation_catches_bad_geometry() {
-        let mut c = DramConfig::default();
-        c.banks = 3;
+        let c = DramConfig { banks: 3, ..DramConfig::default() };
         assert!(c.validate().is_err());
         let mut c = DramConfig::default();
         c.wr_high = c.wr_low;
         assert!(c.validate().is_err());
-        let mut c = DramConfig::default();
-        c.t_burst = 0;
+        let c = DramConfig { t_burst: 0, ..DramConfig::default() };
         assert!(c.validate().is_err());
-        let mut c = DramConfig::default();
-        c.freq_div = 0;
+        let c = DramConfig { freq_div: 0, ..DramConfig::default() };
         assert!(c.validate().is_err());
     }
 }

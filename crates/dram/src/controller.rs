@@ -140,8 +140,8 @@ impl McStats {
     /// Bytes per class since the previous call (per-epoch bandwidth).
     pub fn take_epoch_bytes(&mut self) -> [u64; MAX_CLASSES] {
         let mut out = [0u64; MAX_CLASSES];
-        for i in 0..MAX_CLASSES {
-            out[i] = self.bytes[i] - self.epoch_marks[i];
+        for (i, o) in out.iter_mut().enumerate() {
+            *o = self.bytes[i] - self.epoch_marks[i];
             self.epoch_marks[i] = self.bytes[i];
         }
         out
@@ -202,6 +202,9 @@ pub struct MemController {
     /// Requests rejected at the ingress (upstream must retry): visibility
     /// into backpressure.
     ingress_rejects: u64,
+    /// Requests accepted at the ingress (inflow side of the conservation
+    /// invariant the sanitizer checks each epoch).
+    accepted: u64,
     /// Max cycles a bank-queue entry may wait before overriding row-hit
     /// preference (starvation guard).
     age_cap: Cycle,
@@ -223,9 +226,8 @@ impl MemController {
         if let Err(e) = cfg.validate() {
             panic!("invalid DramConfig: {e}");
         }
-        let banks = (0..cfg.banks)
-            .map(|_| Bank { open_row: None, rdy: 0, hit_streak: 0 })
-            .collect();
+        let banks =
+            (0..cfg.banks).map(|_| Bank { open_row: None, rdy: 0, hit_streak: 0 }).collect();
         Self {
             ingress: BoundedQueue::new(cfg.ingress_cap),
             read_q: BoundedQueue::new(cfg.read_q_cap),
@@ -241,6 +243,7 @@ impl MemController {
             seq: 0,
             stats: McStats::default(),
             ingress_rejects: 0,
+            accepted: 0,
             // Pure starvation backstop: priority inversion from row-hit
             // streaks is already bounded by `max_hit_streak`, so this only
             // catches pathological waits, far beyond any legitimate
@@ -259,10 +262,16 @@ impl MemController {
     /// Returns `Err(req)` when the ingress FIFO is full; the caller must
     /// hold the request and retry (backpressure into the cache hierarchy).
     pub fn push(&mut self, req: MemReq) -> Result<(), MemReq> {
-        self.ingress.push(req).map_err(|r| {
-            self.ingress_rejects += 1;
-            r
-        })
+        match self.ingress.push(req) {
+            Ok(()) => {
+                self.accepted += 1;
+                Ok(())
+            }
+            Err(r) => {
+                self.ingress_rejects += 1;
+                Err(r)
+            }
+        }
     }
 
     /// True when the ingress port can accept a request this cycle.
@@ -302,6 +311,20 @@ impl MemController {
         self.ingress_rejects
     }
 
+    /// Requests accepted at the ingress so far. At any instant
+    /// `accepted == completed reads + completed writes + pending()` — the
+    /// conservation invariant the epoch sanitizer verifies.
+    pub fn accepted(&self) -> u64 {
+        self.accepted
+    }
+
+    /// Current virtual-clock value of `id`'s class in the priority
+    /// arbiter. Monotonically nondecreasing (stamps advance it; the slack
+    /// floor only ever raises it), which the epoch sanitizer verifies.
+    pub fn virtual_clock(&self, id: QosId) -> u64 {
+        self.clocks.clock(id)
+    }
+
     /// Outstanding work anywhere in the controller (for drain loops in
     /// tests and at simulation end).
     pub fn pending(&self) -> usize {
@@ -334,8 +357,7 @@ impl MemController {
         // system" when the target is oversubscribed (Fig. 1b).
         while let Some(head) = self.ingress.peek() {
             let is_write = head.is_write;
-            let target_full =
-                if is_write { self.write_q.is_full() } else { self.read_q.is_full() };
+            let target_full = if is_write { self.write_q.is_full() } else { self.read_q.is_full() };
             if target_full {
                 break;
             }
@@ -388,11 +410,9 @@ impl MemController {
         let cfg = self.cfg;
         let banks = &self.banks;
         let mode = self.mode;
-        let bank_of = |line: LineAddr| {
-            ((line.get() / cfg.lines_per_row) % cfg.banks as u64) as usize
-        };
-        let row_of =
-            |line: LineAddr| (line.get() / cfg.lines_per_row) / cfg.banks as u64;
+        let bank_of =
+            |line: LineAddr| ((line.get() / cfg.lines_per_row) % cfg.banks as u64) as usize;
+        let row_of = |line: LineAddr| (line.get() / cfg.lines_per_row) / cfg.banks as u64;
         let prio_key = |e: &QueuedReq| match mode {
             ArbiterMode::Edf | ArbiterMode::Fqm => (e.deadline, e.seq),
             ArbiterMode::Fcfs => (VirtualDeadline(0), e.seq),
@@ -408,8 +428,7 @@ impl MemController {
             prio: Option<(usize, (VirtualDeadline, u64))>,
             fr: Option<(usize, (VirtualDeadline, u64))>,
         }
-        let mut scratch =
-            vec![BankScratch { aged: None, prio: None, fr: None }; banks.len()];
+        let mut scratch = vec![BankScratch { aged: None, prio: None, fr: None }; banks.len()];
         for (i, e) in q.iter().enumerate() {
             let b = bank_of(e.req.line);
             let bank = &banks[b];
@@ -418,17 +437,15 @@ impl MemController {
             }
             let sc = &mut scratch[b];
             if now.saturating_sub(e.enq_at) > self.age_cap
-                && sc.aged.map_or(true, |(_, t)| e.enq_at < t)
+                && sc.aged.is_none_or(|(_, t)| e.enq_at < t)
             {
                 sc.aged = Some((i, e.enq_at));
             }
             let key = prio_key(e);
-            if sc.prio.map_or(true, |(_, k)| key < k) {
+            if sc.prio.is_none_or(|(_, k)| key < k) {
                 sc.prio = Some((i, key));
             }
-            if bank.open_row == Some(row_of(e.req.line))
-                && sc.fr.map_or(true, |(_, k)| key < k)
-            {
+            if bank.open_row == Some(row_of(e.req.line)) && sc.fr.is_none_or(|(_, k)| key < k) {
                 sc.fr = Some((i, key));
             }
         }
@@ -440,7 +457,7 @@ impl MemController {
         }
         let mut win: Option<Nominee> = None;
         let consider = |n: Nominee, win: &mut Option<Nominee>| {
-            if win.as_ref().map_or(true, |w| n.key < w.key) {
+            if win.as_ref().is_none_or(|w| n.key < w.key) {
                 *win = Some(n);
             }
         };
@@ -456,15 +473,10 @@ impl MemController {
                 // number of consecutive times (the fairness half of the
                 // paper's fair FR-FCFS).
                 match sc.fr {
-                    Some((fi, fk))
-                        if fi != pi && banks[b].hit_streak < self.max_hit_streak =>
-                    {
+                    Some((fi, fk)) if fi != pi && banks[b].hit_streak < self.max_hit_streak => {
                         consider(Nominee { idx: fi, bank: b, bypass: true, key: fk }, &mut win)
                     }
-                    _ => consider(
-                        Nominee { idx: pi, bank: b, bypass: false, key: pk },
-                        &mut win,
-                    ),
+                    _ => consider(Nominee { idx: pi, bank: b, bypass: false, key: pk }, &mut win),
                 }
             }
         }
@@ -579,8 +591,7 @@ impl MemController {
                     self.stats.writes += 1;
                 } else {
                     self.stats.reads += 1;
-                    self.stats.read_lat_sum[e.req.class.index()] +=
-                        now.saturating_sub(e.enq_at);
+                    self.stats.read_lat_sum[e.req.class.index()] += now.saturating_sub(e.enq_at);
                     self.stats.read_lat_n[e.req.class.index()] += 1;
                 }
                 done.push(Completion {
@@ -716,9 +727,7 @@ mod tests {
     fn closed_loop(m: &mut MemController, tokens_per_class: usize, cycles: u64) -> [u64; 2] {
         let mut x = 0xdeadbeefu64;
         let mut served = [0u64; 2];
-        let mut to_issue = vec![0usize; 2];
-        to_issue[0] = tokens_per_class;
-        to_issue[1] = tokens_per_class;
+        let mut to_issue = [tokens_per_class; 2];
         for now in 0..cycles {
             let first = (now % 2) as usize;
             for c in [first, 1 - first] {
@@ -790,10 +799,7 @@ mod tests {
         let mut m = mc(ArbiterMode::Edf, &[3, 1]);
         let served = closed_loop_one_bank(&mut m, 12, 200_000);
         let ratio = served[0] as f64 / served[1] as f64;
-        assert!(
-            (ratio - 3.0).abs() < 0.6,
-            "EDF service ratio {ratio}, served {served:?}"
-        );
+        assert!((ratio - 3.0).abs() < 0.6, "EDF service ratio {ratio}, served {served:?}");
     }
 
     #[test]
@@ -812,14 +818,13 @@ mod tests {
                 // Sparse class 0: issue one random read when idle.
                 if issued_at.is_none() {
                     x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
-                    if m
-                        .push(MemReq {
-                            line: LineAddr::new((x >> 16) | (1 << 41)),
-                            class: q(0),
-                            is_write: false,
-                            token: 777,
-                        })
-                        .is_ok()
+                    if m.push(MemReq {
+                        line: LineAddr::new((x >> 16) | (1 << 41)),
+                        class: q(0),
+                        is_write: false,
+                        token: 777,
+                    })
+                    .is_ok()
                     {
                         issued_at = Some(now);
                     }
@@ -827,16 +832,13 @@ mod tests {
                 // Streamer class 1 floods, spanning all banks (as many
                 // concurrent streaming cores would).
                 while m.can_accept() {
-                    if m
-                        .push(MemReq {
-                            line: LineAddr::new(
-                                stream_line * DramConfig::default().lines_per_row,
-                            ),
-                            class: q(1),
-                            is_write: false,
-                            token: 0,
-                        })
-                        .is_err()
+                    if m.push(MemReq {
+                        line: LineAddr::new(stream_line * DramConfig::default().lines_per_row),
+                        class: q(1),
+                        is_write: false,
+                        token: 0,
+                    })
+                    .is_err()
                     {
                         break;
                     }
@@ -869,10 +871,7 @@ mod tests {
         let mut m = mc(ArbiterMode::Edf, &[3, 1]);
         let served = closed_loop(&mut m, 256, 120_000);
         let ratio = served[0] as f64 / served[1] as f64;
-        assert!(
-            ratio < 2.0,
-            "oversubscribed EDF should degrade toward 1:1, got {ratio}"
-        );
+        assert!(ratio < 2.0, "oversubscribed EDF should degrade toward 1:1, got {ratio}");
     }
 
     #[test]
@@ -947,16 +946,10 @@ mod tests {
         // (they fit the ingress port exactly): the read completes before
         // any write.
         for i in 0..3 {
-            m.push(MemReq {
-                line: LineAddr::new(1000 + i),
-                class: q(0),
-                is_write: true,
-                token: i,
-            })
-            .unwrap();
+            m.push(MemReq { line: LineAddr::new(1000 + i), class: q(0), is_write: true, token: i })
+                .unwrap();
         }
-        m.push(MemReq { line: LineAddr::new(1), class: q(0), is_write: false, token: 99 })
-            .unwrap();
+        m.push(MemReq { line: LineAddr::new(1), class: q(0), is_write: false, token: 99 }).unwrap();
         let warm = 0;
         let mut first: Option<Completion> = None;
         let mut now = warm;
@@ -976,13 +969,7 @@ mod tests {
         let mut rejected = false;
         // Never stepping the controller: ingress must eventually refuse.
         for i in 0..1_000 {
-            if m
-                .push(MemReq {
-                    line: LineAddr::new(i),
-                    class: q(0),
-                    is_write: false,
-                    token: i,
-                })
+            if m.push(MemReq { line: LineAddr::new(i), class: q(0), is_write: false, token: i })
                 .is_err()
             {
                 rejected = true;
@@ -1062,8 +1049,7 @@ mod tests {
         let mut m = mc(ArbiterMode::Fcfs, &[1]);
         // The conflicting row-miss first (different row, same bank: same
         // col_group modulo banks).
-        let other_row = DramConfig::default().lines_per_row
-            * DramConfig::default().banks as u64; // bank 0, row 1
+        let other_row = DramConfig::default().lines_per_row * DramConfig::default().banks as u64; // bank 0, row 1
         m.push(MemReq {
             line: LineAddr::new(other_row),
             class: q(0),
@@ -1093,13 +1079,9 @@ mod tests {
                 break;
             }
         }
-        assert!(
-            completed_victim_at.is_some(),
-            "row-miss starved by continuous row hits"
-        );
+        assert!(completed_victim_at.is_some(), "row-miss starved by continuous row hits");
     }
 }
-
 
 #[cfg(test)]
 mod fqm_tests {
@@ -1219,13 +1201,8 @@ mod latency_tests {
     fn read_latency_tracked_per_class() {
         let shares = ShareTable::from_weights(&[1]).unwrap();
         let mut m = MemController::new(DramConfig::default(), ArbiterMode::Fcfs, &shares, 128);
-        m.push(MemReq {
-            line: LineAddr::new(0),
-            class: QosId::new(0),
-            is_write: false,
-            token: 1,
-        })
-        .unwrap();
+        m.push(MemReq { line: LineAddr::new(0), class: QosId::new(0), is_write: false, token: 1 })
+            .unwrap();
         let mut now = 0;
         while m.pending() > 0 {
             m.step(now);
@@ -1235,7 +1212,7 @@ mod latency_tests {
         let lat = m.stats().mean_read_latency(QosId::new(0)).expect("one read done");
         // One unloaded access: activation + CAS + burst, give or take the
         // front-end hops.
-        assert!(lat >= 60.0 && lat < 200.0, "unloaded latency {lat}");
+        assert!((60.0..200.0).contains(&lat), "unloaded latency {lat}");
         assert_eq!(m.stats().mean_read_latency(QosId::new(1)), None);
     }
 
@@ -1243,8 +1220,7 @@ mod latency_tests {
     fn loaded_latency_exceeds_unloaded() {
         let shares = ShareTable::from_weights(&[1]).unwrap();
         let run = |offered_per_cycle: usize| -> f64 {
-            let mut m =
-                MemController::new(DramConfig::default(), ArbiterMode::Fcfs, &shares, 128);
+            let mut m = MemController::new(DramConfig::default(), ArbiterMode::Fcfs, &shares, 128);
             let mut line = 0u64;
             for now in 0..30_000u64 {
                 for _ in 0..offered_per_cycle {
@@ -1262,8 +1238,7 @@ mod latency_tests {
         };
         // A single outstanding request at a time (closed loop, light load).
         let light = {
-            let mut m =
-                MemController::new(DramConfig::default(), ArbiterMode::Fcfs, &shares, 128);
+            let mut m = MemController::new(DramConfig::default(), ArbiterMode::Fcfs, &shares, 128);
             let mut outstanding = false;
             let mut line = 0u64;
             for now in 0..30_000u64 {
@@ -1284,9 +1259,6 @@ mod latency_tests {
             m.stats().mean_read_latency(QosId::new(0)).unwrap()
         };
         let heavy = run(4);
-        assert!(
-            heavy > 2.0 * light,
-            "queueing must raise latency: {heavy} vs {light}"
-        );
+        assert!(heavy > 2.0 * light, "queueing must raise latency: {heavy} vs {light}");
     }
 }

@@ -1,17 +1,21 @@
-//! Property tests for the memory controller: conservation, latency floors
-//! and accounting invariants under random request streams.
+//! Property-style tests for the memory controller: conservation, latency
+//! floors and accounting invariants under random request streams.
+//!
+//! Each property runs over a deterministic seeded sweep of randomized
+//! request streams; a failure message carries the sweep seed, which
+//! replays the exact case.
 
 use pabst_cache::LineAddr;
 use pabst_core::qos::{QosId, ShareTable};
 use pabst_dram::{ArbiterMode, DramConfig, MemController, MemReq};
-use proptest::prelude::*;
+use pabst_simkit::rng::SimRng;
 
 fn drive(
     mode: ArbiterMode,
     reqs: &[(u64, u8, bool)],
     max_cycles: u64,
 ) -> (u64, u64, MemController) {
-    let shares = ShareTable::from_weights(&[3, 1]).unwrap();
+    let shares = ShareTable::from_weights(&[3, 1]).expect("weights are nonzero");
     let mut mc = MemController::new(DramConfig::default(), mode, &shares, 128);
     let mut pushed = 0u64;
     let mut completed = 0u64;
@@ -46,63 +50,74 @@ fn drive(
     (pushed, completed, mc)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
+/// A random request stream: (line, class, is_write) triples.
+fn random_reqs(rng: &mut SimRng, max_len: u64, writes: bool) -> Vec<(u64, u8, bool)> {
+    let len = 1 + rng.gen_range(0..max_len);
+    (0..len)
+        .map(|_| {
+            (rng.gen_range(0..100_000), rng.gen_range(0..2) as u8, writes && rng.gen_bool(0.5))
+        })
+        .collect()
+}
 
-    /// Every accepted request completes exactly once, in every mode.
-    #[test]
-    fn requests_conserved(reqs in proptest::collection::vec(
-        (0u64..100_000, 0u8..2, any::<bool>()), 1..120)) {
+/// Every accepted request completes exactly once, in every mode.
+#[test]
+fn requests_conserved() {
+    for seed in 0..24u64 {
+        let mut rng = SimRng::seed_from_u64(seed ^ 0xd3a0);
+        let reqs = random_reqs(&mut rng, 120, true);
         for mode in [ArbiterMode::Fcfs, ArbiterMode::Edf, ArbiterMode::Fqm] {
             let (pushed, completed, mc) = drive(mode, &reqs, 2_000_000);
-            prop_assert_eq!(pushed, completed, "mode {:?}", mode);
-            prop_assert_eq!(mc.pending(), 0);
+            assert_eq!(pushed, completed, "seed {seed}: mode {mode:?}");
+            assert_eq!(mc.pending(), 0, "seed {seed}: mode {mode:?} left residue");
         }
     }
+}
 
-    /// Byte accounting: per-class bytes sum to 64 x completions.
-    #[test]
-    fn bytes_accounted(reqs in proptest::collection::vec(
-        (0u64..100_000, 0u8..2, any::<bool>()), 1..100)) {
+/// Byte accounting: per-class bytes sum to 64 x completions.
+#[test]
+fn bytes_accounted() {
+    for seed in 0..24u64 {
+        let mut rng = SimRng::seed_from_u64(seed ^ 0xb17e);
+        let reqs = random_reqs(&mut rng, 100, true);
         let (_, completed, mc) = drive(ArbiterMode::Edf, &reqs, 2_000_000);
         let bytes: u64 = mc.stats().bytes.iter().sum();
-        prop_assert_eq!(bytes, completed * 64);
+        assert_eq!(bytes, completed * 64, "seed {seed}");
     }
+}
 
-    /// No read ever completes faster than the raw access pipeline
-    /// (activation + CAS + burst on an idle bank).
-    #[test]
-    fn latency_floor(reqs in proptest::collection::vec(
-        (0u64..100_000, 0u8..2), 1..60)) {
-        let reads: Vec<(u64, u8, bool)> =
-            reqs.into_iter().map(|(l, c)| (l, c, false)).collect();
+/// No read ever completes faster than the raw access pipeline
+/// (activation + CAS + burst on an idle bank).
+#[test]
+fn latency_floor() {
+    for seed in 0..24u64 {
+        let mut rng = SimRng::seed_from_u64(seed ^ 0xf100);
+        let reads = random_reqs(&mut rng, 60, false);
         let (_, _, mc) = drive(ArbiterMode::Fcfs, &reads, 2_000_000);
         let cfg = DramConfig::default();
         let floor = (cfg.t_rcd + cfg.t_cl + cfg.t_burst) as f64;
         for class in 0..2u8 {
             if let Some(lat) = mc.stats().mean_read_latency(QosId::new(class)) {
-                prop_assert!(lat >= floor, "class {class}: {lat} < {floor}");
+                assert!(lat >= floor, "seed {seed}: class {class}: {lat} < {floor}");
             }
         }
     }
+}
 
-    /// Row-hit rate is a valid fraction and sequential streams beat random
-    /// ones on it.
-    #[test]
-    fn row_hit_rate_sane(seed in 0u64..1000) {
+/// Row-hit rate is a valid fraction and sequential streams beat random
+/// ones on it.
+#[test]
+fn row_hit_rate_sane() {
+    for seed in 0..32u64 {
         let seq: Vec<(u64, u8, bool)> = (0..80).map(|i| (i, 0u8, false)).collect();
-        let mut x = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
-        let rnd: Vec<(u64, u8, bool)> = (0..80)
-            .map(|_| {
-                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
-                (x >> 20, 0u8, false)
-            })
-            .collect();
+        let mut rng = SimRng::seed_from_u64(seed ^ 0x2067);
+        let rnd: Vec<(u64, u8, bool)> =
+            (0..80).map(|_| (rng.gen_range(0..1 << 44), 0u8, false)).collect();
         let (_, _, mc_seq) = drive(ArbiterMode::Fcfs, &seq, 2_000_000);
         let (_, _, mc_rnd) = drive(ArbiterMode::Fcfs, &rnd, 2_000_000);
         let (hs, hr) = (mc_seq.stats().row_hit_rate(), mc_rnd.stats().row_hit_rate());
-        prop_assert!((0.0..=1.0).contains(&hs));
-        prop_assert!((0.0..=1.0).contains(&hr));
-        prop_assert!(hs >= hr, "sequential {hs} < random {hr}");
+        assert!((0.0..=1.0).contains(&hs), "seed {seed}: seq rate {hs}");
+        assert!((0.0..=1.0).contains(&hr), "seed {seed}: rnd rate {hr}");
+        assert!(hs >= hr, "seed {seed}: sequential {hs} < random {hr}");
     }
 }

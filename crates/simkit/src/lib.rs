@@ -14,6 +14,11 @@
 //!   lookup latencies).
 //! * [`stats`] — counters, windowed rates, streaming histograms and
 //!   per-epoch time series used to produce every figure in the paper.
+//! * [`rng::SimRng`] — a deterministic, explicitly seeded SplitMix64
+//!   generator, the only randomness source allowed in the simulator.
+//! * [`sanitizer::Sanitizer`] — debug-mode runtime invariant checks
+//!   (credit caps, deadline monotonicity, queue conservation) wired into
+//!   the SoC epoch loop.
 //!
 //! # Examples
 //!
@@ -30,6 +35,8 @@
 #![warn(missing_docs)]
 
 pub mod queue;
+pub mod rng;
+pub mod sanitizer;
 pub mod stats;
 
 /// Simulated time, measured in CPU clock cycles.

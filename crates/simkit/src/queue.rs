@@ -111,8 +111,8 @@ impl<T> BoundedQueue<T> {
 
     /// Removes and returns the first item matching `pred`, scanning from the
     /// oldest entry.
-    pub fn pop_where(&mut self, mut pred: impl FnMut(&T) -> bool) -> Option<T> {
-        let idx = self.items.iter().position(|t| pred(t))?;
+    pub fn pop_where(&mut self, pred: impl FnMut(&T) -> bool) -> Option<T> {
+        let idx = self.items.iter().position(pred)?;
         self.items.remove(idx)
     }
 }
@@ -161,7 +161,7 @@ impl<T> DelayQueue<T> {
     pub fn push(&mut self, now: Cycle, item: T) {
         let ready = now + self.latency;
         debug_assert!(
-            self.items.back().map_or(true, |(r, _)| *r <= ready),
+            self.items.back().is_none_or(|(r, _)| *r <= ready),
             "DelayQueue pushes must be in non-decreasing time order"
         );
         self.items.push_back((ready, item));

@@ -1,0 +1,202 @@
+//! Debug-mode runtime invariant sanitizer.
+//!
+//! PABST's accounting is exact by construction — pacer credit is bounded
+//! by the burst window, virtual deadlines only move forward, and every
+//! request that enters a queue leaves it exactly once. Those invariants
+//! are what make the paper's proportional-share claims trustworthy, so
+//! the SoC epoch loop re-verifies them at every epoch boundary when
+//! sanitizing is on.
+//!
+//! The sanitizer is active when the crate is built with
+//! `debug_assertions` (every `cargo test`) or with the `sanitize` cargo
+//! feature (release builds, CI). In plain release builds every check is
+//! a no-op that the optimizer removes.
+//!
+//! The checks are deliberately generic (bounds, monotonicity,
+//! conservation) so `pabst-simkit` stays dependency-free; the SoC layer
+//! feeds it the domain quantities.
+//!
+//! # Examples
+//!
+//! ```
+//! use pabst_simkit::sanitizer::Sanitizer;
+//!
+//! let mut s = Sanitizer::new();
+//! s.check_le("pacer credit", 0, 90, 150); // fine: 90 <= 150
+//! s.check_monotone("virtual clock", 0, 1, 10);
+//! s.check_monotone("virtual clock", 0, 1, 10); // equal is fine
+//! if s.enabled() {
+//!     assert_eq!(s.checks_run(), 3);
+//! }
+//! ```
+
+use std::collections::BTreeMap;
+
+/// Per-epoch invariant checker. See the module docs for when it is live.
+///
+/// All checks panic with a `what[unit/lane]` diagnostic on violation, so a
+/// failing invariant surfaces as a test failure at the epoch where the
+/// drift began rather than as a silently wrong figure.
+#[derive(Debug, Clone, Default)]
+pub struct Sanitizer {
+    /// Last observed value per (check name, unit, lane), for monotonicity.
+    floors: BTreeMap<(&'static str, usize, usize), u64>,
+    checks: u64,
+}
+
+impl Sanitizer {
+    /// Creates a sanitizer with no recorded history.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// True when checks are live in this build (debug assertions or the
+    /// `sanitize` feature).
+    pub fn enabled(&self) -> bool {
+        cfg!(any(debug_assertions, feature = "sanitize"))
+    }
+
+    /// Number of checks evaluated so far (0 when disabled).
+    pub fn checks_run(&self) -> u64 {
+        self.checks
+    }
+
+    /// Asserts `value <= bound`, e.g. pacer credit never exceeds the burst
+    /// window. `unit` distinguishes instances (tile index, MC index).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the bound is violated and the sanitizer is enabled.
+    pub fn check_le(&mut self, what: &'static str, unit: usize, value: u64, bound: u64) {
+        if !self.enabled() {
+            return;
+        }
+        self.checks += 1;
+        assert!(value <= bound, "sanitizer: {what}[{unit}] = {value} exceeds bound {bound}");
+    }
+
+    /// Asserts the series identified by `(what, unit, lane)` never
+    /// decreases across calls, e.g. per-class virtual deadlines.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the new value is below the previously observed one and
+    /// the sanitizer is enabled.
+    pub fn check_monotone(&mut self, what: &'static str, unit: usize, lane: usize, value: u64) {
+        if !self.enabled() {
+            return;
+        }
+        self.checks += 1;
+        let floor = self.floors.entry((what, unit, lane)).or_insert(value);
+        assert!(
+            value >= *floor,
+            "sanitizer: {what}[{unit}/{lane}] regressed from {floor} to {value}"
+        );
+        *floor = value;
+    }
+
+    /// Asserts flow conservation: `inflow == outflow + in_flight`, e.g.
+    /// every request accepted by a memory controller either completed or
+    /// is still queued.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the books don't balance and the sanitizer is enabled.
+    pub fn check_conserved(
+        &mut self,
+        what: &'static str,
+        unit: usize,
+        inflow: u64,
+        outflow: u64,
+        in_flight: u64,
+    ) {
+        if !self.enabled() {
+            return;
+        }
+        self.checks += 1;
+        assert!(
+            inflow == outflow + in_flight,
+            "sanitizer: {what}[{unit}] leaked: in={inflow} out={outflow} pending={in_flight}"
+        );
+    }
+
+    /// Asserts `num <= den` so the ratio `num/den` is a valid fraction in
+    /// `[0, 1]`, e.g. SAT duty cycle as saturated epochs over total epochs.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `num > den` and the sanitizer is enabled.
+    pub fn check_fraction(&mut self, what: &'static str, unit: usize, num: u64, den: u64) {
+        if !self.enabled() {
+            return;
+        }
+        self.checks += 1;
+        assert!(num <= den, "sanitizer: {what}[{unit}] duty {num}/{den} outside [0, 1]");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // These tests exercise the *enabled* paths; the test profile always
+    // has debug_assertions on, so `enabled()` is true here.
+
+    #[test]
+    fn le_within_bound_passes() {
+        let mut s = Sanitizer::new();
+        s.check_le("credit", 3, 10, 10);
+        assert_eq!(s.checks_run(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds bound")]
+    fn le_violation_panics() {
+        let mut s = Sanitizer::new();
+        s.check_le("credit", 0, 11, 10);
+    }
+
+    #[test]
+    fn monotone_accepts_nondecreasing() {
+        let mut s = Sanitizer::new();
+        for v in [1, 1, 2, 5, 5, 9] {
+            s.check_monotone("clock", 0, 2, v);
+        }
+    }
+
+    #[test]
+    fn monotone_lanes_are_independent() {
+        let mut s = Sanitizer::new();
+        s.check_monotone("clock", 0, 0, 100);
+        s.check_monotone("clock", 0, 1, 5); // different lane: fine
+        s.check_monotone("clock", 1, 0, 5); // different unit: fine
+    }
+
+    #[test]
+    #[should_panic(expected = "regressed")]
+    fn monotone_regression_panics() {
+        let mut s = Sanitizer::new();
+        s.check_monotone("clock", 0, 0, 7);
+        s.check_monotone("clock", 0, 0, 6);
+    }
+
+    #[test]
+    fn conservation_balances() {
+        let mut s = Sanitizer::new();
+        s.check_conserved("mc requests", 0, 100, 90, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "leaked")]
+    fn conservation_leak_panics() {
+        let mut s = Sanitizer::new();
+        s.check_conserved("mc requests", 0, 100, 90, 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1]")]
+    fn fraction_above_one_panics() {
+        let mut s = Sanitizer::new();
+        s.check_fraction("sat duty", 0, 3, 2);
+    }
+}

@@ -215,8 +215,7 @@ impl ClassSeries {
 
     /// Mean of class `c` over epochs `range` (clamped to available data).
     pub fn mean_over(&self, c: usize, from_epoch: usize) -> f64 {
-        let pts: Vec<f64> =
-            self.points.iter().skip(from_epoch).map(|v| v[c]).collect();
+        let pts: Vec<f64> = self.points.iter().skip(from_epoch).map(|v| v[c]).collect();
         if pts.is_empty() {
             return 0.0;
         }

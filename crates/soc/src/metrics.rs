@@ -65,8 +65,6 @@ impl Metrics {
 
     /// Total mean bytes/cycle across classes from `from_epoch` on.
     pub fn total_bytes_per_cycle(&self, from_epoch: usize) -> f64 {
-        (0..self.bw_series.classes())
-            .map(|c| self.mean_bytes_per_cycle(c, from_epoch))
-            .sum()
+        (0..self.bw_series.classes()).map(|c| self.mean_bytes_per_cycle(c, from_epoch)).sum()
     }
 }

@@ -10,6 +10,7 @@ use pabst_core::satmon::or_sat;
 use pabst_cpu::{OooCore, Workload};
 use pabst_dram::{ArbiterMode, Completion, MemController, MemReq};
 use pabst_simkit::queue::DelayQueue;
+use pabst_simkit::sanitizer::Sanitizer;
 use pabst_simkit::Cycle;
 
 use crate::config::{ConfigError, RegulationMode, SystemConfig, WbAccounting};
@@ -89,6 +90,9 @@ pub struct System {
     /// Round-robin start index for tile injection fairness.
     inject_rr: usize,
     epochs_run: usize,
+    /// Per-epoch invariant checks; no-ops unless debug_assertions or the
+    /// `sanitize` feature is on.
+    sanitizer: Sanitizer,
 }
 
 impl System {
@@ -115,6 +119,12 @@ impl System {
     /// Collected metrics.
     pub fn metrics(&self) -> &Metrics {
         &self.metrics
+    }
+
+    /// The epoch invariant sanitizer (its check counter proves the
+    /// invariants actually ran in debug/`sanitize` builds).
+    pub fn sanitizer(&self) -> &Sanitizer {
+        &self.sanitizer
     }
 
     /// Mutable metrics (service-time percentiles need `&mut`).
@@ -167,7 +177,11 @@ impl System {
                 n += k;
             }
         }
-        if n == 0 { None } else { Some(sum / n as f64) }
+        if n == 0 {
+            None
+        } else {
+            Some(sum / n as f64)
+        }
     }
 
     /// Total requests refused at MC ingress ports (backpressure events).
@@ -189,8 +203,7 @@ impl System {
         }
         self.metrics.bus_busy_at_start = self.mcs.iter().map(|m| m.stats().bus_busy).sum();
         for c in 0..pabst_core::qos::MAX_CLASSES {
-            self.metrics.bytes_at_start[c] =
-                self.mcs.iter().map(|m| m.stats().bytes[c]).sum();
+            self.metrics.bytes_at_start[c] = self.mcs.iter().map(|m| m.stats().bytes[c]).sum();
         }
         for h in &mut self.metrics.service {
             *h = pabst_simkit::stats::Histogram::new();
@@ -215,7 +228,7 @@ impl System {
     pub fn run_cycles(&mut self, n: Cycle) {
         for _ in 0..n {
             self.step();
-            if self.now % self.cfg.epoch_cycles == 0 {
+            if self.now.is_multiple_of(self.cfg.epoch_cycles) {
                 self.on_epoch_boundary();
             }
         }
@@ -361,10 +374,8 @@ impl System {
             }
         }
         for w in waiters {
-            self.resp_net.push(
-                now,
-                TileResp { line: c.line, tile: w.tile, l3_hit: false, wb_flag },
-            );
+            self.resp_net
+                .push(now, TileResp { line: c.line, tile: w.tile, l3_hit: false, wb_flag });
             // Only one response should carry the charge.
             wb_flag = false;
         }
@@ -379,12 +390,7 @@ impl System {
             WbAccounting::ChargeNone => demand, // bytes still attributed somewhere
         };
         let mc = line.interleave(self.cfg.mcs);
-        self.mc_out[mc][class.index()].push_back(MemReq {
-            line,
-            class,
-            is_write: true,
-            token: 0,
-        });
+        self.mc_out[mc][class.index()].push_back(MemReq { line, class, is_write: true, token: 0 });
     }
 
     /// A response arrives at a tile: fill caches, wake the core, settle
@@ -403,10 +409,7 @@ impl System {
         // L2 victims displaced by this fill go back to the L3.
         while let Some(line) = tile.mem.pop_l2_writeback() {
             let class = tile.mem.class;
-            self.l3_in.push(
-                now,
-                L3Req { line, class, tile: resp.tile, store: false, l2_wb: true },
-            );
+            self.l3_in.push(now, L3Req { line, class, tile: resp.tile, store: false, l2_wb: true });
         }
     }
 
@@ -467,6 +470,45 @@ impl System {
         }
         self.metrics.bw_series.push_epoch(&bytes);
         self.epochs_run += 1;
+        self.sanitize_epoch(now);
+    }
+
+    /// Re-verifies the paper's accounting invariants at the epoch
+    /// boundary (no-op in plain release builds):
+    ///
+    /// * pacer credit never exceeds the burst window (§III-B3's bounded
+    ///   `C_next` lag) — checked right after reprogramming, which clamps;
+    /// * every per-class virtual clock in every controller's arbiter is
+    ///   monotonically nondecreasing (§III-C2);
+    /// * memory-controller request conservation: accepted = completed +
+    ///   pending, so no request is lost or double-counted;
+    /// * the SAT duty cycle is a valid fraction of epochs.
+    fn sanitize_epoch(&mut self, now: Cycle) {
+        if !self.sanitizer.enabled() {
+            return;
+        }
+        let san = &mut self.sanitizer;
+        for (i, tile) in self.tiles.iter().enumerate() {
+            // Period 0 means unthrottled: no credit bound to enforce.
+            for p in tile.mem.pacers().iter().filter(|p| p.period() > 0) {
+                san.check_le("pacer credit", i, p.credit_at(now), p.burst_window());
+            }
+        }
+        for (k, mc) in self.mcs.iter().enumerate() {
+            for c in 0..self.shares.classes() {
+                san.check_monotone("mc virtual clock", k, c, mc.virtual_clock(QosId::new(c as u8)));
+            }
+            let s = mc.stats();
+            san.check_conserved(
+                "mc requests",
+                k,
+                mc.accepted(),
+                s.reads + s.writes,
+                mc.pending() as u64,
+            );
+        }
+        let sat_epochs = self.metrics.sat_series.iter().filter(|&&s| s).count() as u64;
+        san.check_fraction("sat duty", 0, sat_epochs, self.metrics.sat_series.len() as u64);
     }
 }
 
@@ -529,16 +571,15 @@ impl SystemBuilder {
                 self.cfg.cores
             )));
         }
-        let shares = ShareTable::from_weights(&self.weights)
-            .map_err(|e| ConfigError(e.to_string()))?;
+        let shares =
+            ShareTable::from_weights(&self.weights).map_err(|e| ConfigError(e.to_string()))?;
 
         // L3 partitioning: equal exclusive slices by default.
         let mut l3 = SetAssocCache::new(self.cfg.l3);
         let classes = self.weights.len();
         let default_slice = (self.cfg.l3.ways / classes).max(1);
         for c in 0..classes {
-            let (first, count) = self.l3_ways[c]
-                .unwrap_or((c * default_slice, default_slice));
+            let (first, count) = self.l3_ways[c].unwrap_or((c * default_slice, default_slice));
             l3.set_partition(QosId::new(c as u8), WayMask::range(first, count));
         }
 
@@ -556,9 +597,7 @@ impl SystemBuilder {
                 let pacers = if !self.mode.source_active() {
                     Vec::new()
                 } else if self.cfg.per_mc_regulation {
-                    (0..self.cfg.mcs)
-                        .map(|_| Pacer::with_burst(0, self.cfg.pacer_burst))
-                        .collect()
+                    (0..self.cfg.mcs).map(|_| Pacer::with_burst(0, self.cfg.pacer_burst)).collect()
                 } else {
                     vec![Pacer::with_burst(0, self.cfg.pacer_burst)]
                 };
@@ -602,6 +641,7 @@ impl SystemBuilder {
             now: 0,
             inject_rr: 0,
             epochs_run: 0,
+            sanitizer: Sanitizer::new(),
             cfg: self.cfg,
             mode: self.mode,
         })
@@ -639,9 +679,7 @@ mod tests {
     #[test]
     fn builder_rejects_too_many_cores() {
         let cfg = SystemConfig::small_test(); // 4 cores
-        let err = SystemBuilder::new(cfg, RegulationMode::Pabst)
-            .class(1, idle_boxes(5))
-            .build();
+        let err = SystemBuilder::new(cfg, RegulationMode::Pabst).class(1, idle_boxes(5)).build();
         assert!(err.is_err());
     }
 
@@ -654,10 +692,8 @@ mod tests {
     #[test]
     fn idle_system_advances_and_reports_no_traffic() {
         let cfg = SystemConfig::small_test();
-        let mut sys = SystemBuilder::new(cfg, RegulationMode::Pabst)
-            .class(1, idle_boxes(2))
-            .build()
-            .unwrap();
+        let mut sys =
+            SystemBuilder::new(cfg, RegulationMode::Pabst).class(1, idle_boxes(2)).build().unwrap();
         sys.run_epochs(3);
         assert_eq!(sys.epochs_run(), 3);
         assert_eq!(sys.now(), 3 * cfg.epoch_cycles);
@@ -666,6 +702,18 @@ mod tests {
         assert!(sys.tiles()[0].core.stats().retired > 0);
         // No saturation ever.
         assert!(sys.metrics().sat_series.iter().all(|&s| !s));
+    }
+
+    #[test]
+    fn sanitizer_checks_run_every_epoch() {
+        // Test builds carry debug_assertions, so the epoch sanitizer is
+        // live and must have evaluated its invariants.
+        let cfg = SystemConfig::small_test();
+        let mut sys =
+            SystemBuilder::new(cfg, RegulationMode::Pabst).class(1, idle_boxes(2)).build().unwrap();
+        sys.run_epochs(2);
+        assert!(sys.sanitizer().enabled());
+        assert!(sys.sanitizer().checks_run() > 0);
     }
 
     #[test]

@@ -59,6 +59,7 @@ pub struct TileMem {
 
 impl TileMem {
     /// Builds the tile memory front end.
+    #[allow(clippy::too_many_arguments)] // flat constructor mirrors SystemBuilder's plumbing
     pub fn new(
         class: QosId,
         l1: SetAssocCache,
@@ -125,6 +126,11 @@ impl TileMem {
     /// All pacers (empty when source regulation is off).
     pub fn pacers_mut(&mut self) -> &mut [Pacer] {
         &mut self.pacers
+    }
+
+    /// All pacers, read-only (inspection and invariant checks).
+    pub fn pacers(&self) -> &[Pacer] {
+        &self.pacers
     }
 
     /// Settles response-side accounting for `line`: refund when the shared

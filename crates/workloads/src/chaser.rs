@@ -7,10 +7,8 @@
 //! sensitive to both memory latency and (when many threads run) bandwidth
 //! (§IV-A).
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
-
 use pabst_cpu::{LoadId, Op, Workload};
+use pabst_simkit::rng::SimRng;
 
 use crate::region::Region;
 
@@ -35,7 +33,7 @@ use crate::region::Region;
 #[derive(Debug, Clone)]
 pub struct ChaserGen {
     region: Region,
-    rng: SmallRng,
+    rng: SimRng,
     /// Last load id per chain.
     chains: Vec<Option<LoadId>>,
     next_chain: usize,
@@ -56,7 +54,7 @@ impl ChaserGen {
         assert!(chains > 0, "need at least one chain");
         Self {
             region,
-            rng: SmallRng::seed_from_u64(seed),
+            rng: SimRng::seed_from_u64(seed),
             chains: vec![None; chains],
             next_chain: 0,
             load_seq: seed << 40,

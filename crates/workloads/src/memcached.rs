@@ -7,10 +7,8 @@
 //! retires at each transaction boundary so the SoC can compute exact
 //! per-transaction service times.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
-
 use pabst_cpu::{LoadId, Op, Workload};
+use pabst_simkit::rng::SimRng;
 
 use crate::region::Region;
 
@@ -51,7 +49,7 @@ impl Default for TxnShape {
 pub struct MemcachedGen {
     region: Region,
     shape: TxnShape,
-    rng: SmallRng,
+    rng: SimRng,
     load_seq: u64,
     txn: u64,
     /// Remaining ops of the current transaction, emitted back-to-front.
@@ -71,14 +69,11 @@ impl MemcachedGen {
     ///
     /// Panics if the shape has no memory accesses at all.
     pub fn with_shape(region: Region, shape: TxnShape, seed: u64) -> Self {
-        assert!(
-            shape.chain_len + shape.value_lines > 0,
-            "a transaction must access memory"
-        );
+        assert!(shape.chain_len + shape.value_lines > 0, "a transaction must access memory");
         Self {
             region,
             shape,
-            rng: SmallRng::seed_from_u64(seed ^ 0x3e3c),
+            rng: SimRng::seed_from_u64(seed ^ 0x3e3c),
             load_seq: seed << 40,
             txn: 0,
             queue: Vec::new(),

@@ -16,10 +16,8 @@
 //! mcf/omnetpp/sphinx3 latency-sensitive; the rest mixed). See DESIGN.md
 //! §2 for the substitution rationale.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
-
 use pabst_cpu::{LoadId, Op, Workload};
+use pabst_simkit::rng::SimRng;
 
 use crate::region::Region;
 
@@ -157,7 +155,7 @@ pub struct SpecProxyGen {
     which: SpecWorkload,
     params: SpecParams,
     region: Region,
-    rng: SmallRng,
+    rng: SimRng,
     load_seq: u64,
     last_load: Option<LoadId>,
     seq_cursor: u64,
@@ -175,7 +173,7 @@ impl SpecProxyGen {
             which,
             params,
             region: region.prefix(lines),
-            rng: SmallRng::seed_from_u64(seed ^ 0x5bec),
+            rng: SimRng::seed_from_u64(seed ^ 0x5bec),
             load_seq: seed << 40,
             last_load: None,
             seq_cursor: 0,

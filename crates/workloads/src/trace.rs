@@ -175,11 +175,7 @@ mod tests {
 
     #[test]
     fn looping_retags_load_ids_per_iteration() {
-        let trace = vec![Op::Load {
-            addr: pabst_cache::Addr::new(0),
-            id: LoadId(7),
-            dep: None,
-        }];
+        let trace = vec![Op::Load { addr: pabst_cache::Addr::new(0), id: LoadId(7), dep: None }];
         let mut g = TraceGen::looping(trace);
         let first = g.next_op();
         let second = g.next_op();

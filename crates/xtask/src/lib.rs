@@ -1,0 +1,921 @@
+//! `simlint`: the PABST workspace's determinism & accounting static-analysis
+//! pass.
+//!
+//! A cycle-accurate simulator is only as trustworthy as its reproducibility:
+//! the paper's figures (proportional slowdowns, SAT duty cycles, epoch
+//! traces) must come out bit-identical on every run and every host. This
+//! crate enforces the workspace conventions that make that true, with a
+//! hand-rolled scanner — the workspace builds without network access, so no
+//! `syn`/`dylint` machinery is available (or needed).
+//!
+//! Rules (catalogued in `docs/LINTS.md`):
+//!
+//! * `hash-map` — no `HashMap`/`HashSet` in simulation crates (iteration
+//!   order is hasher-randomized per process).
+//! * `nondet` — no wall-clock or entropy sources (`std::time`, `Instant`,
+//!   `SystemTime`, `thread_rng`, `from_entropy`) outside the bench harness.
+//! * `float-math` — no floating-point in the regulation datapath
+//!   (`core::{pacer, arbiter, qos}`); credits, strides and deadlines are
+//!   integer state machines in the paper's hardware.
+//! * `unwrap` — no `.unwrap()`/`.expect()` in non-test code of `pabst-core`
+//!   and `pabst-simkit`; mechanism code must surface errors, not abort.
+//! * `missing-docs` — every `pub fn` in `pabst-core` carries a doc comment.
+//!
+//! Suppression: `// simlint: allow(<rule>): <justification>` on the same
+//! line silences that line; on its own line it silences the item that
+//! follows (through the item's closing brace or terminating semicolon). The
+//! justification is mandatory — an allow without one is itself a violation.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::path::Path;
+
+/// Rule identifiers, as used in diagnostics and `allow(...)` suppressions.
+pub const RULE_HASH_MAP: &str = "hash-map";
+/// See [`RULE_HASH_MAP`]; wall-clock / entropy sources.
+pub const RULE_NONDET: &str = "nondet";
+/// Floating-point arithmetic in the regulation datapath.
+pub const RULE_FLOAT_MATH: &str = "float-math";
+/// `.unwrap()` / `.expect()` in mechanism crates.
+pub const RULE_UNWRAP: &str = "unwrap";
+/// `pub fn` without a doc comment in `pabst-core`.
+pub const RULE_MISSING_DOCS: &str = "missing-docs";
+/// Malformed suppression comments (missing justification, unknown rule).
+pub const RULE_SUPPRESSION: &str = "suppression";
+
+/// All real (suppressible) rule names.
+pub const ALL_RULES: [&str; 5] =
+    [RULE_HASH_MAP, RULE_NONDET, RULE_FLOAT_MATH, RULE_UNWRAP, RULE_MISSING_DOCS];
+
+/// Crates whose simulation state must iterate deterministically (rule L1).
+const SIM_CRATES: [&str; 6] = ["simkit", "core", "cache", "cpu", "dram", "soc"];
+/// Crates exempt from the nondeterminism rule (L2): the timing harness
+/// genuinely needs `Instant`, and this linter names the banned tokens.
+const NONDET_EXEMPT_CRATES: [&str; 2] = ["bench", "xtask"];
+/// `pabst-core` files forming the integer regulation datapath (rule L3).
+const FLOAT_FREE_FILES: [&str; 3] = ["pacer.rs", "arbiter.rs", "qos.rs"];
+/// Crates where `.unwrap()`/`.expect()` are banned outside tests (rule L4).
+const PANIC_FREE_CRATES: [&str; 2] = ["core", "simkit"];
+
+/// A single lint violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Workspace-relative path of the offending file.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Rule identifier (one of the `RULE_*` constants).
+    pub rule: &'static str,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: [{}] {}", self.file, self.line, self.rule, self.message)
+    }
+}
+
+/// What the scanner needs to know about a file before rule dispatch.
+#[derive(Debug, Clone)]
+pub struct FileSpec<'a> {
+    /// Short crate name: the directory under `crates/` (e.g. `"core"`),
+    /// or `"examples"` / `"tests"` for the top-level members.
+    pub crate_name: &'a str,
+    /// Workspace-relative path, used in diagnostics and for per-file rule
+    /// scoping (rule L3 matches on the file name).
+    pub rel_path: &'a str,
+    /// True when the whole file is test/bench support (lives under a
+    /// `tests/` or `benches/` directory, or in the integration-test
+    /// package). `#[cfg(test)]` modules inside `src/` are detected
+    /// separately.
+    pub is_test: bool,
+}
+
+// ---------------------------------------------------------------------------
+// Scanner: strip comments and literals, keep line structure.
+// ---------------------------------------------------------------------------
+
+#[derive(Debug)]
+struct Comment {
+    /// 0-based line the comment starts on.
+    line: usize,
+    /// Raw comment text including the `//` / `/*` introducer.
+    text: String,
+    /// True when code precedes the comment on its start line.
+    trailing: bool,
+}
+
+#[derive(Debug)]
+struct Scanned {
+    /// Source with comments, string/char literals blanked to spaces.
+    /// Newlines are preserved, so line/column structure is intact.
+    cleaned: Vec<char>,
+    /// Byte-offset... (char-offset) of the start of each line in `cleaned`.
+    line_starts: Vec<usize>,
+    comments: Vec<Comment>,
+}
+
+fn is_ident_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+fn scan(source: &str) -> Scanned {
+    let src: Vec<char> = source.chars().collect();
+    let n = src.len();
+    let mut cleaned = src.clone();
+    let mut comments = Vec::new();
+
+    let mut i = 0;
+    let mut line = 0usize;
+    let mut line_start = 0usize; // index where the current line began
+    let mut line_has_code = false;
+
+    macro_rules! blank {
+        ($idx:expr) => {
+            if cleaned[$idx] != '\n' {
+                cleaned[$idx] = ' ';
+            }
+        };
+    }
+    macro_rules! blank_range {
+        ($range:expr) => {
+            for ch in &mut cleaned[$range] {
+                if *ch != '\n' {
+                    *ch = ' ';
+                }
+            }
+        };
+    }
+
+    while i < n {
+        let c = src[i];
+        match c {
+            '\n' => {
+                line += 1;
+                line_start = i + 1;
+                line_has_code = false;
+                i += 1;
+            }
+            '/' if i + 1 < n && src[i + 1] == '/' => {
+                let start = i;
+                while i < n && src[i] != '\n' {
+                    blank!(i);
+                    i += 1;
+                }
+                comments.push(Comment {
+                    line,
+                    text: src[start..i].iter().collect(),
+                    trailing: line_has_code,
+                });
+            }
+            '/' if i + 1 < n && src[i + 1] == '*' => {
+                // Rust block comments nest.
+                let (start, start_line, trailing) = (i, line, line_has_code);
+                let mut depth = 1usize;
+                blank!(i);
+                blank!(i + 1);
+                i += 2;
+                while i < n && depth > 0 {
+                    if src[i] == '\n' {
+                        line += 1;
+                        line_start = i + 1;
+                        i += 1;
+                    } else if src[i] == '/' && i + 1 < n && src[i + 1] == '*' {
+                        depth += 1;
+                        blank!(i);
+                        blank!(i + 1);
+                        i += 2;
+                    } else if src[i] == '*' && i + 1 < n && src[i + 1] == '/' {
+                        depth -= 1;
+                        blank!(i);
+                        blank!(i + 1);
+                        i += 2;
+                    } else {
+                        blank!(i);
+                        i += 1;
+                    }
+                }
+                line_has_code = cleaned[line_start..i].iter().any(|&ch| !ch.is_whitespace());
+                comments.push(Comment {
+                    line: start_line,
+                    text: src[start..i.min(n)].iter().collect(),
+                    trailing,
+                });
+            }
+            '"' => {
+                line_has_code = true;
+                i += 1;
+                while i < n {
+                    match src[i] {
+                        '\\' => {
+                            blank!(i);
+                            if i + 1 < n {
+                                blank!(i + 1);
+                            }
+                            i += 2;
+                        }
+                        '"' => {
+                            i += 1;
+                            break;
+                        }
+                        '\n' => {
+                            line += 1;
+                            line_start = i + 1;
+                            i += 1;
+                        }
+                        _ => {
+                            blank!(i);
+                            i += 1;
+                        }
+                    }
+                }
+            }
+            'r' if i + 1 < n
+                && (src[i + 1] == '"' || src[i + 1] == '#')
+                && (i == 0 || !is_ident_char(src[i - 1])) =>
+            {
+                // Raw string r"..." / r#"..."# (any hash depth).
+                let mut hashes = 0usize;
+                let mut j = i + 1;
+                while j < n && src[j] == '#' {
+                    hashes += 1;
+                    j += 1;
+                }
+                if j < n && src[j] == '"' {
+                    line_has_code = true;
+                    blank!(i);
+                    blank_range!(i + 1..=j);
+                    j += 1;
+                    'raw: while j < n {
+                        if src[j] == '\n' {
+                            line += 1;
+                            line_start = j + 1;
+                            j += 1;
+                        } else if src[j] == '"' {
+                            let mut k = j + 1;
+                            let mut h = 0usize;
+                            while k < n && h < hashes && src[k] == '#' {
+                                h += 1;
+                                k += 1;
+                            }
+                            if h == hashes {
+                                blank_range!(j..k);
+                                j = k;
+                                break 'raw;
+                            }
+                            blank!(j);
+                            j += 1;
+                        } else {
+                            blank!(j);
+                            j += 1;
+                        }
+                    }
+                    i = j;
+                } else {
+                    line_has_code = true;
+                    i += 1;
+                }
+            }
+            '\'' => {
+                line_has_code = true;
+                if i + 1 < n && src[i + 1] == '\\' {
+                    // Escaped char literal: '\n', '\\', '\u{..}', ...
+                    let mut j = i + 2;
+                    while j < n && src[j] != '\'' && src[j] != '\n' {
+                        j += 1;
+                    }
+                    blank_range!(i..=j.min(n - 1));
+                    i = j + 1;
+                } else if i + 2 < n && src[i + 2] == '\'' {
+                    // Plain char literal 'x'.
+                    blank!(i);
+                    blank!(i + 1);
+                    blank!(i + 2);
+                    i += 3;
+                } else {
+                    // Lifetime ('a) — leave in place, it is code.
+                    i += 1;
+                }
+            }
+            _ => {
+                if !c.is_whitespace() {
+                    line_has_code = true;
+                }
+                i += 1;
+            }
+        }
+    }
+
+    let mut line_starts = vec![0usize];
+    for (idx, &ch) in cleaned.iter().enumerate() {
+        if ch == '\n' {
+            line_starts.push(idx + 1);
+        }
+    }
+
+    Scanned { cleaned, line_starts, comments }
+}
+
+impl Scanned {
+    fn line_count(&self) -> usize {
+        self.line_starts.len()
+    }
+
+    /// The cleaned text of 0-based `line`.
+    fn line(&self, line: usize) -> &[char] {
+        let start = self.line_starts[line];
+        let end = self
+            .line_starts
+            .get(line + 1)
+            .map(|&e| e - 1) // drop the '\n'
+            .unwrap_or(self.cleaned.len());
+        &self.cleaned[start..end]
+    }
+
+    fn line_is_blank(&self, line: usize) -> bool {
+        self.line(line).iter().all(|c| c.is_whitespace())
+    }
+
+    /// 0-based line of the `}` matching the first `{` at or after the start
+    /// of `from_line`; falls back to the terminating `;` line for brace-less
+    /// items, or `from_line` itself when neither appears.
+    fn item_end_line(&self, from_line: usize) -> usize {
+        let start = self.line_starts[from_line];
+        let mut depth = 0usize;
+        let mut line = from_line;
+        let mut entered = false;
+        for idx in start..self.cleaned.len() {
+            match self.cleaned[idx] {
+                '\n' => line += 1,
+                '{' => {
+                    depth += 1;
+                    entered = true;
+                }
+                '}' => {
+                    depth = depth.saturating_sub(1);
+                    if entered && depth == 0 {
+                        return line;
+                    }
+                }
+                ';' if !entered && depth == 0 => return line,
+                _ => {}
+            }
+        }
+        from_line
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Region analysis: #[cfg(test)] modules and suppressions.
+// ---------------------------------------------------------------------------
+
+/// Marks every line inside a `#[cfg(test)]`-gated item as test code.
+fn test_lines(sc: &Scanned) -> Vec<bool> {
+    let mut is_test = vec![false; sc.line_count()];
+    let text: String = sc.cleaned.iter().collect();
+    let mut search_from = 0;
+    while let Some(pos) = text[search_from..].find("#[cfg(test)]") {
+        let abs = search_from + pos;
+        search_from = abs + 1;
+        let start_line = text[..abs].matches('\n').count();
+        let end_line = sc.item_end_line(start_line);
+        for flag in is_test.iter_mut().take(end_line + 1).skip(start_line) {
+            *flag = true;
+        }
+    }
+    is_test
+}
+
+#[derive(Debug)]
+struct Suppression {
+    rule: String,
+    /// 0-based inclusive line range the suppression covers.
+    first_line: usize,
+    last_line: usize,
+}
+
+/// Parses `simlint: allow(rule): justification` comments into suppressed
+/// line ranges. Malformed suppressions are reported as diagnostics.
+fn suppressions(spec: &FileSpec<'_>, sc: &Scanned) -> (Vec<Suppression>, Vec<Diagnostic>) {
+    let mut sups = Vec::new();
+    let mut diags = Vec::new();
+    for c in &sc.comments {
+        // Doc comments describe the convention; only plain comments enact it.
+        if ["///", "//!", "/**", "/*!"].iter().any(|p| c.text.starts_with(p)) {
+            continue;
+        }
+        let Some(tag) = c.text.find("simlint:") else { continue };
+        let rest = c.text[tag + "simlint:".len()..].trim_start();
+        let diag = |msg: String| Diagnostic {
+            file: spec.rel_path.to_string(),
+            line: c.line + 1,
+            rule: RULE_SUPPRESSION,
+            message: msg,
+        };
+        let Some(inner) = rest.strip_prefix("allow(") else {
+            diags.push(diag("malformed simlint comment: expected `allow(<rule>)`".into()));
+            continue;
+        };
+        let Some(close) = inner.find(')') else {
+            diags.push(diag("malformed simlint comment: unclosed `allow(`".into()));
+            continue;
+        };
+        let rule = inner[..close].trim().to_string();
+        if !ALL_RULES.contains(&rule.as_str()) {
+            diags.push(diag(format!(
+                "unknown rule `{rule}` in allow(...); known rules: {}",
+                ALL_RULES.join(", ")
+            )));
+            continue;
+        }
+        let justification = inner[close + 1..].trim_start().strip_prefix(':').map(str::trim);
+        match justification {
+            Some(j) if !j.is_empty() => {}
+            _ => {
+                diags.push(diag(format!(
+                    "allow({rule}) needs a justification: `// simlint: allow({rule}): <why>`"
+                )));
+                continue;
+            }
+        }
+        let (first_line, last_line) = if c.trailing {
+            (c.line, c.line)
+        } else {
+            // Stand-alone comment: cover the item that follows.
+            let mut item = c.line + 1;
+            while item < sc.line_count() && sc.line_is_blank(item) {
+                item += 1;
+            }
+            if item >= sc.line_count() {
+                diags.push(diag(format!("allow({rule}) does not precede any code")));
+                continue;
+            }
+            (item, sc.item_end_line(item))
+        };
+        sups.push(Suppression { rule, first_line, last_line });
+    }
+    (sups, diags)
+}
+
+fn suppressed(sups: &[Suppression], rule: &str, line: usize) -> bool {
+    sups.iter().any(|s| s.rule == rule && line >= s.first_line && line <= s.last_line)
+}
+
+// ---------------------------------------------------------------------------
+// Rules.
+// ---------------------------------------------------------------------------
+
+/// Yields `(start_column, word)` for each identifier-like token on a line.
+fn words(line: &[char]) -> Vec<(usize, String)> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < line.len() {
+        if is_ident_char(line[i]) {
+            let start = i;
+            while i < line.len() && is_ident_char(line[i]) {
+                i += 1;
+            }
+            out.push((start, line[start..i].iter().collect()));
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+/// True when `word` at `col` on `line` is a method call: preceded by `.`
+/// (skipping whitespace) and followed by `(` (skipping whitespace).
+fn is_method_call(line: &[char], col: usize, word: &str) -> bool {
+    let before = line[..col].iter().rev().find(|c| !c.is_whitespace());
+    if before != Some(&'.') {
+        return false;
+    }
+    let after = line[col + word.len()..].iter().find(|c| !c.is_whitespace());
+    after == Some(&'(')
+}
+
+/// True when the line contains a floating-point literal (`1.0`, `2.5e3`)
+/// in cleaned code. Tuple indexing (`pair.0`), ranges (`0..10`) and integer
+/// method calls (`1.max(x)`) do not match: we require digits on both sides
+/// of a single `.`.
+fn has_float_literal(line: &[char]) -> bool {
+    // A digit on both sides of a single `.` already excludes ranges
+    // (`0..10` puts a `.` next to the dot, not a digit), tuple fields
+    // (`pair.0` has an identifier before the dot) and integer method calls
+    // (`1.max(x)` has a letter after it). `1e9`-style exponent floats
+    // without a dot are not caught; the datapath files never use them.
+    (1..line.len().saturating_sub(1))
+        .any(|i| line[i] == '.' && line[i - 1].is_ascii_digit() && line[i + 1].is_ascii_digit())
+}
+
+/// Runs every applicable rule over one file. This is the unit the fixture
+/// tests drive directly.
+pub fn lint_source(spec: &FileSpec<'_>, source: &str) -> Vec<Diagnostic> {
+    let sc = scan(source);
+    let tests = test_lines(&sc);
+    let (sups, mut diags) = suppressions(spec, &sc);
+
+    let raw_lines: Vec<&str> = source.lines().collect();
+
+    let in_sim_crate = SIM_CRATES.contains(&spec.crate_name);
+    let nondet_applies = !NONDET_EXEMPT_CRATES.contains(&spec.crate_name);
+    let file_name =
+        Path::new(spec.rel_path).file_name().and_then(|f| f.to_str()).unwrap_or(spec.rel_path);
+    let float_free = spec.crate_name == "core"
+        && FLOAT_FREE_FILES.contains(&file_name)
+        && spec.rel_path.contains("src");
+    let panic_free = PANIC_FREE_CRATES.contains(&spec.crate_name);
+    let wants_docs = spec.crate_name == "core";
+
+    // One diagnostic per (line, rule): a line with two banned tokens is one
+    // problem to fix, not two.
+    let push = |diags: &mut Vec<Diagnostic>, line: usize, rule: &'static str, msg: String| {
+        if suppressed(&sups, rule, line) {
+            return;
+        }
+        if diags.iter().any(|d| d.rule == rule && d.line == line + 1) {
+            return;
+        }
+        diags.push(Diagnostic {
+            file: spec.rel_path.to_string(),
+            line: line + 1,
+            rule,
+            message: msg,
+        });
+    };
+
+    for (ln, &line_in_cfg_test) in tests.iter().enumerate() {
+        let in_test = spec.is_test || line_in_cfg_test;
+        let line = sc.line(ln);
+        let toks = words(line);
+
+        // L1: hashed collections randomize iteration order per process.
+        if in_sim_crate && !in_test {
+            for (_, w) in &toks {
+                if w == "HashMap" || w == "HashSet" {
+                    push(
+                        &mut diags,
+                        ln,
+                        RULE_HASH_MAP,
+                        format!(
+                            "{w} in a simulation crate: iteration order is \
+                                 hasher-randomized; use BTreeMap/BTreeSet or an \
+                                 index-keyed Vec"
+                        ),
+                    );
+                }
+            }
+        }
+
+        // L2: wall-clock and entropy sources break replayability. Applies
+        // to test code too — tests must be as deterministic as the model.
+        if nondet_applies {
+            for (_, w) in &toks {
+                let banned =
+                    matches!(w.as_str(), "thread_rng" | "from_entropy" | "Instant" | "SystemTime");
+                if banned {
+                    push(
+                        &mut diags,
+                        ln,
+                        RULE_NONDET,
+                        format!(
+                            "{w} is a nondeterminism source; simulations must \
+                                 be seeded and clocked by the model, not the host"
+                        ),
+                    );
+                }
+            }
+            let text: String = line.iter().collect();
+            if text.contains("std::time") {
+                push(
+                    &mut diags,
+                    ln,
+                    RULE_NONDET,
+                    "std::time reads host wall-clock state; use simkit cycles".into(),
+                );
+            }
+        }
+
+        // L3: the regulation datapath (credits, strides, deadlines) is
+        // integer hardware in the paper; floats would both mismodel it and
+        // introduce platform-dependent rounding.
+        if float_free && !in_test {
+            for (_, w) in &toks {
+                if w == "f32" || w == "f64" {
+                    push(
+                        &mut diags,
+                        ln,
+                        RULE_FLOAT_MATH,
+                        format!(
+                            "{w} in the regulation datapath; credits/strides/\
+                                 deadlines are integer state machines (paper §II-C)"
+                        ),
+                    );
+                }
+            }
+            if has_float_literal(line) {
+                push(
+                    &mut diags,
+                    ln,
+                    RULE_FLOAT_MATH,
+                    "float literal in the regulation datapath; use integer \
+                     arithmetic"
+                        .into(),
+                );
+            }
+        }
+
+        // L4: mechanism crates must propagate errors, not abort the
+        // simulation. (`unwrap_or`/`expect_err` etc. do not match: the
+        // token must be the exact method name.)
+        if panic_free && !in_test {
+            for (col, w) in &toks {
+                if (w == "unwrap" || w == "expect") && is_method_call(line, *col, w) {
+                    push(
+                        &mut diags,
+                        ln,
+                        RULE_UNWRAP,
+                        format!(
+                            ".{w}() in mechanism code; return a Result or \
+                                 use a total fallback (unwrap_or, match)"
+                        ),
+                    );
+                }
+            }
+        }
+
+        // L5: public mechanism API must be documented.
+        if wants_docs && !in_test {
+            let text: String = line.iter().collect();
+            if let Some(fn_pos) = find_pub_fn(&text) {
+                let name: String = text[fn_pos..]
+                    .chars()
+                    .skip_while(|c| !c.is_whitespace())
+                    .skip_while(|c| c.is_whitespace())
+                    .take_while(|&c| is_ident_char(c))
+                    .collect();
+                if !has_doc_above(&raw_lines, ln) {
+                    push(
+                        &mut diags,
+                        ln,
+                        RULE_MISSING_DOCS,
+                        format!("pub fn `{name}` has no doc comment"),
+                    );
+                }
+            }
+        }
+    }
+
+    diags
+}
+
+/// Finds `pub fn` (exactly — `pub(crate) fn` is crate-private API and out
+/// of rule L5's scope) as whole words; returns the offset of `fn`.
+fn find_pub_fn(text: &str) -> Option<usize> {
+    let mut from = 0;
+    while let Some(p) = text[from..].find("pub fn ") {
+        let abs = from + p;
+        let prev_ok =
+            abs == 0 || !text[..abs].chars().next_back().map(is_ident_char).unwrap_or(false);
+        if prev_ok {
+            return Some(abs + "pub ".len());
+        }
+        from = abs + 1;
+    }
+    None
+}
+
+/// Looks upward from the raw line above `ln` for a `///` doc comment,
+/// skipping attributes and plain `//` comments (e.g. simlint suppressions).
+fn has_doc_above(raw_lines: &[&str], ln: usize) -> bool {
+    let mut i = ln;
+    while i > 0 {
+        i -= 1;
+        let t = raw_lines.get(i).map(|l| l.trim()).unwrap_or("");
+        if t.starts_with("///") || t.starts_with("//!") || t.starts_with("#[doc") {
+            return true;
+        }
+        if t.starts_with("#[") || t.starts_with("#![") || (t.starts_with("//")) {
+            continue;
+        }
+        if t.ends_with("*/") {
+            // Tail of a block comment; accept only doc-block (`/**`) heads.
+            while i > 0 && !raw_lines[i].trim_start().starts_with("/*") {
+                i -= 1;
+            }
+            if raw_lines[i].trim_start().starts_with("/**") {
+                return true;
+            }
+            continue;
+        }
+        return false;
+    }
+    false
+}
+
+// ---------------------------------------------------------------------------
+// Workspace walk.
+// ---------------------------------------------------------------------------
+
+/// Collects and lints every Rust source file in the workspace rooted at
+/// `root`. Fixture files under `tests/fixtures/` are skipped — they exist
+/// to violate the rules on purpose.
+pub fn lint_workspace(root: &Path) -> std::io::Result<Vec<Diagnostic>> {
+    let mut files: Vec<(String, String, bool)> = Vec::new(); // (crate, rel_path, is_test)
+
+    let crates_dir = root.join("crates");
+    let mut crate_dirs: Vec<_> = std::fs::read_dir(&crates_dir)?
+        .filter_map(Result::ok)
+        .filter(|e| e.path().is_dir())
+        .map(|e| e.path())
+        .collect();
+    crate_dirs.sort();
+
+    for dir in crate_dirs {
+        let name = dir.file_name().and_then(|f| f.to_str()).unwrap_or_default().to_string();
+        collect_rs(root, &dir.join("src"), &name, false, &mut files)?;
+        collect_rs(root, &dir.join("tests"), &name, true, &mut files)?;
+        collect_rs(root, &dir.join("benches"), &name, true, &mut files)?;
+    }
+    // Top-level members: examples are runnable model code (all rules except
+    // the crate-scoped ones apply); the tests package is test support.
+    collect_rs(root, &root.join("examples"), "examples", false, &mut files)?;
+    collect_rs(root, &root.join("tests"), "tests", true, &mut files)?;
+
+    files.sort();
+    let mut diags = Vec::new();
+    for (crate_name, rel_path, is_test) in &files {
+        let source = std::fs::read_to_string(root.join(rel_path))?;
+        let spec = FileSpec { crate_name, rel_path, is_test: *is_test };
+        diags.extend(lint_source(&spec, &source));
+    }
+    diags.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    Ok(diags)
+}
+
+fn collect_rs(
+    root: &Path,
+    dir: &Path,
+    crate_name: &str,
+    is_test: bool,
+    out: &mut Vec<(String, String, bool)>,
+) -> std::io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    let mut entries: Vec<_> =
+        std::fs::read_dir(dir)?.filter_map(Result::ok).map(|e| e.path()).collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            if path.file_name().and_then(|f| f.to_str()) == Some("fixtures") {
+                continue;
+            }
+            collect_rs(root, &path, crate_name, is_test, out)?;
+        } else if path.extension().and_then(|e| e.to_str()) == Some("rs") {
+            let rel = path.strip_prefix(root).unwrap_or(&path).to_string_lossy().replace('\\', "/");
+            out.push((crate_name.to_string(), rel, is_test));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec<'a>(crate_name: &'a str, rel_path: &'a str) -> FileSpec<'a> {
+        FileSpec { crate_name, rel_path, is_test: false }
+    }
+
+    fn rules(diags: &[Diagnostic]) -> Vec<&'static str> {
+        diags.iter().map(|d| d.rule).collect()
+    }
+
+    #[test]
+    fn scanner_strips_strings_and_comments() {
+        let sc = scan("let x = \"HashMap\"; // HashMap\n/* HashMap */ let y = 1;\n");
+        let text: String = sc.cleaned.iter().collect();
+        assert!(!text.contains("HashMap"));
+        assert!(text.contains("let x"));
+        assert_eq!(sc.comments.len(), 2);
+        assert!(sc.comments[0].trailing);
+        assert!(!sc.comments[1].trailing);
+    }
+
+    #[test]
+    fn scanner_handles_raw_strings_and_chars() {
+        let sc =
+            scan("let s = r#\"thread_rng \" quote\"#; let c = '\\n'; let l: &'static str = s;\n");
+        let text: String = sc.cleaned.iter().collect();
+        assert!(!text.contains("thread_rng"));
+        assert!(text.contains("'static"), "lifetimes survive: {text}");
+    }
+
+    #[test]
+    fn hash_map_flagged_in_sim_crate_only() {
+        let src = "use std::collections::HashMap;\n";
+        assert_eq!(rules(&lint_source(&spec("core", "crates/core/src/x.rs"), src)), ["hash-map"]);
+        assert!(lint_source(&spec("workloads", "crates/workloads/src/x.rs"), src).is_empty());
+    }
+
+    #[test]
+    fn cfg_test_module_is_exempt() {
+        let src = "fn a() {}\n#[cfg(test)]\nmod tests {\n    use std::collections::HashMap;\n    fn b() { let _: HashMap<u8, u8>; }\n}\n";
+        assert!(lint_source(&spec("core", "crates/core/src/x.rs"), src).is_empty());
+    }
+
+    #[test]
+    fn nondet_flagged_everywhere_but_bench() {
+        let src = "use std::time::Instant;\nlet t = Instant::now();\n";
+        let diags = lint_source(&spec("workloads", "crates/workloads/src/x.rs"), src);
+        assert!(diags.iter().all(|d| d.rule == RULE_NONDET));
+        assert!(diags.len() >= 2, "both lines flagged: {diags:?}");
+        assert!(lint_source(&spec("bench", "crates/bench/src/x.rs"), src).is_empty());
+    }
+
+    #[test]
+    fn float_rule_scoped_to_datapath_files() {
+        let src = "pub(crate) fn f(x: u64) -> f64 {\n    x as f64 * 0.5\n}\n";
+        let diags = lint_source(&spec("core", "crates/core/src/pacer.rs"), src);
+        assert_eq!(rules(&diags), [RULE_FLOAT_MATH, RULE_FLOAT_MATH]);
+        assert!(lint_source(&spec("core", "crates/core/src/governor.rs"), src)
+            .iter()
+            .all(|d| d.rule != RULE_FLOAT_MATH));
+    }
+
+    #[test]
+    fn float_literal_detection_avoids_ranges_and_tuples() {
+        assert!(has_float_literal(&"let x = 1.25;".chars().collect::<Vec<_>>()));
+        assert!(!has_float_literal(&"for i in 0..10 {}".chars().collect::<Vec<_>>()));
+        assert!(!has_float_literal(&"let y = pair.0;".chars().collect::<Vec<_>>()));
+        assert!(!has_float_literal(&"let z = 1.max(2);".chars().collect::<Vec<_>>()));
+    }
+
+    #[test]
+    fn unwrap_exact_method_only() {
+        let src = "fn f(o: Option<u8>) -> u8 { o.unwrap() }\nfn g(o: Option<u8>) -> u8 { o.unwrap_or(0) }\n";
+        let diags = lint_source(&spec("simkit", "crates/simkit/src/x.rs"), src);
+        assert_eq!(rules(&diags), [RULE_UNWRAP]);
+        assert_eq!(diags[0].line, 1);
+    }
+
+    #[test]
+    fn missing_docs_on_undocumented_pub_fn() {
+        let src = "/// Documented.\npub fn a() {}\npub fn b() {}\n#[must_use]\n/// Attr then doc is fine too.\npub fn c() -> u8 { 0 }\n";
+        let diags = lint_source(&spec("core", "crates/core/src/x.rs"), src);
+        assert_eq!(rules(&diags), [RULE_MISSING_DOCS]);
+        assert_eq!(diags[0].line, 3);
+        assert!(diags[0].message.contains('b'));
+    }
+
+    #[test]
+    fn trailing_suppression_covers_one_line() {
+        let src = "use std::collections::HashMap; // simlint: allow(hash-map): test scaffolding\nuse std::collections::HashSet;\n";
+        let diags = lint_source(&spec("core", "crates/core/src/x.rs"), src);
+        assert_eq!(rules(&diags), [RULE_HASH_MAP]);
+        assert_eq!(diags[0].line, 2);
+    }
+
+    #[test]
+    fn standalone_suppression_covers_following_item() {
+        let src = "// simlint: allow(unwrap): invariant established by constructor\nfn f(o: Option<u8>) -> u8 {\n    o.unwrap()\n}\nfn g(o: Option<u8>) -> u8 { o.unwrap() }\n";
+        let diags = lint_source(&spec("core", "crates/core/src/x.rs"), src);
+        assert_eq!(rules(&diags), [RULE_UNWRAP]);
+        assert_eq!(diags[0].line, 5);
+    }
+
+    #[test]
+    fn suppression_requires_justification() {
+        let src = "use std::collections::HashMap; // simlint: allow(hash-map)\n";
+        let diags = lint_source(&spec("core", "crates/core/src/x.rs"), src);
+        let r = rules(&diags);
+        assert!(r.contains(&RULE_SUPPRESSION), "{diags:?}");
+        assert!(r.contains(&RULE_HASH_MAP), "unjustified allow must not suppress: {diags:?}");
+    }
+
+    #[test]
+    fn doc_comments_are_not_suppressions() {
+        let src =
+            "/// Use `// simlint: allow(<rule>): <why>` to suppress.\npub fn documented() {}\n";
+        assert!(lint_source(&spec("simkit", "crates/simkit/src/x.rs"), src).is_empty());
+    }
+
+    #[test]
+    fn suppression_unknown_rule_reported() {
+        let src = "let x = 1; // simlint: allow(made-up): because\n";
+        let diags = lint_source(&spec("core", "crates/core/src/x.rs"), src);
+        assert_eq!(rules(&diags), [RULE_SUPPRESSION]);
+    }
+
+    #[test]
+    fn test_files_keep_nondet_rule_but_skip_others() {
+        let fixture =
+            FileSpec { crate_name: "core", rel_path: "crates/core/tests/t.rs", is_test: true };
+        let src = "use std::collections::HashMap;\nfn f(o: Option<u8>) -> u8 { o.unwrap() }\nuse std::time::Instant;\n";
+        let diags = lint_source(&fixture, src);
+        assert_eq!(rules(&diags), [RULE_NONDET]);
+    }
+}

@@ -1,0 +1,83 @@
+//! Workspace task runner. Currently one task:
+//!
+//! ```text
+//! cargo run -p xtask -- lint [--root <dir>]
+//! ```
+//!
+//! runs the `simlint` determinism & accounting pass over every workspace
+//! crate and exits non-zero when violations are found. See `docs/LINTS.md`
+//! for the rule catalogue.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => lint(&args[1..]),
+        Some(other) => {
+            eprintln!("xtask: unknown task `{other}`");
+            usage();
+            ExitCode::from(2)
+        }
+        None => {
+            usage();
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn usage() {
+    eprintln!("usage: cargo run -p xtask -- lint [--root <workspace-dir>]");
+}
+
+fn lint(args: &[String]) -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--root" => match it.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("xtask: --root needs a directory");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("xtask: unknown lint option `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    // `cargo run -p xtask` runs from the workspace root, but fall back to
+    // the compile-time manifest location so the binary also works when
+    // invoked from a crate subdirectory.
+    let root = root.unwrap_or_else(|| {
+        let cwd = PathBuf::from(".");
+        if cwd.join("crates").is_dir() {
+            cwd
+        } else {
+            PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..")
+        }
+    });
+
+    match xtask::lint_workspace(&root) {
+        Ok(diags) if diags.is_empty() => {
+            println!("simlint: clean");
+            ExitCode::SUCCESS
+        }
+        Ok(diags) => {
+            for d in &diags {
+                println!("{d}");
+            }
+            println!("simlint: {} violation(s)", diags.len());
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("simlint: i/o error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

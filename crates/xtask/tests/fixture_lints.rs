@@ -1,0 +1,121 @@
+//! Drives every `tests/fixtures/*.rs` file through `lint_source` and checks
+//! that each rule fires where intended — and stays quiet where suppressed.
+//!
+//! The fixtures live under `tests/fixtures/` precisely so the workspace walk
+//! skips them: they violate the rules on purpose.
+
+use xtask::{lint_source, Diagnostic, FileSpec};
+
+fn lint_fixture(crate_name: &str, rel_path: &str, source: &str) -> Vec<Diagnostic> {
+    let spec = FileSpec { crate_name, rel_path, is_test: false };
+    lint_source(&spec, source)
+}
+
+fn lines_for(diags: &[Diagnostic], rule: &str) -> Vec<usize> {
+    diags.iter().filter(|d| d.rule == rule).map(|d| d.line).collect()
+}
+
+#[test]
+fn hash_map_fixture_flags_every_use() {
+    let diags =
+        lint_fixture("cache", "crates/cache/src/fixture.rs", include_str!("fixtures/hash_map.rs"));
+    assert!(diags.iter().all(|d| d.rule == xtask::RULE_HASH_MAP), "{diags:?}");
+    assert_eq!(lines_for(&diags, xtask::RULE_HASH_MAP), vec![3, 4, 7, 8]);
+}
+
+#[test]
+fn nondet_fixture_flags_clock_and_entropy() {
+    let diags = lint_fixture(
+        "workloads",
+        "crates/workloads/src/fixture.rs",
+        include_str!("fixtures/nondet.rs"),
+    );
+    assert!(diags.iter().all(|d| d.rule == xtask::RULE_NONDET), "{diags:?}");
+    assert_eq!(lines_for(&diags, xtask::RULE_NONDET), vec![3, 6, 7, 12]);
+}
+
+#[test]
+fn nondet_fixture_is_clean_in_bench_crate() {
+    let diags =
+        lint_fixture("bench", "crates/bench/src/fixture.rs", include_str!("fixtures/nondet.rs"));
+    assert!(diags.is_empty(), "bench is exempt from nondet: {diags:?}");
+}
+
+#[test]
+fn float_fixture_flags_datapath_floats() {
+    let diags =
+        lint_fixture("core", "crates/core/src/pacer.rs", include_str!("fixtures/float_math.rs"));
+    assert!(diags.iter().all(|d| d.rule == xtask::RULE_FLOAT_MATH), "{diags:?}");
+    assert_eq!(lines_for(&diags, xtask::RULE_FLOAT_MATH).len(), 3);
+}
+
+#[test]
+fn float_fixture_is_clean_outside_datapath_files() {
+    let diags =
+        lint_fixture("core", "crates/core/src/governor.rs", include_str!("fixtures/float_math.rs"));
+    assert!(
+        !diags.iter().any(|d| d.rule == xtask::RULE_FLOAT_MATH),
+        "governor.rs is not in the float-free set: {diags:?}"
+    );
+}
+
+#[test]
+fn unwrap_fixture_flags_panicking_extractors_only() {
+    let diags =
+        lint_fixture("simkit", "crates/simkit/src/fixture.rs", include_str!("fixtures/unwrap.rs"));
+    assert!(diags.iter().all(|d| d.rule == xtask::RULE_UNWRAP), "{diags:?}");
+    // unwrap() on line 5 and expect() on line 9; unwrap_or() on 13 is fine.
+    assert_eq!(lines_for(&diags, xtask::RULE_UNWRAP), vec![5, 9]);
+}
+
+#[test]
+fn missing_docs_fixture_flags_bare_pub_fns() {
+    let diags = lint_fixture(
+        "core",
+        "crates/core/src/fixture.rs",
+        include_str!("fixtures/missing_docs.rs"),
+    );
+    assert!(diags.iter().all(|d| d.rule == xtask::RULE_MISSING_DOCS), "{diags:?}");
+    assert_eq!(lines_for(&diags, xtask::RULE_MISSING_DOCS), vec![8, 13]);
+}
+
+#[test]
+fn suppressed_fixture_is_fully_clean() {
+    let diags =
+        lint_fixture("core", "crates/core/src/pacer.rs", include_str!("fixtures/suppressed.rs"));
+    assert!(diags.is_empty(), "justified allows silence everything: {diags:?}");
+}
+
+#[test]
+fn bad_suppression_fixture_reports_and_does_not_silence() {
+    let diags = lint_fixture(
+        "cache",
+        "crates/cache/src/fixture.rs",
+        include_str!("fixtures/bad_suppression.rs"),
+    );
+    // The unjustified allow is reported AND the underlying hash-map
+    // violation still fires; the unknown rule name is reported too.
+    assert_eq!(lines_for(&diags, xtask::RULE_SUPPRESSION), vec![4, 7]);
+    assert_eq!(lines_for(&diags, xtask::RULE_HASH_MAP), vec![4, 6, 8]);
+}
+
+#[test]
+fn diagnostics_render_file_line_rule() {
+    let diags =
+        lint_fixture("cache", "crates/cache/src/fixture.rs", include_str!("fixtures/hash_map.rs"));
+    let rendered = diags[0].to_string();
+    assert!(
+        rendered.starts_with("crates/cache/src/fixture.rs:3: [hash-map]"),
+        "diagnostic format is file:line: [rule] message — got {rendered}"
+    );
+}
+
+/// The acceptance gate: the repaired workspace itself lints clean. Keeping
+/// this as a test means `cargo test` catches regressions even when nobody
+/// runs `cargo run -p xtask -- lint` by hand.
+#[test]
+fn real_workspace_lints_clean() {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let diags = xtask::lint_workspace(&root).expect("workspace scan");
+    assert!(diags.is_empty(), "workspace must lint clean:\n{diags:?}");
+}

@@ -1,0 +1,9 @@
+//! Fixture: malformed suppressions are themselves violations, and an
+//! unjustified allow does not silence the underlying diagnostic.
+
+use std::collections::HashMap; // simlint: allow(hash-map)
+
+fn f() -> HashMap<u8, u8> {
+    // simlint: allow(determinism): no such rule
+    HashMap::new()
+}

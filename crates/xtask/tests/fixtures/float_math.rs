@@ -1,0 +1,12 @@
+//! Fixture: violates `float-math` (L3) when linted as a regulation-datapath
+//! file (`crates/core/src/pacer.rs`).
+
+/// Documented so only the float rule fires.
+pub fn credit_fraction(credit: u64, cap: u64) -> f64 {
+    credit as f64 / cap as f64
+}
+
+/// Documented so only the float rule fires.
+pub fn scaled(period: u64) -> u64 {
+    (period as f32 * 1.5) as u64
+}

@@ -1,0 +1,10 @@
+//! Fixture: violates `hash-map` (L1) when linted as simulation-crate code.
+
+use std::collections::HashMap;
+use std::collections::HashSet;
+
+fn hashed_state() -> usize {
+    let occupancy: HashMap<u64, u32> = HashMap::new();
+    let lines: HashSet<u64> = HashSet::new();
+    occupancy.len() + lines.len()
+}

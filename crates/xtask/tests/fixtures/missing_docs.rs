@@ -1,0 +1,15 @@
+//! Fixture: violates `missing-docs` (L5) — one documented, one bare pub fn.
+
+/// Documented: the paper's Eq. 2 stride derivation.
+pub fn documented_stride(weight: u64) -> u64 {
+    720_720 / weight.max(1)
+}
+
+pub fn undocumented_credit(now: u64, c_next: u64) -> u64 {
+    now.saturating_sub(c_next)
+}
+
+#[must_use]
+pub fn undocumented_with_attr(x: u64) -> u64 {
+    x + 1
+}

@@ -1,0 +1,13 @@
+//! Fixture: violates `nondet` (L2) — host clock and entropy sources.
+
+use std::time::Instant;
+
+fn wall_clock_epoch() -> u64 {
+    let t = Instant::now();
+    let _ = std::time::SystemTime::now();
+    t.elapsed().as_nanos() as u64
+}
+
+fn unseeded() {
+    let _rng = thread_rng();
+}

@@ -1,0 +1,15 @@
+//! Fixture: every violation carries a justified suppression — lints clean.
+
+use std::collections::HashMap; // simlint: allow(hash-map): never iterated; keyed lookups only
+
+// simlint: allow(unwrap): capacity > 0 is asserted by the constructor
+// simlint: allow(hash-map): never iterated; keyed lookups only
+fn occupancy(table: &HashMap<u64, u32>, key: u64) -> u32 {
+    table.get(&key).copied().unwrap()
+}
+
+/// Documented, and the float is justified.
+// simlint: allow(float-math): reporting-only percentage for the run summary
+pub fn percent(hits: u64, total: u64) -> f64 {
+    hits as f64 * 100.0 / total.max(1) as f64
+}

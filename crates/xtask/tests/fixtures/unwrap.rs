@@ -1,0 +1,14 @@
+//! Fixture: violates `unwrap` (L4) — panicking extractors in mechanism code.
+//! `unwrap_or` is a total fallback and must NOT be flagged.
+
+fn head(q: &[u64]) -> u64 {
+    *q.first().unwrap()
+}
+
+fn deadline(d: Option<u64>) -> u64 {
+    d.expect("deadline must be stamped")
+}
+
+fn tail(q: &[u64]) -> u64 {
+    q.last().copied().unwrap_or(0)
+}

@@ -33,19 +33,14 @@ fn run(mode: RegulationMode) -> Result<(f64, u64, u64), Box<dyn std::error::Erro
     sys.mark_measurement();
     sys.run_epochs(40);
     let h = &mut sys.metrics_mut().service[0];
-    Ok((
-        h.mean().unwrap_or(0.0),
-        h.percentile(95.0).unwrap_or(0),
-        h.percentile(99.0).unwrap_or(0),
-    ))
+    Ok((h.mean().unwrap_or(0.0), h.percentile(95.0).unwrap_or(0), h.percentile(99.0).unwrap_or(0)))
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("memcached + 7 streaming cores on the scaled 8-core machine\n");
-    for (label, mode) in [
-        ("no QoS       ", RegulationMode::None),
-        ("PABST, 20:1  ", RegulationMode::Pabst),
-    ] {
+    for (label, mode) in
+        [("no QoS       ", RegulationMode::None), ("PABST, 20:1  ", RegulationMode::Pabst)]
+    {
         let (mean, p95, p99) = run(mode)?;
         println!("{label}: mean {mean:6.0} cyc   p95 {p95:6} cyc   p99 {p99:6} cyc");
     }

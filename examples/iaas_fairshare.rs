@@ -21,8 +21,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Tenant 3: cache-resident (generates almost no DRAM traffic).
     let resident: Vec<Box<dyn Workload>> = (0..8)
         .map(|i| {
-            Box::new(StreamGen::reads(region_for(3, i, 2048), 300 + i as u64))
-                as Box<dyn Workload>
+            Box::new(StreamGen::reads(region_for(3, i, 2048), 300 + i as u64)) as Box<dyn Workload>
         })
         .collect();
     let mut b = SystemBuilder::new(SystemConfig::baseline_32core(), RegulationMode::Pabst);

@@ -35,10 +35,7 @@ fn l3_hits_are_not_throttled() {
     // Despite aggressive pacing of real memory traffic, the L3-resident
     // class's shared-cache hits must flow at (nearly) full speed because
     // every charge is refunded on the L3-hit response.
-    assert!(
-        pabst > 0.7 * unregulated,
-        "pacer must refund L3 hits: {pabst:.3} vs {unregulated:.3}"
-    );
+    assert!(pabst > 0.7 * unregulated, "pacer must refund L3 hits: {pabst:.3} vs {unregulated:.3}");
 }
 
 #[test]

@@ -48,8 +48,5 @@ fn consolidation_beats_static_quarter_allocation() {
     let gain = (pabst_ipc / static_ipc - 1.0) * 100.0;
     eprintln!("milc: static {static_ipc:.3}, pabst {pabst_ipc:.3} IPC ({gain:+.0}%)");
     // Paper: 15-90% improvement from work conservation.
-    assert!(
-        gain > 10.0,
-        "consolidation must beat the static allocation, got {gain:+.0}%"
-    );
+    assert!(gain > 10.0, "consolidation must beat the static allocation, got {gain:+.0}%");
 }

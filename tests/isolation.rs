@@ -79,9 +79,8 @@ fn pabst_restores_memcached_tail() {
             region_for(0, 0, 1 << 18), // 16 MiB item heap
             7,
         ))];
-        let mut b = SystemBuilder::new(SystemConfig::scaled_8core(), mode)
-            .class(20, server)
-            .l3_ways(0, 8);
+        let mut b =
+            SystemBuilder::new(SystemConfig::scaled_8core(), mode).class(20, server).l3_ways(0, 8);
         if with_aggressor {
             let streamers: Vec<Box<dyn Workload>> = (0..7)
                 .map(|i| {

@@ -8,13 +8,8 @@ use pabst_tests::{read_streamers, two_class_32core};
 
 #[test]
 fn stream_pair_converges_to_7_3_split() {
-    let mut sys = two_class_32core(
-        RegulationMode::Pabst,
-        7,
-        3,
-        read_streamers(0, 16),
-        read_streamers(1, 16),
-    );
+    let mut sys =
+        two_class_32core(RegulationMode::Pabst, 7, 3, read_streamers(0, 16), read_streamers(1, 16));
     // Warmup: let the governor find the saturation point.
     sys.run_epochs(30);
     sys.mark_measurement();
@@ -22,8 +17,14 @@ fn stream_pair_converges_to_7_3_split() {
 
     let s0 = sys.metrics().mean_share(0, 30);
     let s1 = sys.metrics().mean_share(1, 30);
-    eprintln!("shares: {s0:.3} / {s1:.3}; M tail: {:?}", &sys.metrics().m_series[60..70.min(sys.metrics().m_series.len())]);
-    eprintln!("sat tail: {:?}", &sys.metrics().sat_series[60..70.min(sys.metrics().sat_series.len())]);
+    eprintln!(
+        "shares: {s0:.3} / {s1:.3}; M tail: {:?}",
+        &sys.metrics().m_series[60..70.min(sys.metrics().m_series.len())]
+    );
+    eprintln!(
+        "sat tail: {:?}",
+        &sys.metrics().sat_series[60..70.min(sys.metrics().sat_series.len())]
+    );
     eprintln!("total B/cyc: {:.2}", sys.metrics().total_bytes_per_cycle(30));
     assert!((s0 - 0.7).abs() < 0.05, "class0 share {s0}, want ~0.70");
     assert!((s1 - 0.3).abs() < 0.05, "class1 share {s1}, want ~0.30");
@@ -34,23 +35,13 @@ fn utilization_stays_high_under_pabst() {
     // Work conservation's flip side: throttling to the saturation point
     // must not leave the memory system idle. Total delivered bandwidth
     // should stay close to what an unregulated run achieves.
-    let mut unreg = two_class_32core(
-        RegulationMode::None,
-        1,
-        1,
-        read_streamers(0, 16),
-        read_streamers(1, 16),
-    );
+    let mut unreg =
+        two_class_32core(RegulationMode::None, 1, 1, read_streamers(0, 16), read_streamers(1, 16));
     unreg.run_epochs(20);
     let baseline = unreg.metrics().total_bytes_per_cycle(10);
 
-    let mut pabst = two_class_32core(
-        RegulationMode::Pabst,
-        7,
-        3,
-        read_streamers(0, 16),
-        read_streamers(1, 16),
-    );
+    let mut pabst =
+        two_class_32core(RegulationMode::Pabst, 7, 3, read_streamers(0, 16), read_streamers(1, 16));
     pabst.run_epochs(40);
     let regulated = pabst.metrics().total_bytes_per_cycle(25);
 

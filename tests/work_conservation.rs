@@ -21,7 +21,7 @@ fn excess_bandwidth_not_wasted_when_partner_idles() {
                 256,     // cache-resident prefix (fits L2)
                 8_000,   // memory-phase accesses (~20 epochs at paced rates)
                 900_000, // cache-resident accesses (~35 epochs at hit rates:
-                         // long enough for the governor to fully reallocate)
+                // long enough for the governor to fully reallocate)
                 i as u64,
             )) as Box<dyn Workload>
         })
