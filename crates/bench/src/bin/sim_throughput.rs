@@ -1,0 +1,110 @@
+//! Self-profiles the simulator: simulated cycles per wall-clock second on
+//! the small-test and baseline machines, plus a per-epoch step() timing
+//! via the in-repo micro-benchmark harness.
+//!
+//! Writes `BENCH_sim_throughput.json` (override with `--out <path>`) —
+//! the seed of the repo's perf trajectory; CI runs this in `--quick`
+//! (smoke) mode and uploads the artifact, and the committed file is the
+//! full-mode result the next perf PR measures against.
+
+use std::time::Instant;
+
+use pabst_bench::scenarios::read_streamers;
+use pabst_bench::{obs, quick_flag, timing};
+use pabst_soc::config::{RegulationMode, SystemConfig};
+use pabst_soc::system::{System, SystemBuilder};
+
+/// One profiled configuration.
+struct Profile {
+    name: &'static str,
+    epoch_cycles: u64,
+    epochs_timed: u64,
+    elapsed_ns: u128,
+    cycles_per_sec: u64,
+}
+
+fn build(name: &str) -> System {
+    let (cfg, per_class) = match name {
+        "small" => (SystemConfig::small_test(), 2),
+        _ => (SystemConfig::baseline_32core(), 16),
+    };
+    SystemBuilder::new(cfg, RegulationMode::Pabst)
+        .class(3, read_streamers(0, per_class))
+        .class(1, read_streamers(1, per_class))
+        .build()
+        .expect("throughput configuration")
+}
+
+fn profile(name: &'static str, epochs: u64) -> Profile {
+    let mut sys = build(name);
+    sys.run_epochs(1); // warm caches, queues, and the governor
+    let epoch_cycles = sys.metrics().bw_series.epoch_cycles();
+    let start = Instant::now();
+    sys.run_epochs(epochs as usize);
+    let elapsed = start.elapsed();
+    let cycles = epochs * epoch_cycles;
+    let secs = elapsed.as_secs_f64();
+    let cps = if secs > 0.0 { (cycles as f64 / secs) as u64 } else { 0 };
+    println!(
+        "{name:<10} {epochs:>3} epochs x {epoch_cycles} cycles in {:>8.1} ms  ->  {cps} cycles/s",
+        secs * 1e3
+    );
+    Profile {
+        name,
+        epoch_cycles,
+        epochs_timed: epochs,
+        elapsed_ns: elapsed.as_nanos(),
+        cycles_per_sec: cps,
+    }
+}
+
+fn to_json(profiles: &[Profile]) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::from("{\"bench\":\"sim_throughput\",\"configs\":[");
+    for (i, p) in profiles.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(
+            s,
+            "{{\"name\":\"{}\",\"epoch_cycles\":{},\"epochs_timed\":{},\
+             \"elapsed_ns\":{},\"cycles_per_sec\":{}}}",
+            p.name, p.epoch_cycles, p.epochs_timed, p.elapsed_ns, p.cycles_per_sec
+        );
+    }
+    s.push_str("]}\n");
+    s
+}
+
+fn main() {
+    let quick = quick_flag();
+    let epochs = if quick { 2 } else { 10 };
+    println!("simulator throughput ({} mode)", if quick { "smoke" } else { "full" });
+
+    let profiles = vec![profile("small", epochs), profile("baseline", epochs)];
+
+    // Per-epoch wall time through the micro-benchmark harness (median of
+    // 9 samples, fresh warmed system per sample) — the step()-path number
+    // a perf PR should move.
+    if !quick {
+        timing::bench_batched(
+            "epoch(small_test, 4 streamers)",
+            || {
+                let mut sys = build("small");
+                sys.run_epochs(1);
+                sys
+            },
+            |mut sys| sys.run_epochs(1),
+        );
+    }
+
+    let out = obs::arg_value("out").unwrap_or_else(|| "BENCH_sim_throughput.json".to_string());
+    let json = to_json(&profiles);
+    match std::fs::write(&out, &json) {
+        Ok(()) => println!("wrote {out}"),
+        Err(e) => {
+            eprintln!("error: cannot write {out}: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -12,7 +12,14 @@
 //!
 //! or a single figure, e.g. `cargo run -p pabst-bench --bin fig10 --release`.
 //! Every binary accepts `--quick` for a shortened run (fewer epochs, looser
-//! numbers) used by CI and the micro-benchmark wrappers.
+//! numbers) used by CI and the micro-benchmark wrappers, plus the
+//! observability flags `--trace <path>` (JSONL epoch records) and
+//! `--report-json <path>` (end-of-run summary) — see [`obs`] and
+//! `docs/OBSERVABILITY.md`.
+//!
+//! The `sim_throughput` binary self-profiles the simulator (simulated
+//! cycles per wall-clock second) and writes `BENCH_sim_throughput.json`,
+//! the perf trajectory CI tracks.
 //!
 //! Micro-benchmarks (`cargo bench -p pabst-bench`) use the in-repo
 //! [`timing`] harness — the workspace builds without network access, so
@@ -21,6 +28,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod obs;
 pub mod scenarios;
 pub mod spark;
 pub mod table;

@@ -1,0 +1,79 @@
+//! Command-line observability hooks shared by every figure/ablation
+//! binary: `--trace <path>` streams one JSONL [`EpochRecord`] per epoch
+//! from every system the binary runs, and `--report-json <path>` appends
+//! the end-of-run [`SystemReport`] as JSON.
+//!
+//! Both flags accept `--flag value` and `--flag=value`. A binary may run
+//! several systems (ablation sweeps, baselines); the first open of a path
+//! truncates it and later opens append, so one invocation produces one
+//! coherent file.
+//!
+//! [`EpochRecord`]: pabst_simkit::trace::EpochRecord
+//! [`SystemReport`]: pabst_soc::report::SystemReport
+
+use std::collections::BTreeSet;
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Write as _};
+use std::path::PathBuf;
+use std::sync::{Mutex, OnceLock};
+
+use pabst_simkit::trace::JsonlSink;
+use pabst_soc::report::SystemReport;
+use pabst_soc::system::System;
+
+/// Returns the value of `--<flag> value` or `--<flag>=value` from the
+/// process arguments, if present.
+pub fn arg_value(flag: &str) -> Option<String> {
+    let long = format!("--{flag}");
+    let prefix = format!("--{flag}=");
+    let args: Vec<String> = std::env::args().collect();
+    for (i, a) in args.iter().enumerate() {
+        if let Some(v) = a.strip_prefix(&prefix) {
+            return Some(v.to_string());
+        }
+        if *a == long {
+            return args.get(i + 1).cloned();
+        }
+    }
+    None
+}
+
+/// Opens `path` for this invocation: truncating on the first open,
+/// appending afterwards, so multi-system binaries produce one file.
+fn open_for(path: &str) -> Option<File> {
+    static OPENED: OnceLock<Mutex<BTreeSet<PathBuf>>> = OnceLock::new();
+    let canonical = PathBuf::from(path);
+    let mut seen = OPENED.get_or_init(|| Mutex::new(BTreeSet::new())).lock().ok()?;
+    let first = seen.insert(canonical);
+    let res = if first { File::create(path) } else { OpenOptions::new().append(true).open(path) };
+    match res {
+        Ok(f) => Some(f),
+        Err(e) => {
+            eprintln!("warning: cannot open {path}: {e}");
+            None
+        }
+    }
+}
+
+/// Attaches a JSONL trace sink to `sys` when `--trace <path>` was given.
+/// Call once per system, right after building it.
+pub fn attach(sys: &mut System) {
+    if let Some(path) = arg_value("trace") {
+        if let Some(f) = open_for(&path) {
+            sys.add_trace_sink(Box::new(JsonlSink::new(BufWriter::new(f))));
+        }
+    }
+}
+
+/// Appends the system's end-of-run report as one JSON line when
+/// `--report-json <path>` was given. Call once per system, after its run.
+pub fn report(sys: &System) {
+    if let Some(path) = arg_value("report-json") {
+        if let Some(mut f) = open_for(&path) {
+            let json = SystemReport::collect(sys).to_json();
+            if let Err(e) = writeln!(f, "{json}") {
+                eprintln!("warning: cannot write {path}: {e}");
+            }
+        }
+    }
+}

@@ -72,11 +72,13 @@ fn two_class(
     c0: Vec<Box<dyn Workload>>,
     c1: Vec<Box<dyn Workload>>,
 ) -> System {
-    SystemBuilder::new(SystemConfig::baseline_32core(), mode)
+    let mut sys = SystemBuilder::new(SystemConfig::baseline_32core(), mode)
         .class(w0, c0)
         .class(w1, c1)
         .build()
-        .expect("valid two-class configuration")
+        .expect("valid two-class configuration");
+    crate::obs::attach(&mut sys);
+    sys
 }
 
 // ---------------------------------------------------------------------
@@ -124,8 +126,10 @@ pub fn fig1_cell_with(
         .class(1, c1)
         .build()
         .expect("valid two-class configuration");
+    crate::obs::attach(&mut sys);
     let warm = epochs / 2;
     sys.run_epochs(warm + epochs);
+    crate::obs::report(&sys);
     let m = sys.metrics();
     let o0 = m.bw_series.mean_over(0, warm);
     let o1 = m.bw_series.mean_over(1, warm);
@@ -156,6 +160,7 @@ pub fn fig5_series(epochs: usize) -> SeriesResult {
     let mut sys =
         two_class(RegulationMode::Pabst, 7, 3, read_streamers(0, 16), read_streamers(1, 16));
     sys.run_epochs(epochs);
+    crate::obs::report(&sys);
     collect_series(&sys)
 }
 
@@ -188,6 +193,7 @@ pub fn fig6_series(epochs: usize) -> SeriesResult {
         .collect();
     let mut sys = two_class(RegulationMode::Pabst, 7, 3, periodic, read_streamers(1, 16));
     sys.run_epochs(epochs);
+    crate::obs::report(&sys);
     collect_series(&sys)
 }
 
@@ -231,7 +237,9 @@ pub fn fig8_run(epochs: usize) -> Fig8Result {
         .l3_ways(10, 6)
         .build()
         .expect("fig8 configuration");
+    crate::obs::attach(&mut sys);
     sys.run_epochs(epochs);
+    crate::obs::report(&sys);
     let from = epochs / 2;
     let m = sys.metrics();
     Fig8Result {
@@ -276,9 +284,11 @@ pub fn fig9_run(mode: RegulationMode, aggressor: bool, epochs: usize) -> Service
         b = b.class(1, streamers).l3_ways(8, 8);
     }
     let mut sys = b.build().expect("fig9 configuration");
+    crate::obs::attach(&mut sys);
     sys.run_epochs(WARMUP_EPOCHS);
     sys.mark_measurement();
     sys.run_epochs(epochs.max(20));
+    crate::obs::report(&sys);
     let h = &mut sys.metrics_mut().service[0];
     ServiceResult {
         mean: h.mean().unwrap_or(0.0),
@@ -311,9 +321,11 @@ pub fn spec_isolated_ipc(which: SpecWorkload, epochs: usize) -> f64 {
         .l3_ways(0, 8)
         .build()
         .expect("isolated configuration");
+    crate::obs::attach(&mut sys);
     sys.run_epochs(WARMUP_EPOCHS);
     sys.mark_measurement();
     sys.run_epochs(epochs);
+    crate::obs::report(&sys);
     (0..16).map(|i| sys.ipc_since_mark(i)).sum::<f64>() / 16.0
 }
 
@@ -332,9 +344,11 @@ pub fn fig10_cell(
         .l3_ways(8, 8)
         .build()
         .expect("fig10 configuration");
+    crate::obs::attach(&mut sys);
     sys.run_epochs(WARMUP_EPOCHS);
     sys.mark_measurement();
     sys.run_epochs(epochs);
+    crate::obs::report(&sys);
     let ipc = (0..16).map(|i| sys.ipc_since_mark(i)).sum::<f64>() / 16.0;
     let window = (epochs as u64) * 20_000;
     SpecCell {
@@ -374,9 +388,11 @@ pub fn fig11_cell(which: SpecWorkload, epochs: usize) -> Fig11Cell {
         b = b.class(1, spec_cores(which, c, 8)).l3_ways(c * 4, 4);
     }
     let mut sys = b.build().expect("fig11 configuration");
+    crate::obs::attach(&mut sys);
     sys.run_epochs(WARMUP_EPOCHS);
     sys.mark_measurement();
     sys.run_epochs(epochs);
+    crate::obs::report(&sys);
     let pabst_ipc = (0..32).map(|i| sys.ipc_since_mark(i)).sum::<f64>() / 32.0;
 
     // Static baseline: 8 cores alone, DDR frequency / 4, same 4-way cache
@@ -390,9 +406,11 @@ pub fn fig11_cell(which: SpecWorkload, epochs: usize) -> Fig11Cell {
         .l3_ways(0, 4)
         .build()
         .expect("fig11 baseline");
+    crate::obs::attach(&mut base);
     base.run_epochs(WARMUP_EPOCHS);
     base.mark_measurement();
     base.run_epochs(epochs);
+    crate::obs::report(&base);
     let static_ipc = (0..8).map(|i| base.ipc_since_mark(i)).sum::<f64>() / 8.0;
 
     Fig11Cell { pabst_ipc, static_ipc }
@@ -412,7 +430,9 @@ pub fn ablate_writeback(policy: WbAccounting, epochs: usize) -> (f64, f64) {
         .class(3, write_streamers(1, 16))
         .build()
         .expect("ablation configuration");
+    crate::obs::attach(&mut sys);
     sys.run_epochs(epochs);
+    crate::obs::report(&sys);
     let from = epochs / 2;
     (sys.metrics().mean_share(0, from), sys.metrics().mean_share(1, from))
 }
@@ -427,7 +447,9 @@ pub fn ablate_burst(burst: u64, epochs: usize) -> f64 {
         .class(3, read_streamers(1, 16))
         .build()
         .expect("ablation configuration");
+    crate::obs::attach(&mut sys);
     sys.run_epochs(epochs);
+    crate::obs::report(&sys);
     let from = epochs / 2;
     let m = sys.metrics();
     allocation_error_pct(
@@ -446,7 +468,9 @@ pub fn ablate_slack(slack: u64, epochs: usize) -> f64 {
         .class(1, read_streamers(1, 16))
         .build()
         .expect("ablation configuration");
+    crate::obs::attach(&mut sys);
     sys.run_epochs(epochs);
+    crate::obs::report(&sys);
     let from = epochs / 2;
     let m = sys.metrics();
     allocation_error_pct(
@@ -466,7 +490,9 @@ pub fn ablate_inertia(inertia: u32, epochs: usize) -> (f64, f64) {
         .class(3, read_streamers(1, 16))
         .build()
         .expect("ablation configuration");
+    crate::obs::attach(&mut sys);
     sys.run_epochs(epochs);
+    crate::obs::report(&sys);
     let from = epochs / 2;
     let m = sys.metrics();
     let err = allocation_error_pct(
@@ -502,7 +528,9 @@ pub fn skewed_traffic_utilization(per_mc: bool, epochs: usize) -> f64 {
         .class(1, read_streamers(1, 16))
         .build()
         .expect("skewed configuration");
+    crate::obs::attach(&mut sys);
     sys.run_epochs(epochs);
+    crate::obs::report(&sys);
     sys.metrics().total_bytes_per_cycle(epochs / 2)
 }
 

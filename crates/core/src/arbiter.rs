@@ -167,6 +167,11 @@ impl VirtualClocks {
         self.slack
     }
 
+    /// Number of classes these clocks were built for.
+    pub fn classes(&self) -> usize {
+        self.classes
+    }
+
     /// The most recent serviced deadline (slack reference point).
     pub fn last_picked(&self) -> u64 {
         self.last_picked

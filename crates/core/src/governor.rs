@@ -223,6 +223,37 @@ impl SystemMonitor {
     pub fn config(&self) -> MonitorConfig {
         self.cfg
     }
+
+    /// A point-in-time view of the monitor's state machine for
+    /// observability (trace records, figure dumps). Pure.
+    pub fn snapshot(&self) -> MonitorSnapshot {
+        MonitorSnapshot {
+            m: self.m,
+            delta_m: self.dm,
+            steady_epochs: self.e,
+            rate_dir: self.rate_dir,
+            delta_dir: self.delta_dir,
+            epochs: self.epochs,
+        }
+    }
+}
+
+/// A point-in-time view of one [`SystemMonitor`] (observability; see
+/// [`SystemMonitor::snapshot`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MonitorSnapshot {
+    /// Current multiplier `M`.
+    pub m: u32,
+    /// Current step magnitude `δM`.
+    pub delta_m: u32,
+    /// Consecutive epochs without a rate-direction switch (`E`).
+    pub steady_epochs: u32,
+    /// Current goal-rate direction.
+    pub rate_dir: RateDir,
+    /// Direction `δM` moved in the last epoch.
+    pub delta_dir: DeltaDir,
+    /// Total epochs processed.
+    pub epochs: u64,
 }
 
 /// Stride scale used by the governor's rate computation: pass

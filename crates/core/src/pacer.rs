@@ -15,8 +15,13 @@
 //! * a request that turned out to *hit* in the shared L3 never reached
 //!   memory, so its charge is refunded ([`Pacer::on_shared_hit`]);
 //! * a demand fill that forced a dirty L3 eviction consumed extra write
-//!   bandwidth, so one additional period is charged
+//!   bandwidth, so one additional charge is applied
 //!   ([`Pacer::on_writeback`]).
+//!
+//! Both settlements take the amount *charged at issue time* (the caller
+//! records it, see `soc`'s tile bookkeeping): the governor may have
+//! reprogrammed the period between issue and completion, and settling
+//! with the current period would refund or charge the wrong amount.
 
 use pabst_simkit::Cycle;
 
@@ -102,16 +107,36 @@ impl Pacer {
         }
     }
 
-    /// Refunds one period: the request was serviced by the shared cache and
-    /// never consumed memory bandwidth.
-    pub fn on_shared_hit(&mut self) {
-        self.c_next = self.c_next.saturating_sub(self.period);
+    /// Refunds `charged` cycles: the request was serviced by the shared
+    /// cache and never consumed memory bandwidth. `charged` is the amount
+    /// applied when the request issued (the period *then*, not now), and
+    /// the refund is re-clamped so it cannot mint credit beyond the burst
+    /// window.
+    pub fn on_shared_hit(&mut self, charged: Cycle, now: Cycle) {
+        self.c_next = self.c_next.saturating_sub(charged);
+        self.clamp_credit(now);
     }
 
-    /// Charges one extra period: the request's fill evicted a dirty shared-
-    /// cache line, generating a memory write on this class's behalf.
-    pub fn on_writeback(&mut self) {
-        self.c_next = self.c_next.saturating_add(self.period);
+    /// Charges `charged` extra cycles: the request's fill evicted a dirty
+    /// shared-cache line, generating a memory write on this class's
+    /// behalf. `charged` is the issue-time charge; pushing `C_next`
+    /// further into the future needs no clamp.
+    pub fn on_writeback(&mut self, charged: Cycle) {
+        self.c_next = self.c_next.saturating_add(charged);
+    }
+
+    /// A read-only view of the pacer for observability: current period,
+    /// clamped credit at `now`, the credit ceiling, and the issue/NACK
+    /// counters. Does not mutate the pacer (the clamp is applied to the
+    /// reported value only).
+    pub fn snapshot(&self, now: Cycle) -> PacerSnapshot {
+        PacerSnapshot {
+            period: self.period,
+            credit: self.credit_at(now).min(self.burst_window()),
+            burst_window: self.burst_window(),
+            issued: self.issued,
+            throttled: self.throttled,
+        }
     }
 
     /// Requests issued (admitted) so far.
@@ -155,6 +180,21 @@ impl Pacer {
             self.c_next = floor;
         }
     }
+}
+
+/// Point-in-time view of one pacer, as reported by [`Pacer::snapshot`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PacerSnapshot {
+    /// Currently enforced per-request period in cycles (0 = unthrottled).
+    pub period: Cycle,
+    /// Accumulated credit in cycles, clamped to the burst window.
+    pub credit: Cycle,
+    /// The credit ceiling, `(burst - 1) × period`.
+    pub burst_window: Cycle,
+    /// Requests admitted so far.
+    pub issued: u64,
+    /// Requests NACKed so far.
+    pub throttled: u64,
 }
 
 #[cfg(test)]
@@ -218,7 +258,7 @@ mod tests {
         let mut p = Pacer::new(100);
         assert!(p.try_issue(0)); // c_next = 100
         assert!(!p.try_issue(1));
-        p.on_shared_hit(); // refund: c_next back to 0
+        p.on_shared_hit(100, 1); // refund the issue-time charge: c_next back to 0
         assert!(p.try_issue(1));
     }
 
@@ -226,9 +266,44 @@ mod tests {
     fn writeback_adds_charge() {
         let mut p = Pacer::new(100);
         assert!(p.try_issue(0)); // c_next = 100
-        p.on_writeback(); // c_next = 200
+        p.on_writeback(100); // c_next = 200
         assert!(!p.try_issue(150));
         assert!(p.try_issue(200));
+    }
+
+    #[test]
+    fn settlement_uses_issue_time_charge_across_reprogramming() {
+        // Issue at period 100, then the governor reprograms to 10 before
+        // the response returns. The refund must be the 100 charged at
+        // issue, not 10 — and must not mint credit past the window.
+        let mut p = Pacer::with_burst(100, 2);
+        assert!(p.try_issue(0)); // c_next = 100, charged 100
+        p.set_period(10, 0);
+        p.on_shared_hit(100, 0);
+        assert!(p.credit_at(0) <= p.burst_window(), "refund clamped to window");
+
+        // Writeback side: charge recorded at issue (100) lands in full
+        // even though the current period is 10.
+        let mut q = Pacer::with_burst(100, 2);
+        assert!(q.try_issue(0)); // c_next = 100, charged 100
+        q.set_period(10, 0);
+        q.on_writeback(100); // c_next = 200
+        assert!(!q.try_issue(150));
+        assert!(q.try_issue(200));
+    }
+
+    #[test]
+    fn snapshot_reports_clamped_credit_without_mutation() {
+        let mut p = Pacer::with_burst(10, 4);
+        assert!(p.try_issue(0));
+        let before = p.clone();
+        let snap = p.snapshot(1_000_000);
+        assert_eq!(snap.credit, p.burst_window(), "long idle reads as full window");
+        assert_eq!(snap.period, 10);
+        assert_eq!(snap.burst_window, 30);
+        assert_eq!(snap.issued, 1);
+        assert_eq!(snap.throttled, 0);
+        assert_eq!(p, before, "snapshot must not clamp the pacer itself");
     }
 
     #[test]

@@ -110,8 +110,72 @@ fn pacer_refund_never_hurts() {
                         assert!(a, "seed {seed}: refund tightened the pacer at cycle {now}");
                     }
                 }
-                1 => with_refunds.on_shared_hit(),
+                1 => with_refunds.on_shared_hit(period, now),
                 _ => now += 1,
+            }
+        }
+    }
+}
+
+/// Pacer credit never exceeds the burst window across randomized
+/// `try_issue` / `on_shared_hit` / `on_writeback` / `set_period`
+/// sequences, where every settlement refunds exactly what was charged
+/// at issue time.
+///
+/// The invariant is checked after every clamping operation (`try_issue`,
+/// `on_shared_hit`, `set_period`); `on_writeback` deliberately does not
+/// clamp (it only moves `c_next` forward), so raw credit may transiently
+/// exceed the window until the next lazy clamp — exactly the behavior
+/// `Pacer::snapshot` papers over for observers.
+#[test]
+fn pacer_credit_never_exceeds_window_with_settlements() {
+    for seed in 0..64u64 {
+        let mut rng = SimRng::seed_from_u64(seed ^ 0x5e77);
+        let mut period = 1 + rng.gen_range(0..99);
+        let burst = 1 + rng.gen_range(0..7);
+        let ops = 1 + rng.gen_range(0..199);
+        let mut p = Pacer::with_burst(period, burst);
+        let mut outstanding: Vec<u64> = Vec::new();
+        let mut now = 0u64;
+        let check = |p: &Pacer, now: u64, op: &str| {
+            if p.period() > 0 {
+                assert!(
+                    p.credit_at(now) <= p.burst_window(),
+                    "seed {seed}: after {op} at cycle {now}, credit {} exceeds window {}",
+                    p.credit_at(now),
+                    p.burst_window()
+                );
+            }
+        };
+        for _ in 0..ops {
+            now += rng.gen_range(0..200);
+            match rng.gen_range(0..4) {
+                0 => {
+                    if p.try_issue(now) {
+                        outstanding.push(p.period());
+                    }
+                    check(&p, now, "try_issue");
+                }
+                1 => {
+                    if !outstanding.is_empty() {
+                        let i = rng.gen_range(0..outstanding.len() as u64) as usize;
+                        let charged = outstanding.swap_remove(i);
+                        p.on_shared_hit(charged, now);
+                        check(&p, now, "on_shared_hit");
+                    }
+                }
+                2 => {
+                    if !outstanding.is_empty() {
+                        let i = rng.gen_range(0..outstanding.len() as u64) as usize;
+                        let charged = outstanding[i];
+                        p.on_writeback(charged);
+                    }
+                }
+                _ => {
+                    period = 1 + rng.gen_range(0..99);
+                    p.set_period(period, now);
+                    check(&p, now, "set_period");
+                }
             }
         }
     }

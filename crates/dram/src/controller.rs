@@ -169,6 +169,26 @@ impl McStats {
     }
 }
 
+/// A point-in-time view of one [`MemController`]'s queues and priority
+/// arbiter (observability; see [`MemController::snapshot`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct McSnapshot {
+    /// Entries in the front-end read queue.
+    pub read_q_depth: u64,
+    /// Entries in the front-end write queue.
+    pub write_q_depth: u64,
+    /// Entries waiting in the ingress FIFO.
+    pub ingress_depth: u64,
+    /// Outstanding work anywhere in the controller.
+    pub pending: u64,
+    /// Requests accepted at the ingress so far.
+    pub accepted: u64,
+    /// Requests refused at the ingress so far.
+    pub ingress_rejects: u64,
+    /// Per-class virtual-clock values of the priority arbiter.
+    pub virtual_clocks: Vec<u64>,
+}
+
 /// A completed column access whose data burst awaits the bus.
 #[derive(Debug, Clone, Copy)]
 struct PendingBurst {
@@ -338,6 +358,22 @@ impl MemController {
     /// The configuration this controller was built with.
     pub fn config(&self) -> DramConfig {
         self.cfg
+    }
+
+    /// A point-in-time view of the controller's queues and arbiter state
+    /// for observability (trace records). Pure.
+    pub fn snapshot(&self) -> McSnapshot {
+        let n = self.clocks.classes();
+        let clocks = (0..n).map(|c| self.clocks.clock(QosId::new(c as u8))).collect();
+        McSnapshot {
+            read_q_depth: self.read_q.len() as u64,
+            write_q_depth: self.write_q.len() as u64,
+            ingress_depth: self.ingress.len() as u64,
+            pending: self.pending() as u64,
+            accepted: self.accepted,
+            ingress_rejects: self.ingress_rejects,
+            virtual_clocks: clocks,
+        }
     }
 
     /// Reprograms the per-class strides (software updating shares).

@@ -19,6 +19,9 @@
 //! * [`sanitizer::Sanitizer`] — debug-mode runtime invariant checks
 //!   (credit caps, deadline monotonicity, queue conservation) wired into
 //!   the SoC epoch loop.
+//! * [`trace`] — epoch-structured observability: typed per-epoch records,
+//!   pluggable sinks (in-memory ring, JSONL writer), and a dependency-free
+//!   integer-only serializer.
 //!
 //! # Examples
 //!
@@ -38,6 +41,7 @@ pub mod queue;
 pub mod rng;
 pub mod sanitizer;
 pub mod stats;
+pub mod trace;
 
 /// Simulated time, measured in CPU clock cycles.
 ///

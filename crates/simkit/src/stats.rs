@@ -94,11 +94,12 @@ impl EpochAverage {
     }
 }
 
-/// A latency/service-time histogram with power-of-two buckets plus an exact
-/// reservoir of raw values for percentile queries.
+/// A latency/service-time histogram backed by an exact reservoir of raw
+/// values.
 ///
 /// Stores every recorded value (the experiments record at most a few
-/// thousand transactions), so percentiles are exact.
+/// thousand transactions), so percentile queries are exact — there is no
+/// bucketing and therefore no bucketing error.
 #[derive(Debug, Clone, Default)]
 pub struct Histogram {
     values: Vec<u64>,
@@ -213,7 +214,8 @@ impl ClassSeries {
         &self.points[e]
     }
 
-    /// Mean of class `c` over epochs `range` (clamped to available data).
+    /// Mean of class `c` over epochs `from_epoch..` (an out-of-range start
+    /// yields an empty window and a mean of `0.0`).
     pub fn mean_over(&self, c: usize, from_epoch: usize) -> f64 {
         let pts: Vec<f64> = self.points.iter().skip(from_epoch).map(|v| v[c]).collect();
         if pts.is_empty() {

@@ -1,0 +1,519 @@
+//! Epoch-structured observability: one typed record per epoch, pluggable
+//! sinks, and a dependency-free JSONL serialization.
+//!
+//! The paper's evaluation reads everything off per-epoch signals — the
+//! multiplier `M`, its step `δM`, the wired-OR SAT bit, per-class
+//! delivered bytes, per-tile throttle counts — so the simulator emits
+//! exactly one [`EpochRecord`] per epoch boundary to whatever sinks are
+//! attached. Records are integers and booleans only: the serializer must
+//! round-trip bit-exactly and stay deterministic across platforms, so
+//! floating point is banned here (the `float-math` simlint rule covers
+//! this file).
+//!
+//! Serialization is hand-rolled (the workspace has a zero-dependency
+//! rule): [`EpochRecord::to_json`] writes one flat JSON object,
+//! [`parse_line`] reads one back. The grammar is the subset the records
+//! need — unsigned integers, `true`/`false`, and arrays of unsigned
+//! integers — with keys accepted in any order.
+//!
+//! # Examples
+//!
+//! ```
+//! use pabst_simkit::trace::{parse_line, EpochRecord};
+//!
+//! let rec = EpochRecord { epoch: 3, m: 2048, sat: true, ..EpochRecord::default() };
+//! let line = rec.to_json();
+//! assert_eq!(parse_line(&line), Ok(rec));
+//! ```
+
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+use std::io;
+
+/// One structured observation of the whole system at an epoch boundary.
+///
+/// Field order here is the serialization order of [`EpochRecord::to_json`].
+/// All vectors are indexed the obvious way (`class_bytes` by QoS class,
+/// `tile_throttles` by tile, the `mc_*` fields by memory controller).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EpochRecord {
+    /// Zero-based index of the epoch that just ended.
+    pub epoch: u64,
+    /// Simulated cycle of the boundary.
+    pub cycle: u64,
+    /// Governor multiplier `M` after this epoch's update.
+    pub m: u64,
+    /// Governor step magnitude `δM` after this epoch's update.
+    pub dm: u64,
+    /// Consecutive epochs without a rate-direction switch (the paper's E).
+    pub e: u64,
+    /// Phase, rate half: `true` when the goal request rate is increasing.
+    pub rate_up: bool,
+    /// Phase, step half: `true` when `δM` grew this epoch.
+    pub delta_up: bool,
+    /// The wired-OR saturation bit observed for the epoch.
+    pub sat: bool,
+    /// Bytes delivered per QoS class during the epoch.
+    pub class_bytes: Vec<u64>,
+    /// Pacer NACKs per tile during the epoch (summed over the tile's
+    /// pacers in the per-MC-regulation variant).
+    pub tile_throttles: Vec<u64>,
+    /// Read-queue depth per memory controller at the boundary.
+    pub mc_read_depth: Vec<u64>,
+    /// Write-queue depth per memory controller at the boundary.
+    pub mc_write_depth: Vec<u64>,
+    /// Total outstanding requests per memory controller at the boundary.
+    pub mc_pending: Vec<u64>,
+}
+
+impl EpochRecord {
+    /// Serializes the record as one flat JSON object (no trailing newline).
+    ///
+    /// Keys are emitted in declaration order, so equal records serialize
+    /// to byte-identical lines — the determinism check diffs trace files
+    /// directly.
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(256);
+        s.push('{');
+        let _ = write!(s, "\"epoch\":{}", self.epoch);
+        let _ = write!(s, ",\"cycle\":{}", self.cycle);
+        let _ = write!(s, ",\"m\":{}", self.m);
+        let _ = write!(s, ",\"dm\":{}", self.dm);
+        let _ = write!(s, ",\"e\":{}", self.e);
+        let _ = write!(s, ",\"rate_up\":{}", self.rate_up);
+        let _ = write!(s, ",\"delta_up\":{}", self.delta_up);
+        let _ = write!(s, ",\"sat\":{}", self.sat);
+        write_u64_array(&mut s, "class_bytes", &self.class_bytes);
+        write_u64_array(&mut s, "tile_throttles", &self.tile_throttles);
+        write_u64_array(&mut s, "mc_read_depth", &self.mc_read_depth);
+        write_u64_array(&mut s, "mc_write_depth", &self.mc_write_depth);
+        write_u64_array(&mut s, "mc_pending", &self.mc_pending);
+        s.push('}');
+        s
+    }
+}
+
+fn write_u64_array(s: &mut String, key: &str, vals: &[u64]) {
+    let _ = write!(s, ",\"{key}\":[");
+    for (i, v) in vals.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(s, "{v}");
+    }
+    s.push(']');
+}
+
+/// Why a trace line failed to parse, with the byte offset of the problem.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceParseError {
+    /// Byte offset into the line where parsing stopped.
+    pub offset: usize,
+    /// What was wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for TraceParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "trace parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for TraceParseError {}
+
+/// Parses one JSONL trace line back into an [`EpochRecord`].
+///
+/// Accepts the grammar [`EpochRecord::to_json`] emits — a flat object of
+/// unsigned integers, booleans, and arrays of unsigned integers — with
+/// keys in any order and optional ASCII whitespace between tokens. Keys
+/// absent from the line keep their [`Default`] value; unknown keys are an
+/// error.
+///
+/// # Errors
+///
+/// Returns [`TraceParseError`] on any syntax violation, unknown key, or
+/// type mismatch, pointing at the offending byte.
+pub fn parse_line(line: &str) -> Result<EpochRecord, TraceParseError> {
+    let mut cur = Cursor { s: line.as_bytes(), pos: 0 };
+    let mut rec = EpochRecord::default();
+    cur.skip_ws();
+    cur.eat(b'{')?;
+    cur.skip_ws();
+    if cur.peek() == Some(b'}') {
+        cur.pos += 1;
+    } else {
+        loop {
+            let key = cur.parse_key()?;
+            cur.skip_ws();
+            cur.eat(b':')?;
+            cur.skip_ws();
+            match key {
+                "epoch" => rec.epoch = cur.parse_u64()?,
+                "cycle" => rec.cycle = cur.parse_u64()?,
+                "m" => rec.m = cur.parse_u64()?,
+                "dm" => rec.dm = cur.parse_u64()?,
+                "e" => rec.e = cur.parse_u64()?,
+                "rate_up" => rec.rate_up = cur.parse_bool()?,
+                "delta_up" => rec.delta_up = cur.parse_bool()?,
+                "sat" => rec.sat = cur.parse_bool()?,
+                "class_bytes" => rec.class_bytes = cur.parse_u64_array()?,
+                "tile_throttles" => rec.tile_throttles = cur.parse_u64_array()?,
+                "mc_read_depth" => rec.mc_read_depth = cur.parse_u64_array()?,
+                "mc_write_depth" => rec.mc_write_depth = cur.parse_u64_array()?,
+                "mc_pending" => rec.mc_pending = cur.parse_u64_array()?,
+                other => {
+                    return Err(TraceParseError {
+                        offset: cur.pos,
+                        message: format!("unknown key {other:?}"),
+                    })
+                }
+            }
+            cur.skip_ws();
+            match cur.bump() {
+                Some(b',') => cur.skip_ws(),
+                Some(b'}') => break,
+                _ => return Err(cur.err("expected ',' or '}'")),
+            }
+        }
+    }
+    cur.skip_ws();
+    if cur.pos != cur.s.len() {
+        return Err(cur.err("trailing bytes after record"));
+    }
+    Ok(rec)
+}
+
+/// Byte cursor over one trace line.
+struct Cursor<'a> {
+    s: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn err(&self, message: &str) -> TraceParseError {
+        TraceParseError { offset: self.pos, message: message.into() }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.s.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, want: u8) -> Result<(), TraceParseError> {
+        if self.peek() == Some(want) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected {:?}", char::from(want))))
+        }
+    }
+
+    /// A double-quoted key. Keys are ASCII identifiers; escapes are not
+    /// part of the grammar.
+    fn parse_key(&mut self) -> Result<&'a str, TraceParseError> {
+        self.eat(b'"')?;
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if b == b'"' {
+                let key = &self.s[start..self.pos];
+                self.pos += 1;
+                return std::str::from_utf8(key).map_err(|_| TraceParseError {
+                    offset: start,
+                    message: "key is not UTF-8".into(),
+                });
+            }
+            if b == b'\\' {
+                return Err(self.err("escapes are not part of the trace grammar"));
+            }
+            self.pos += 1;
+        }
+        Err(self.err("unterminated key"))
+    }
+
+    fn parse_u64(&mut self) -> Result<u64, TraceParseError> {
+        let start = self.pos;
+        let mut v: u64 = 0;
+        let mut any = false;
+        while let Some(b @ b'0'..=b'9') = self.peek() {
+            let digit = u64::from(b - b'0');
+            v = v.checked_mul(10).and_then(|v| v.checked_add(digit)).ok_or_else(|| {
+                TraceParseError { offset: start, message: "integer overflows u64".into() }
+            })?;
+            self.pos += 1;
+            any = true;
+        }
+        if any {
+            Ok(v)
+        } else {
+            Err(self.err("expected an unsigned integer"))
+        }
+    }
+
+    fn parse_bool(&mut self) -> Result<bool, TraceParseError> {
+        for (lit, val) in [(&b"true"[..], true), (&b"false"[..], false)] {
+            if self.s[self.pos..].starts_with(lit) {
+                self.pos += lit.len();
+                return Ok(val);
+            }
+        }
+        Err(self.err("expected 'true' or 'false'"))
+    }
+
+    fn parse_u64_array(&mut self) -> Result<Vec<u64>, TraceParseError> {
+        self.eat(b'[')?;
+        let mut out = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(out);
+        }
+        loop {
+            self.skip_ws();
+            out.push(self.parse_u64()?);
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b']') => return Ok(out),
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+}
+
+/// A consumer of epoch records.
+///
+/// Sinks are attached to the system before a run and receive every
+/// subsequent boundary record. `Debug` is required so systems holding
+/// boxed sinks stay debuggable.
+pub trait TraceSink: std::fmt::Debug {
+    /// Consumes one epoch record.
+    fn record(&mut self, rec: &EpochRecord);
+}
+
+/// An in-memory ring of the most recent records (always-on tracing with a
+/// bounded footprint).
+#[derive(Debug, Clone)]
+pub struct RingSink {
+    cap: usize,
+    buf: VecDeque<EpochRecord>,
+}
+
+impl RingSink {
+    /// Creates a ring keeping the last `cap` records.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap` is zero — a ring that can hold nothing records
+    /// nothing.
+    pub fn new(cap: usize) -> Self {
+        assert!(cap > 0, "ring capacity must be at least one record");
+        Self { cap, buf: VecDeque::with_capacity(cap) }
+    }
+
+    /// The retained records, oldest first.
+    pub fn records(&self) -> impl Iterator<Item = &EpochRecord> {
+        self.buf.iter()
+    }
+
+    /// Number of retained records.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+}
+
+impl TraceSink for RingSink {
+    fn record(&mut self, rec: &EpochRecord) {
+        if self.buf.len() == self.cap {
+            self.buf.pop_front();
+        }
+        self.buf.push_back(rec.clone());
+    }
+}
+
+/// A sink writing one JSON object per line to any [`io::Write`].
+///
+/// Write errors cannot propagate through the infallible [`TraceSink`]
+/// interface, so the sink latches the first failure and drops all
+/// subsequent records; check [`JsonlSink::had_error`] after the run.
+pub struct JsonlSink<W: io::Write> {
+    out: W,
+    failed: bool,
+}
+
+impl<W: io::Write> JsonlSink<W> {
+    /// Wraps a writer. Callers wanting buffering supply a
+    /// [`io::BufWriter`]; its `Drop` flushes when the sink is released.
+    pub fn new(out: W) -> Self {
+        Self { out, failed: false }
+    }
+
+    /// True once any write has failed (later records were discarded).
+    pub fn had_error(&self) -> bool {
+        self.failed
+    }
+
+    /// Unwraps the underlying writer.
+    pub fn into_inner(self) -> W {
+        self.out
+    }
+}
+
+impl<W: io::Write> TraceSink for JsonlSink<W> {
+    fn record(&mut self, rec: &EpochRecord) {
+        if self.failed {
+            return;
+        }
+        if writeln!(self.out, "{}", rec.to_json()).is_err() {
+            self.failed = true;
+        }
+    }
+}
+
+impl<W: io::Write> std::fmt::Debug for JsonlSink<W> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JsonlSink").field("failed", &self.failed).finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> EpochRecord {
+        EpochRecord {
+            epoch: 41,
+            cycle: 840_000,
+            m: 2048,
+            dm: 16,
+            e: 5,
+            rate_up: true,
+            delta_up: false,
+            sat: true,
+            class_bytes: vec![123_456, 0, 64],
+            tile_throttles: vec![9, 0, 0, 17],
+            mc_read_depth: vec![3],
+            mc_write_depth: vec![0],
+            mc_pending: vec![12],
+        }
+    }
+
+    #[test]
+    fn json_round_trips_exactly() {
+        let rec = sample();
+        assert_eq!(parse_line(&rec.to_json()), Ok(rec));
+    }
+
+    #[test]
+    fn default_round_trips_with_empty_arrays() {
+        let rec = EpochRecord::default();
+        let line = rec.to_json();
+        assert!(line.contains("\"class_bytes\":[]"), "{line}");
+        assert_eq!(parse_line(&line), Ok(rec));
+    }
+
+    #[test]
+    fn equal_records_serialize_identically() {
+        assert_eq!(sample().to_json(), sample().to_json());
+    }
+
+    #[test]
+    fn parser_accepts_any_key_order_and_whitespace() {
+        let line = " { \"sat\" : true , \"m\" : 7 , \"class_bytes\" : [ 1 , 2 ] } ";
+        let rec = parse_line(line).expect("reordered keys parse");
+        assert!(rec.sat);
+        assert_eq!(rec.m, 7);
+        assert_eq!(rec.class_bytes, vec![1, 2]);
+        assert_eq!(rec.epoch, 0, "absent keys default");
+    }
+
+    #[test]
+    fn parser_rejects_malformed_lines() {
+        for bad in [
+            "",
+            "{",
+            "{\"epoch\":}",
+            "{\"epoch\":1,}",
+            "{\"epoch\":true}",
+            "{\"sat\":2}",
+            "{\"mystery\":1}",
+            "{\"class_bytes\":[1,]}",
+            "{\"epoch\":1} extra",
+            "{\"epoch\":99999999999999999999999999}",
+        ] {
+            assert!(parse_line(bad).is_err(), "must reject {bad:?}");
+        }
+    }
+
+    #[test]
+    fn parse_error_reports_offset() {
+        let err = parse_line("{\"epoch\":x}").expect_err("bad value");
+        assert_eq!(err.offset, 9);
+        assert!(err.to_string().contains("byte 9"), "{err}");
+    }
+
+    #[test]
+    fn ring_sink_keeps_most_recent() {
+        let mut ring = RingSink::new(2);
+        assert!(ring.is_empty());
+        for i in 0..5u64 {
+            ring.record(&EpochRecord { epoch: i, ..EpochRecord::default() });
+        }
+        assert_eq!(ring.len(), 2);
+        let epochs: Vec<u64> = ring.records().map(|r| r.epoch).collect();
+        assert_eq!(epochs, vec![3, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one record")]
+    fn zero_capacity_ring_panics() {
+        let _ = RingSink::new(0);
+    }
+
+    #[test]
+    fn jsonl_sink_writes_one_line_per_record() {
+        let mut sink = JsonlSink::new(Vec::new());
+        sink.record(&sample());
+        sink.record(&EpochRecord::default());
+        assert!(!sink.had_error());
+        let text = String::from_utf8(sink.into_inner()).expect("utf8");
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(parse_line(lines[0]), Ok(sample()));
+        assert_eq!(parse_line(lines[1]), Ok(EpochRecord::default()));
+    }
+
+    #[test]
+    fn jsonl_sink_latches_write_errors() {
+        /// A writer that always fails.
+        struct Broken;
+        impl io::Write for Broken {
+            fn write(&mut self, _: &[u8]) -> io::Result<usize> {
+                Err(io::Error::other("broken pipe"))
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        let mut sink = JsonlSink::new(Broken);
+        sink.record(&sample());
+        assert!(sink.had_error());
+        sink.record(&sample()); // silently dropped, no panic
+        assert!(sink.had_error());
+    }
+}

@@ -44,9 +44,11 @@
 
 pub mod config;
 pub mod metrics;
+pub mod report;
 pub mod system;
 pub mod tile;
 
 pub use config::{RegulationMode, SystemConfig, WbAccounting};
 pub use metrics::Metrics;
+pub use report::SystemReport;
 pub use system::{System, SystemBuilder};

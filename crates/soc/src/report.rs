@@ -43,15 +43,13 @@ impl SystemReport {
         let mut classes = Vec::with_capacity(n_classes);
         for c in 0..n_classes {
             let id = pabst_core::qos::QosId::new(c as u8);
-            let tiles: Vec<usize> = (0..sys.tiles().len())
-                .filter(|&i| sys.tile_class(i) == id)
-                .collect();
+            let tiles: Vec<usize> =
+                (0..sys.tiles().len()).filter(|&i| sys.tile_class(i) == id).collect();
             let bytes = sys.bytes_since_mark(c);
             let mean_ipc = if tiles.is_empty() || window == 0 {
                 0.0
             } else {
-                tiles.iter().map(|&i| sys.ipc_since_mark(i)).sum::<f64>()
-                    / tiles.len() as f64
+                tiles.iter().map(|&i| sys.ipc_since_mark(i)).sum::<f64>() / tiles.len() as f64
             };
             classes.push(ClassReport {
                 class: c,
@@ -62,20 +60,45 @@ impl SystemReport {
                 } else {
                     bytes as f64 / total_bytes as f64
                 },
-                bytes_per_cycle: if window == 0 {
-                    0.0
-                } else {
-                    bytes as f64 / window as f64
-                },
+                bytes_per_cycle: if window == 0 { 0.0 } else { bytes as f64 / window as f64 },
                 mean_ipc,
                 cores: tiles.len(),
             });
         }
-        Self {
-            classes,
-            bus_utilization: sys.bus_utilization_since_mark(),
-            window_cycles: window,
+        Self { classes, bus_utilization: sys.bus_utilization_since_mark(), window_cycles: window }
+    }
+
+    /// Serializes the report as one JSON object (hand-rolled; the
+    /// workspace has a zero-dependency rule). Non-finite floats become
+    /// `null` so the output is always valid JSON.
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::with_capacity(256);
+        let _ = write!(
+            s,
+            "{{\"window_cycles\":{},\"bus_utilization\":{},\"classes\":[",
+            self.window_cycles,
+            json_f64(self.bus_utilization)
+        );
+        for (i, c) in self.classes.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(
+                s,
+                "{{\"class\":{},\"weight\":{},\"cores\":{},\"target_share\":{},\
+                 \"observed_share\":{},\"bytes_per_cycle\":{},\"mean_ipc\":{}}}",
+                c.class,
+                c.weight,
+                c.cores,
+                json_f64(c.target_share),
+                json_f64(c.observed_share),
+                json_f64(c.bytes_per_cycle),
+                json_f64(c.mean_ipc)
+            );
         }
+        s.push_str("]}");
+        s
     }
 
     /// Renders a plain-text table.
@@ -85,9 +108,7 @@ impl SystemReport {
             self.window_cycles,
             self.bus_utilization * 100.0
         );
-        out.push_str(
-            "class  weight  cores  target%  observed%  GB/s    IPC/core\n",
-        );
+        out.push_str("class  weight  cores  target%  observed%  GB/s    IPC/core\n");
         out.push_str("------------------------------------------------------------\n");
         for c in &self.classes {
             out.push_str(&format!(
@@ -102,6 +123,16 @@ impl SystemReport {
             ));
         }
         out
+    }
+}
+
+/// A float as a JSON number, or `null` when not finite (JSON has no
+/// NaN/Infinity literals).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".into()
     }
 }
 
@@ -124,12 +155,11 @@ mod tests {
 
     #[test]
     fn report_covers_all_classes() {
-        let mut sys =
-            SystemBuilder::new(SystemConfig::small_test(), RegulationMode::Pabst)
-                .class(3, vec![Box::new(Idle) as Box<dyn Workload>])
-                .class(1, vec![Box::new(Idle) as Box<dyn Workload>])
-                .build()
-                .unwrap();
+        let mut sys = SystemBuilder::new(SystemConfig::small_test(), RegulationMode::Pabst)
+            .class(3, vec![Box::new(Idle) as Box<dyn Workload>])
+            .class(1, vec![Box::new(Idle) as Box<dyn Workload>])
+            .build()
+            .unwrap();
         sys.run_epochs(1);
         sys.mark_measurement();
         sys.run_epochs(2);
@@ -147,11 +177,10 @@ mod tests {
 
     #[test]
     fn idle_system_reports_zero_shares_without_nan() {
-        let mut sys =
-            SystemBuilder::new(SystemConfig::small_test(), RegulationMode::None)
-                .class(1, vec![Box::new(Idle) as Box<dyn Workload>])
-                .build()
-                .unwrap();
+        let mut sys = SystemBuilder::new(SystemConfig::small_test(), RegulationMode::None)
+            .class(1, vec![Box::new(Idle) as Box<dyn Workload>])
+            .build()
+            .unwrap();
         sys.run_epochs(1);
         sys.mark_measurement();
         sys.run_epochs(1);
@@ -159,5 +188,39 @@ mod tests {
         assert_eq!(r.classes[0].observed_share, 0.0);
         assert_eq!(r.classes[0].bytes_per_cycle, 0.0);
         assert!(r.render().contains("0.0"));
+    }
+
+    #[test]
+    fn json_export_is_valid_and_complete() {
+        let mut sys = SystemBuilder::new(SystemConfig::small_test(), RegulationMode::Pabst)
+            .class(3, vec![Box::new(Idle) as Box<dyn Workload>])
+            .class(1, vec![Box::new(Idle) as Box<dyn Workload>])
+            .build()
+            .unwrap();
+        sys.run_epochs(1);
+        sys.mark_measurement();
+        sys.run_epochs(2);
+        let r = SystemReport::collect(&sys);
+        let j = r.to_json();
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        for key in [
+            "\"window_cycles\":",
+            "\"bus_utilization\":",
+            "\"classes\":[",
+            "\"weight\":3",
+            "\"target_share\":",
+            "\"mean_ipc\":",
+        ] {
+            assert!(j.contains(key), "missing {key} in {j}");
+        }
+        assert_eq!(j.matches("\"class\":").count(), 2, "one object per class");
+        assert!(!j.contains("NaN") && !j.contains("inf"), "non-finite floats must be null");
+    }
+
+    #[test]
+    fn json_f64_maps_non_finite_to_null() {
+        assert_eq!(json_f64(0.5), "0.5");
+        assert_eq!(json_f64(f64::NAN), "null");
+        assert_eq!(json_f64(f64::INFINITY), "null");
     }
 }

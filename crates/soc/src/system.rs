@@ -3,7 +3,9 @@
 use std::collections::VecDeque;
 
 use pabst_cache::{LineAddr, MshrTable, SetAssocCache, WayMask};
-use pabst_core::governor::{RateGenerator, SystemMonitor, GOVERNOR_STRIDE_SCALE};
+use pabst_core::governor::{
+    DeltaDir, RateDir, RateGenerator, SystemMonitor, GOVERNOR_STRIDE_SCALE,
+};
 use pabst_core::pacer::Pacer;
 use pabst_core::qos::{QosId, ShareTable};
 use pabst_core::satmon::or_sat;
@@ -11,6 +13,7 @@ use pabst_cpu::{OooCore, Workload};
 use pabst_dram::{ArbiterMode, Completion, MemController, MemReq};
 use pabst_simkit::queue::DelayQueue;
 use pabst_simkit::sanitizer::Sanitizer;
+use pabst_simkit::trace::{EpochRecord, TraceSink};
 use pabst_simkit::Cycle;
 
 use crate::config::{ConfigError, RegulationMode, SystemConfig, WbAccounting};
@@ -93,6 +96,12 @@ pub struct System {
     /// Per-epoch invariant checks; no-ops unless debug_assertions or the
     /// `sanitize` feature is on.
     sanitizer: Sanitizer,
+    /// Attached observability sinks; each receives one [`EpochRecord`] per
+    /// epoch boundary. Empty by default (zero overhead when unused).
+    trace_sinks: Vec<Box<dyn TraceSink>>,
+    /// Cumulative per-tile throttle counts at the previous boundary, for
+    /// per-epoch deltas in the trace record.
+    prev_throttles: Vec<u64>,
 }
 
 impl System {
@@ -130,6 +139,12 @@ impl System {
     /// Mutable metrics (service-time percentiles need `&mut`).
     pub fn metrics_mut(&mut self) -> &mut Metrics {
         &mut self.metrics
+    }
+
+    /// Attaches an observability sink; it receives one [`EpochRecord`] at
+    /// every epoch boundary from now on.
+    pub fn add_trace_sink(&mut self, sink: Box<dyn TraceSink>) {
+        self.trace_sinks.push(sink);
     }
 
     /// The tiles (inspection only).
@@ -301,10 +316,21 @@ impl System {
     /// get an MSHR wait in `mshr_wait`; admitted misses queue per-MC in
     /// `mc_out`.
     fn l3_service(&mut self, now: Cycle) {
-        // Retry MSHR-refused misses first (oldest first).
-        while !self.l3_mshrs.is_full() {
-            let Some(req) = self.mshr_wait.pop_front() else { break };
-            self.admit_miss(req);
+        // Retry MSHR-refused misses first (oldest first). A waiting miss
+        // whose line gained an MSHR entry since it was refused (another
+        // tile's miss to the same line was admitted) must merge as a
+        // secondary, not re-admit: re-admitting would enqueue a duplicate
+        // DRAM read for the line.
+        while let Some(&req) = self.mshr_wait.front() {
+            if self.l3_mshrs.contains(req.line) {
+                self.mshr_wait.pop_front();
+                self.l3_mshrs.alloc(req.line, L3Waiter { tile: req.tile, store: req.store });
+            } else if self.l3_mshrs.is_full() {
+                break;
+            } else {
+                self.mshr_wait.pop_front();
+                self.admit_miss(req);
+            }
         }
         // Bounded number of L3 operations per cycle (banked array).
         for _ in 0..4 {
@@ -370,7 +396,12 @@ impl System {
         if let Some(ev) = self.l3.fill(c.line, c.class, any_store) {
             if ev.dirty {
                 self.emit_l3_writeback(ev.line, ev.owner, c.class);
-                wb_flag = true;
+                // The source-side extra-period charge lands on the demand
+                // pacer, so it only applies under the ChargeDemand policy;
+                // ChargeOwner/ChargeNone attribute the writeback at the
+                // controller (or nowhere) and must not charge the demand
+                // source.
+                wb_flag = matches!(self.cfg.wb_accounting, WbAccounting::ChargeDemand);
             }
         }
         for w in waiters {
@@ -405,7 +436,7 @@ impl System {
                 tile.core.release_slot();
             }
         }
-        tile.mem.settle_response(resp.line, resp.l3_hit, resp.wb_flag);
+        tile.mem.settle_response(resp.line, resp.l3_hit, resp.wb_flag, now);
         // L2 victims displaced by this fill go back to the L3.
         while let Some(line) = tile.mem.pop_l2_writeback() {
             let class = tile.mem.class;
@@ -460,17 +491,62 @@ impl System {
             }
         }
 
-        // Per-class bandwidth this epoch.
-        let mut bytes = vec![0f64; self.shares.classes()];
+        // Per-class bandwidth this epoch (exact u64 for the trace record,
+        // f64 for the figure series).
+        let mut bytes_u64 = vec![0u64; self.shares.classes()];
         for mc in &mut self.mcs {
             let per_class = mc.stats_mut().take_epoch_bytes();
-            for (c, b) in bytes.iter_mut().enumerate() {
-                *b += per_class[c] as f64;
+            for (c, b) in bytes_u64.iter_mut().enumerate() {
+                *b += per_class[c];
             }
         }
+        let bytes: Vec<f64> = bytes_u64.iter().map(|&b| b as f64).collect();
         self.metrics.bw_series.push_epoch(&bytes);
+        if !self.trace_sinks.is_empty() {
+            let sat = or_sat(sats.iter().copied());
+            self.emit_trace_record(now, sat, bytes_u64);
+        }
         self.epochs_run += 1;
         self.sanitize_epoch(now);
+    }
+
+    /// Builds one [`EpochRecord`] for the epoch that just ended and hands
+    /// it to every attached sink.
+    fn emit_trace_record(&mut self, now: Cycle, sat: bool, class_bytes: Vec<u64>) {
+        let snap = self.monitors[0].snapshot();
+        let mut tile_throttles = Vec::with_capacity(self.tiles.len());
+        for (i, tile) in self.tiles.iter().enumerate() {
+            let total: u64 = tile.mem.pacers().iter().map(Pacer::throttled).sum();
+            tile_throttles.push(total - self.prev_throttles[i]);
+            self.prev_throttles[i] = total;
+        }
+        let mut mc_read_depth = Vec::with_capacity(self.mcs.len());
+        let mut mc_write_depth = Vec::with_capacity(self.mcs.len());
+        let mut mc_pending = Vec::with_capacity(self.mcs.len());
+        for mc in &self.mcs {
+            let s = mc.snapshot();
+            mc_read_depth.push(s.read_q_depth);
+            mc_write_depth.push(s.write_q_depth);
+            mc_pending.push(s.pending);
+        }
+        let rec = EpochRecord {
+            epoch: self.epochs_run as u64,
+            cycle: now,
+            m: u64::from(snap.m),
+            dm: u64::from(snap.delta_m),
+            e: u64::from(snap.steady_epochs),
+            rate_up: matches!(snap.rate_dir, RateDir::Up),
+            delta_up: matches!(snap.delta_dir, DeltaDir::Up),
+            sat,
+            class_bytes,
+            tile_throttles,
+            mc_read_depth,
+            mc_write_depth,
+            mc_pending,
+        };
+        for sink in &mut self.trace_sinks {
+            sink.record(&rec);
+        }
     }
 
     /// Re-verifies the paper's accounting invariants at the epoch
@@ -642,6 +718,8 @@ impl SystemBuilder {
             inject_rr: 0,
             epochs_run: 0,
             sanitizer: Sanitizer::new(),
+            trace_sinks: Vec::new(),
+            prev_throttles: vec![0; cores],
             cfg: self.cfg,
             mode: self.mode,
         })
@@ -714,6 +792,122 @@ mod tests {
         sys.run_epochs(2);
         assert!(sys.sanitizer().enabled());
         assert!(sys.sanitizer().checks_run() > 0);
+    }
+
+    /// Total demand reads queued toward the memory controllers.
+    fn queued_mem_reads(sys: &System) -> usize {
+        sys.mc_out
+            .iter()
+            .flat_map(|queues| queues.iter())
+            .flat_map(|q| q.iter())
+            .filter(|r| !r.is_write)
+            .count()
+    }
+
+    #[test]
+    fn mshr_wait_retry_merges_same_line_misses() {
+        // Two misses to the same line are refused while the L3 MSHR table
+        // is full. Once space frees, the retry loop must admit the first
+        // and merge the second as a secondary — not re-admit it, which
+        // would enqueue a duplicate DRAM read (and trip admit_miss's
+        // debug_assert in test builds).
+        let mut cfg = SystemConfig::small_test();
+        cfg.l3_mshrs = 2;
+        let mut sys =
+            SystemBuilder::new(cfg, RegulationMode::Pabst).class(1, idle_boxes(2)).build().unwrap();
+
+        // Fill the table with two unrelated in-flight misses.
+        let blockers = [LineAddr::new(998), LineAddr::new(999)];
+        for b in blockers {
+            sys.l3_mshrs.alloc(b, L3Waiter { tile: 0, store: false });
+        }
+        assert!(sys.l3_mshrs.is_full());
+
+        // Two tiles miss on the same line while the table is full.
+        let line = LineAddr::new(7);
+        for tile in 0..2 {
+            sys.mshr_wait.push_back(L3Req {
+                line,
+                class: QosId::new(0),
+                tile,
+                store: false,
+                l2_wb: false,
+            });
+        }
+
+        // Both blockers complete; the retry loop runs with two free slots.
+        for b in blockers {
+            let _ = sys.l3_mshrs.complete(b);
+        }
+        sys.l3_service(0);
+
+        assert!(sys.mshr_wait.is_empty(), "both waiting misses must drain");
+        assert_eq!(sys.l3_mshrs.len(), 1, "same-line misses share one MSHR entry");
+        assert_eq!(queued_mem_reads(&sys), 1, "exactly one DRAM read for the line");
+        assert_eq!(sys.l3_mshrs.complete(line).len(), 2, "both tiles wait on the entry");
+    }
+
+    /// Drives one dirty-eviction L3 fill completion under `policy` and
+    /// returns the `wb_flag` delivered to the demanding tile.
+    fn completion_wb_flag(policy: WbAccounting) -> bool {
+        let mut cfg = SystemConfig::small_test();
+        cfg.wb_accounting = policy;
+        let mut sys =
+            SystemBuilder::new(cfg, RegulationMode::Pabst).class(1, idle_boxes(1)).build().unwrap();
+        // Dirty every way of L3 set 0 so the next fill there must evict a
+        // dirty line (small_test: 256 sets, lines k*256 map to set 0).
+        for w in 0..16u64 {
+            let _ = sys.l3.fill(LineAddr::new(w * 256), QosId::new(0), true);
+        }
+        let line = LineAddr::new(16 * 256);
+        sys.l3_mshrs.alloc(line, L3Waiter { tile: 0, store: false });
+        sys.on_mc_completion(Completion { token: 0, class: QosId::new(0), is_write: false, line });
+        let resp = sys.resp_net.pop_ready(u64::MAX).expect("completion must respond");
+        resp.wb_flag
+    }
+
+    #[test]
+    fn wb_flag_respects_accounting_policy() {
+        // Only ChargeDemand puts the writeback's extra period on the
+        // demand source's pacer; the ablation modes must not.
+        assert!(completion_wb_flag(WbAccounting::ChargeDemand));
+        assert!(!completion_wb_flag(WbAccounting::ChargeOwner));
+        assert!(!completion_wb_flag(WbAccounting::ChargeNone));
+    }
+
+    #[derive(Debug, Clone, Default)]
+    struct Cap(std::rc::Rc<std::cell::RefCell<Vec<EpochRecord>>>);
+    impl TraceSink for Cap {
+        fn record(&mut self, rec: &EpochRecord) {
+            self.0.borrow_mut().push(rec.clone());
+        }
+    }
+
+    #[test]
+    fn trace_records_one_per_epoch_and_deterministic() {
+        let run = || {
+            let cfg = SystemConfig::small_test();
+            let mut sys = SystemBuilder::new(cfg, RegulationMode::Pabst)
+                .class(1, idle_boxes(2))
+                .build()
+                .unwrap();
+            let cap = Cap::default();
+            sys.add_trace_sink(Box::new(cap.clone()));
+            sys.run_epochs(3);
+            let records = cap.0.borrow().clone();
+            records
+        };
+        let a = run();
+        assert_eq!(a.len(), 3, "one record per epoch");
+        for (i, rec) in a.iter().enumerate() {
+            assert_eq!(rec.epoch, i as u64);
+            assert_eq!(rec.class_bytes.len(), 1, "one class");
+            assert_eq!(rec.tile_throttles.len(), 2, "one entry per tile");
+            assert_eq!(rec.mc_read_depth.len(), 1, "one entry per MC");
+            assert!(rec.m > 0, "monitor state present");
+        }
+        let b = run();
+        assert_eq!(a, b, "trace must be deterministic across identical runs");
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! gates injections into the SoC network — the paper's source-regulation
 //! point (§III-B3).
 
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 
 use pabst_cache::{LineAddr, MshrOutcome, MshrTable, SetAssocCache};
 use pabst_core::pacer::Pacer;
@@ -51,6 +51,10 @@ pub struct TileMem {
     pub(crate) pacers: Vec<Pacer>,
     /// Number of memory controllers (for per-MC pacer selection).
     mcs: usize,
+    /// Period charged when each in-flight line issued, keyed by line: the
+    /// settlement refund/extra-charge must use the issue-time amount, not
+    /// whatever period an epoch boundary has since programmed.
+    charged: BTreeMap<LineAddr, Cycle>,
     l1_lat: u64,
     l2_lat: u64,
     /// Dirty L2 victims waiting to be written back into the L3.
@@ -83,6 +87,7 @@ impl TileMem {
             inject_q: VecDeque::new(),
             pacers,
             mcs,
+            charged: BTreeMap::new(),
             l1_lat,
             l2_lat,
             l2_wb_q: VecDeque::new(),
@@ -135,13 +140,16 @@ impl TileMem {
 
     /// Settles response-side accounting for `line`: refund when the shared
     /// cache serviced it, extra charge when its fill caused a writeback.
-    pub fn settle_response(&mut self, line: LineAddr, l3_hit: bool, wb_flag: bool) {
+    /// Both use the period recorded when the request issued — an epoch
+    /// boundary may have reprogrammed the pacer while it was in flight.
+    pub fn settle_response(&mut self, line: LineAddr, l3_hit: bool, wb_flag: bool, now: Cycle) {
+        let charged = self.charged.remove(&line).unwrap_or(0);
         if let Some(p) = self.pacer_for(line) {
             if l3_hit {
-                p.on_shared_hit();
+                p.on_shared_hit(charged, now);
             }
             if wb_flag {
-                p.on_writeback();
+                p.on_writeback(charged);
             }
         }
     }
@@ -151,10 +159,17 @@ impl TileMem {
     /// this cycle.
     pub fn try_inject(&mut self, now: Cycle) -> Option<InjectReq> {
         let head = *self.inject_q.front()?;
-        if let Some(p) = self.pacer_for(head.line) {
-            if !p.try_issue(now) {
-                return None;
+        let charged = match self.pacer_for(head.line) {
+            Some(p) => {
+                if !p.try_issue(now) {
+                    return None;
+                }
+                Some(p.period())
             }
+            None => None,
+        };
+        if let Some(c) = charged {
+            self.charged.insert(head.line, c);
         }
         self.inject_q.pop_front();
         Some(head)
@@ -324,6 +339,33 @@ mod tests {
         assert!(m.try_inject(0).is_some(), "first injection rides initial credit");
         assert!(m.try_inject(1).is_none(), "second is paced");
         assert!(m.try_inject(1000).is_some(), "period elapsed");
+    }
+
+    #[test]
+    fn settlement_refunds_issue_time_charge_not_current_period() {
+        // Issue under a 100-cycle period, reprogram to 10 mid-flight, then
+        // settle as a shared hit: the refund is the 100 cycles actually
+        // charged, re-clamped so credit cannot exceed the new burst window.
+        let mut m = mem(vec![Pacer::with_burst(100, 2)]);
+        let _ = m.access(0, line(1), false, LoadId(1));
+        assert!(m.try_inject(0).is_some());
+        m.pacers_mut()[0].set_period(10, 50);
+        m.settle_response(line(1), true, false, 50);
+        let p = &m.pacers()[0];
+        assert!(
+            p.credit_at(50) <= p.burst_window(),
+            "refund pushed credit {} past window {}",
+            p.credit_at(50),
+            p.burst_window()
+        );
+
+        // Writeback flag: the extra charge is likewise the issue-time 100,
+        // not the current 10.
+        let mut m = mem(vec![Pacer::with_burst(100, 2)]);
+        let _ = m.access(0, line(2), false, LoadId(1));
+        assert!(m.try_inject(0).is_some()); // c_next = 100
+        m.settle_response(line(2), false, true, 0); // c_next = 200
+        assert_eq!(m.pacers()[0].credit_at(200), 0, "extra charge holds until cycle 200");
     }
 
     #[test]

@@ -55,6 +55,9 @@ const SIM_CRATES: [&str; 6] = ["simkit", "core", "cache", "cpu", "dram", "soc"];
 const NONDET_EXEMPT_CRATES: [&str; 2] = ["bench", "xtask"];
 /// `pabst-core` files forming the integer regulation datapath (rule L3).
 const FLOAT_FREE_FILES: [&str; 3] = ["pacer.rs", "arbiter.rs", "qos.rs"];
+/// `pabst-simkit` files under the same no-float rule: trace records must
+/// round-trip bit-exactly and identically on every platform.
+const FLOAT_FREE_SIMKIT_FILES: [&str; 1] = ["trace.rs"];
 /// Crates where `.unwrap()`/`.expect()` are banned outside tests (rule L4).
 const PANIC_FREE_CRATES: [&str; 2] = ["core", "simkit"];
 
@@ -523,8 +526,8 @@ pub fn lint_source(spec: &FileSpec<'_>, source: &str) -> Vec<Diagnostic> {
     let nondet_applies = !NONDET_EXEMPT_CRATES.contains(&spec.crate_name);
     let file_name =
         Path::new(spec.rel_path).file_name().and_then(|f| f.to_str()).unwrap_or(spec.rel_path);
-    let float_free = spec.crate_name == "core"
-        && FLOAT_FREE_FILES.contains(&file_name)
+    let float_free = (spec.crate_name == "core" && FLOAT_FREE_FILES.contains(&file_name)
+        || spec.crate_name == "simkit" && FLOAT_FREE_SIMKIT_FILES.contains(&file_name))
         && spec.rel_path.contains("src");
     let panic_free = PANIC_FREE_CRATES.contains(&spec.crate_name);
     let wants_docs = spec.crate_name == "core";
@@ -600,19 +603,19 @@ pub fn lint_source(spec: &FileSpec<'_>, source: &str) -> Vec<Diagnostic> {
 
         // L3: the regulation datapath (credits, strides, deadlines) is
         // integer hardware in the paper; floats would both mismodel it and
-        // introduce platform-dependent rounding.
+        // introduce platform-dependent rounding. The simkit trace
+        // serializer is held to the same rule so epoch records round-trip
+        // bit-exactly on every platform.
         if float_free && !in_test {
+            let scope = if spec.crate_name == "simkit" {
+                "the trace serializer; records must round-trip bit-exactly"
+            } else {
+                "the regulation datapath; credits/strides/deadlines are \
+                 integer state machines (paper §II-C)"
+            };
             for (_, w) in &toks {
                 if w == "f32" || w == "f64" {
-                    push(
-                        &mut diags,
-                        ln,
-                        RULE_FLOAT_MATH,
-                        format!(
-                            "{w} in the regulation datapath; credits/strides/\
-                                 deadlines are integer state machines (paper §II-C)"
-                        ),
-                    );
+                    push(&mut diags, ln, RULE_FLOAT_MATH, format!("{w} in {scope}"));
                 }
             }
             if has_float_literal(line) {
@@ -620,9 +623,7 @@ pub fn lint_source(spec: &FileSpec<'_>, source: &str) -> Vec<Diagnostic> {
                     &mut diags,
                     ln,
                     RULE_FLOAT_MATH,
-                    "float literal in the regulation datapath; use integer \
-                     arithmetic"
-                        .into(),
+                    format!("float literal in {scope}; use integer arithmetic"),
                 );
             }
         }
@@ -842,6 +843,18 @@ mod tests {
         let diags = lint_source(&spec("core", "crates/core/src/pacer.rs"), src);
         assert_eq!(rules(&diags), [RULE_FLOAT_MATH, RULE_FLOAT_MATH]);
         assert!(lint_source(&spec("core", "crates/core/src/governor.rs"), src)
+            .iter()
+            .all(|d| d.rule != RULE_FLOAT_MATH));
+    }
+
+    #[test]
+    fn float_rule_covers_simkit_trace_module() {
+        let src = "pub(crate) fn f(x: u64) -> f64 {\n    x as f64 * 0.5\n}\n";
+        let diags = lint_source(&spec("simkit", "crates/simkit/src/trace.rs"), src);
+        assert_eq!(rules(&diags), [RULE_FLOAT_MATH, RULE_FLOAT_MATH]);
+        assert!(diags[0].message.contains("trace serializer"), "{diags:?}");
+        // Other simkit files (stats keeps f64 summaries) stay exempt.
+        assert!(lint_source(&spec("simkit", "crates/simkit/src/stats.rs"), src)
             .iter()
             .all(|d| d.rule != RULE_FLOAT_MATH));
     }

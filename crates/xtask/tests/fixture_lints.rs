@@ -60,6 +60,30 @@ fn float_fixture_is_clean_outside_datapath_files() {
 }
 
 #[test]
+fn float_fixture_flags_simkit_trace_module() {
+    let diags = lint_fixture(
+        "simkit",
+        "crates/simkit/src/trace.rs",
+        include_str!("fixtures/float_math.rs"),
+    );
+    assert!(diags.iter().all(|d| d.rule == xtask::RULE_FLOAT_MATH), "{diags:?}");
+    assert_eq!(lines_for(&diags, xtask::RULE_FLOAT_MATH).len(), 3);
+}
+
+#[test]
+fn float_fixture_is_clean_in_other_simkit_files() {
+    let diags = lint_fixture(
+        "simkit",
+        "crates/simkit/src/stats.rs",
+        include_str!("fixtures/float_math.rs"),
+    );
+    assert!(
+        !diags.iter().any(|d| d.rule == xtask::RULE_FLOAT_MATH),
+        "stats.rs keeps its f64 summaries: {diags:?}"
+    );
+}
+
+#[test]
 fn unwrap_fixture_flags_panicking_extractors_only() {
     let diags =
         lint_fixture("simkit", "crates/simkit/src/fixture.rs", include_str!("fixtures/unwrap.rs"));
