@@ -4,21 +4,32 @@
 //! These measure *simulator throughput*, not the figures themselves — run
 //! the `fig*` binaries for the actual reproduction numbers.
 
+use pabst_bench::harness::RunCtx;
 use pabst_bench::scenarios::{fig1_cell, fig5_series, fig8_run, fig9_run, Fig1Mix};
 use pabst_bench::timing::bench;
 use pabst_soc::config::RegulationMode;
 
 fn main() {
     bench("figures/fig1_stream_stream_pabst_4epochs", 1, || {
-        std::hint::black_box(fig1_cell(Fig1Mix::StreamStream, RegulationMode::Pabst, 4));
+        let mut ctx = RunCtx::detached();
+        std::hint::black_box(fig1_cell(
+            Fig1Mix::StreamStream,
+            RegulationMode::Pabst,
+            4,
+            0,
+            &mut ctx,
+        ));
     });
     bench("figures/fig5_series_4epochs", 1, || {
-        std::hint::black_box(fig5_series(4));
+        let mut ctx = RunCtx::detached();
+        std::hint::black_box(fig5_series(4, 0, &mut ctx));
     });
     bench("figures/fig8_run_4epochs", 1, || {
-        std::hint::black_box(fig8_run(4));
+        let mut ctx = RunCtx::detached();
+        std::hint::black_box(fig8_run(4, 0, &mut ctx));
     });
     bench("figures/fig9_memcached_quick", 1, || {
-        std::hint::black_box(fig9_run(RegulationMode::Pabst, true, 4));
+        let mut ctx = RunCtx::detached();
+        std::hint::black_box(fig9_run(RegulationMode::Pabst, true, 4, 0, &mut ctx));
     });
 }

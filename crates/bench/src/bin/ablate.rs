@@ -3,62 +3,13 @@
 //! * writeback accounting policy (§V-C),
 //! * pacer burst window (§III-B3),
 //! * arbiter slack (§III-C2),
-//! * governor inertia (§III-B1).
+//! * governor inertia (§III-B1),
+//! * per-MC vs global regulation under skewed traffic (§III-C1).
 //!
 //! ```text
 //! cargo run -p pabst-bench --bin ablate --release [--quick]
 //! ```
 
-use pabst_bench::scenarios::{
-    ablate_burst, ablate_inertia, ablate_slack, ablate_writeback, skewed_traffic_utilization,
-};
-use pabst_bench::table::Table;
-use pabst_soc::config::WbAccounting;
-
 fn main() {
-    let epochs = if pabst_bench::quick_flag() { 16 } else { 40 };
-
-    println!("Ablation 1 — writeback accounting (write streams, 7:3)\n");
-    let mut t = Table::new(vec!["policy", "class0 share", "class1 share"]);
-    for (name, p) in [
-        ("charge-demand (paper)", WbAccounting::ChargeDemand),
-        ("charge-owner", WbAccounting::ChargeOwner),
-        ("charge-none", WbAccounting::ChargeNone),
-    ] {
-        let (s0, s1) = ablate_writeback(p, epochs);
-        t.row(vec![name.into(), format!("{s0:.3}"), format!("{s1:.3}")]);
-    }
-    print!("{}", t.render());
-
-    println!("\nAblation 2 — pacer burst window (read streams, 7:3)\n");
-    let mut t = Table::new(vec!["burst (requests)", "alloc error %"]);
-    for burst in [1u64, 4, 16, 64, 256] {
-        t.row(vec![burst.to_string(), format!("{:.1}", ablate_burst(burst, epochs))]);
-    }
-    print!("{}", t.render());
-
-    println!("\nAblation 3 — arbiter slack (chaser+stream, 3:1)\n");
-    let mut t = Table::new(vec!["slack (vticks)", "alloc error %"]);
-    for slack in [8u64, 32, 128, 512, 4096] {
-        t.row(vec![slack.to_string(), format!("{:.1}", ablate_slack(slack, epochs))]);
-    }
-    print!("{}", t.render());
-
-    println!("\nAblation 4 — governor inertia (read streams, 7:3)\n");
-    let mut t = Table::new(vec!["inertia (epochs)", "alloc error %", "mean |dM|/M"]);
-    for inertia in [1u32, 2, 3, 5, 8] {
-        let (err, jitter) = ablate_inertia(inertia, epochs);
-        t.row(vec![inertia.to_string(), format!("{err:.1}"), format!("{jitter:.4}")]);
-    }
-    print!("{}", t.render());
-
-    println!("\nAblation 5 — per-MC governors under skewed traffic (SIII-C1)\n");
-    let mut t = Table::new(vec!["regulation granularity", "total GB/s"]);
-    for (name, per_mc) in
-        [("global wired-OR SAT (paper default)", false), ("per-MC SAT + governor", true)]
-    {
-        let bpc = skewed_traffic_utilization(per_mc, epochs);
-        t.row(vec![name.into(), format!("{:.1}", pabst_simkit::bytes_per_cycle_to_gbps(bpc))]);
-    }
-    print!("{}", t.render());
+    pabst_bench::harness::drive(&["ablate"]);
 }

@@ -1,30 +1,15 @@
-//! Runs every figure regenerator in sequence — the full evaluation of the
-//! paper, printed as the EXPERIMENTS.md tables.
+//! Runs every figure regenerator in one process — the full evaluation of
+//! the paper, printed as the EXPERIMENTS.md tables.
 //!
 //! ```text
-//! cargo run -p pabst-bench --bin all_figures --release [--quick]
+//! cargo run -p pabst-bench --bin all_figures --release [--quick] [--jobs <n>]
 //! ```
-
-use std::process::Command;
+//!
+//! `--jobs` shards each experiment's grid across worker threads; output
+//! is byte-identical at any value. `--filter <name>` runs a single
+//! experiment, and `--trace`/`--report-json` write one merged file across
+//! everything the invocation ran.
 
 fn main() {
-    let quick = pabst_bench::quick_flag();
-    // fig10 prints both the Fig. 10 and Fig. 12 tables (same runs, two
-    // metrics), so fig12 is not re-run here.
-    let bins = [
-        "table03", "fig01", "fig05", "fig06", "fig07", "fig08", "fig09", "fig10", "fig11", "ablate",
-    ];
-    let exe = std::env::current_exe().expect("current exe");
-    let dir = exe.parent().expect("bin dir").to_path_buf();
-    for bin in bins {
-        println!("\n================================================================");
-        println!("== {bin}");
-        println!("================================================================\n");
-        let mut cmd = Command::new(dir.join(bin));
-        if quick {
-            cmd.arg("--quick");
-        }
-        let status = cmd.status().unwrap_or_else(|e| panic!("failed to run {bin}: {e}"));
-        assert!(status.success(), "{bin} failed with {status}");
-    }
+    pabst_bench::harness::drive(&pabst_bench::registry::ALL_FIGURES);
 }

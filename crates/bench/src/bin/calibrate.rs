@@ -10,43 +10,6 @@
 //! cargo run -p pabst-bench --bin calibrate --release [--quick]
 //! ```
 
-use pabst_bench::scenarios::{fig1_cell_with, Fig1Mix};
-use pabst_bench::table::Table;
-use pabst_soc::config::{RegulationMode, SystemConfig};
-
 fn main() {
-    let epochs = if pabst_bench::quick_flag() { 8 } else { 16 };
-    let mut t = Table::new(vec![
-        "read_q",
-        "ingress",
-        "data_buf",
-        "stream src%",
-        "stream tgt%",
-        "chaser src%",
-        "chaser tgt%",
-    ]);
-    for (read_q, ingress, horizon) in [
-        (32usize, 16usize, 12u64), // default data buffer
-        (64, 4, 12),               // deeper front-end, shallow blind FIFO
-        (64, 4, 6),                // + shallower data buffer
-    ] {
-        let mut cfg = SystemConfig::baseline_32core();
-        cfg.dram.read_q_cap = read_q;
-        cfg.dram.ingress_cap = ingress;
-        cfg.dram.data_buf_cap = horizon as usize;
-        let cell = |mix, mode| fig1_cell_with(cfg, mix, mode, epochs).error_pct;
-        t.row(vec![
-            read_q.to_string(),
-            ingress.to_string(),
-            horizon.to_string(),
-            format!("{:.0}", cell(Fig1Mix::StreamStream, RegulationMode::SourceOnly)),
-            format!("{:.0}", cell(Fig1Mix::StreamStream, RegulationMode::TargetOnly)),
-            format!("{:.0}", cell(Fig1Mix::ChaserStream, RegulationMode::SourceOnly)),
-            format!("{:.0}", cell(Fig1Mix::ChaserStream, RegulationMode::TargetOnly)),
-        ]);
-        eprintln!("  done rq={read_q} in={ingress} hz={horizon}");
-    }
-    println!("Calibration — Fig. 1 asymmetry vs controller geometry");
-    println!("(want: stream src low / tgt high; chaser src high / tgt low)\n");
-    print!("{}", t.render());
+    pabst_bench::harness::drive(&["calibrate"]);
 }

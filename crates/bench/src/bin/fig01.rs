@@ -3,31 +3,9 @@
 //!
 //! Paper result: (a) source-only on stream+stream works; (b) target-only
 //! on stream+stream has ~76% allocation error; (c) source-only on
-//! chaser+stream has ~128% error; (d) target-only on chaser+stream is far
-//! better (~20% residual error).
-
-use pabst_bench::scenarios::{fig1_cell, Fig1Mix};
-use pabst_bench::table::Table;
-use pabst_soc::config::RegulationMode;
+//! chaser+stream has ~128% error; (d) target-only on chaser+stream is
+//! accurate — neither single regulation point suffices.
 
 fn main() {
-    let epochs = if pabst_bench::quick_flag() { 10 } else { 40 };
-    let mut t = Table::new(vec!["mix", "regulator", "class0 GB/s", "class1 GB/s", "alloc error %"]);
-    for (mix, mix_name) in
-        [(Fig1Mix::StreamStream, "stream+stream"), (Fig1Mix::ChaserStream, "chaser+stream")]
-    {
-        for mode in [RegulationMode::SourceOnly, RegulationMode::TargetOnly] {
-            let r = fig1_cell(mix, mode, epochs);
-            t.row(vec![
-                mix_name.into(),
-                mode.label().into(),
-                format!("{:.1}", pabst_simkit::bytes_per_cycle_to_gbps(r.bytes_per_cycle[0])),
-                format!("{:.1}", pabst_simkit::bytes_per_cycle_to_gbps(r.bytes_per_cycle[1])),
-                format!("{:.0}", r.error_pct),
-            ]);
-        }
-    }
-    println!("Figure 1 — source vs target regulation, 3:1 target allocation");
-    println!("(paper: b ~76% error, c ~128% error, a and d accurate)\n");
-    print!("{}", t.render());
+    pabst_bench::harness::drive(&["fig01"]);
 }

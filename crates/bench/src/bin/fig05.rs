@@ -2,33 +2,6 @@
 //! classes with strides in a 7:3 ratio converge quickly to a 70%/30%
 //! bandwidth split and stay there.
 
-use pabst_bench::scenarios::fig5_series;
-use pabst_bench::table::Table;
-
 fn main() {
-    let epochs = if pabst_bench::quick_flag() { 15 } else { 60 };
-    let s = fig5_series(epochs);
-    let mut t = Table::new(vec!["epoch", "class0 GB/s", "class1 GB/s", "class0 share"]);
-    for (e, p) in s.points.iter().enumerate() {
-        let total: f64 = p.iter().sum();
-        t.row(vec![
-            e.to_string(),
-            format!("{:.1}", pabst_simkit::bytes_per_cycle_to_gbps(p[0])),
-            format!("{:.1}", pabst_simkit::bytes_per_cycle_to_gbps(p[1])),
-            if total > 0.0 { format!("{:.3}", p[0] / total) } else { "-".into() },
-        ]);
-    }
-    println!("Figure 5 — proportional allocation, 7:3 read streams");
-    println!("(paper: quick convergence to a steady 70%/30% split)\n");
-    let series0: Vec<f64> = s.points.iter().map(|p| p[0]).collect();
-    let series1: Vec<f64> = s.points.iter().map(|p| p[1]).collect();
-    println!(
-        "{}\n",
-        pabst_bench::spark::spark_rows(&["class0 (70%)", "class1 (30%)"], &[series0, series1])
-    );
-    print!("{}", t.render());
-    let from = epochs / 2;
-    let mean0: f64 =
-        s.points[from..].iter().map(|p| p[0] / (p[0] + p[1])).sum::<f64>() / (epochs - from) as f64;
-    println!("\nsteady-state class0 share: {mean0:.3} (target 0.700)");
+    pabst_bench::harness::drive(&["fig05"]);
 }

@@ -2,49 +2,6 @@
 //! nearly 100% of bandwidth whenever the 70%-share periodic streamer
 //! enters its cache-resident phase, and is re-throttled on resume.
 
-use pabst_bench::scenarios::fig6_series;
-use pabst_bench::table::Table;
-
 fn main() {
-    let epochs = if pabst_bench::quick_flag() { 40 } else { 170 };
-    let s = fig6_series(epochs);
-    let mut t = Table::new(vec!["epoch", "periodic GB/s", "constant GB/s", "constant share"]);
-    for (e, p) in s.points.iter().enumerate() {
-        let total: f64 = p.iter().sum();
-        t.row(vec![
-            e.to_string(),
-            format!("{:.1}", pabst_simkit::bytes_per_cycle_to_gbps(p[0])),
-            format!("{:.1}", pabst_simkit::bytes_per_cycle_to_gbps(p[1])),
-            if total > 0.1 { format!("{:.2}", p[1] / total) } else { "-".into() },
-        ]);
-    }
-    println!("Figure 6 — work conservation (periodic 70% + constant 30%)");
-    println!("(paper: constant streamer takes ~100% during the partner's idle phases)\n");
-    let series0: Vec<f64> = s.points.iter().map(|p| p[0]).collect();
-    let series1: Vec<f64> = s.points.iter().map(|p| p[1]).collect();
-    println!(
-        "{}\n",
-        pabst_bench::spark::spark_rows(&["periodic (70%)", "constant (30%)"], &[series0, series1])
-    );
-    print!("{}", t.render());
-
-    // Summarize the two phases.
-    let (mut boosted, mut throttled) = (Vec::new(), Vec::new());
-    for p in s.points.iter().skip(10) {
-        let total = p[0] + p[1];
-        if total < 0.5 {
-            continue;
-        }
-        if p[0] / total < 0.10 {
-            boosted.push(p[1]);
-        } else if p[0] / total > 0.5 {
-            throttled.push(p[1]);
-        }
-    }
-    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
-    println!(
-        "\nconstant streamer: {:.1} GB/s while partner active, {:.1} GB/s while partner idle",
-        pabst_simkit::bytes_per_cycle_to_gbps(mean(&throttled)),
-        pabst_simkit::bytes_per_cycle_to_gbps(mean(&boosted)),
-    );
+    pabst_bench::harness::drive(&["fig06"]);
 }

@@ -4,30 +4,6 @@
 //! Left three bars: two write-stream classes, 3:1, under source-only /
 //! target-only / PABST. Right three bars: chaser (3) + stream (1).
 
-use pabst_bench::scenarios::{fig1_cell, Fig1Mix};
-use pabst_bench::table::Table;
-use pabst_soc::config::RegulationMode;
-
 fn main() {
-    let epochs = if pabst_bench::quick_flag() { 10 } else { 40 };
-    let mut t = Table::new(vec!["mix", "regulator", "class0 GB/s", "class1 GB/s", "alloc error %"]);
-    for (mix, mix_name) in
-        [(Fig1Mix::StreamStream, "write-stream x2"), (Fig1Mix::ChaserStream, "chaser+stream")]
-    {
-        for mode in [RegulationMode::SourceOnly, RegulationMode::TargetOnly, RegulationMode::Pabst]
-        {
-            let r = fig1_cell(mix, mode, epochs);
-            t.row(vec![
-                mix_name.into(),
-                mode.label().into(),
-                format!("{:.1}", pabst_simkit::bytes_per_cycle_to_gbps(r.bytes_per_cycle[0])),
-                format!("{:.1}", pabst_simkit::bytes_per_cycle_to_gbps(r.bytes_per_cycle[1])),
-                format!("{:.0}", r.error_pct),
-            ]);
-        }
-    }
-    println!("Figure 7 — source and target regulation combined (3:1 target)");
-    println!("(paper: PABST tracks the better regulator in each mix; a small");
-    println!(" residual error remains with the chaser)\n");
-    print!("{}", t.render());
+    pabst_bench::harness::drive(&["fig07"]);
 }

@@ -2,21 +2,6 @@
 //! class's unused 25% splits 2:1 between 50%- and 25%-share DDR streams
 //! (≈66% / 33% observed).
 
-use pabst_bench::scenarios::fig8_run;
-use pabst_bench::table::Table;
-
 fn main() {
-    let epochs = if pabst_bench::quick_flag() { 20 } else { 60 };
-    let r = fig8_run(epochs);
-    let mut t = Table::new(vec!["class", "allocation", "observed share"]);
-    for (i, (name, alloc)) in
-        [("L3-resident stream", "25%"), ("DDR stream (high)", "50%"), ("DDR stream (low)", "25%")]
-            .iter()
-            .enumerate()
-    {
-        t.row(vec![name.to_string(), alloc.to_string(), format!("{:.1}%", r.shares[i] * 100.0)]);
-    }
-    println!("Figure 8 — proportional distribution of excess bandwidth");
-    println!("(paper: high DDR stream ~66%, low DDR stream ~33%)\n");
-    print!("{}", t.render());
+    pabst_bench::harness::drive(&["fig08"]);
 }

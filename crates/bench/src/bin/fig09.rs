@@ -4,29 +4,6 @@
 //! Paper result: PABST nearly eliminates both the average service-time
 //! degradation and the long tail.
 
-use pabst_bench::scenarios::fig9_run;
-use pabst_bench::table::Table;
-use pabst_soc::config::RegulationMode;
-
 fn main() {
-    let epochs = if pabst_bench::quick_flag() { 20 } else { 40 };
-    let mut t = Table::new(vec!["configuration", "txns", "mean (cyc)", "p50", "p95", "p99"]);
-    for (label, mode, aggr) in [
-        ("isolated", RegulationMode::None, false),
-        ("contended, no QoS", RegulationMode::None, true),
-        ("contended, PABST 20:1", RegulationMode::Pabst, true),
-    ] {
-        let r = fig9_run(mode, aggr, epochs);
-        t.row(vec![
-            label.into(),
-            r.count.to_string(),
-            format!("{:.0}", r.mean),
-            r.p50.to_string(),
-            r.p95.to_string(),
-            r.p99.to_string(),
-        ]);
-    }
-    println!("Figure 9 — memcached service times under a bandwidth aggressor");
-    println!("(paper: PABST nearly restores both the mean and the tail)\n");
-    print!("{}", t.render());
+    pabst_bench::harness::drive(&["fig09"]);
 }

@@ -3,74 +3,10 @@
 //!
 //! Paper result: the aggressor induces an average 2.0x slowdown without
 //! QoS; PABST reduces it to ~1.2x; source-only and target-only each help
-//! partially and the combination is always best.
+//! partially and the combination is always best. Prints both the Fig. 10
+//! and Fig. 12 tables — the two figures report different metrics of the
+//! same runs, so one pass regenerates both.
 
-use pabst_bench::scenarios::{all_spec, fig10_cell, spec_isolated_ipc, MEASURE_EPOCHS};
-use pabst_bench::table::Table;
-use pabst_soc::config::RegulationMode;
-
-/// Runs the shared Fig. 10 / Fig. 12 experiment matrix and prints both
-/// tables (the two figures report different metrics of the same runs, so
-/// one pass regenerates both).
 fn main() {
-    let epochs = if pabst_bench::quick_flag() { 6 } else { MEASURE_EPOCHS };
-    let modes = [
-        RegulationMode::None,
-        RegulationMode::SourceOnly,
-        RegulationMode::TargetOnly,
-        RegulationMode::Pabst,
-    ];
-    let mut slow = Table::new(vec!["workload", "no-QoS", "source-only", "target-only", "pabst"]);
-    let mut eff = Table::new(vec![
-        "workload",
-        "no-QoS",
-        "governor-only",
-        "arbiter-only",
-        "pabst",
-        "latency-sensitive",
-    ]);
-    let mut sums = [0.0f64; 4];
-    for w in all_spec() {
-        let iso = spec_isolated_ipc(w, epochs);
-        let mut slow_cells = Vec::new();
-        let mut eff_cells = Vec::new();
-        for (i, mode) in modes.iter().enumerate() {
-            let c = fig10_cell(w, *mode, iso, epochs);
-            sums[i] += c.slowdown;
-            slow_cells.push(format!("{:.2}x", c.slowdown));
-            eff_cells.push(format!("{:.2}", c.efficiency));
-        }
-        slow.row(vec![
-            w.name().into(),
-            slow_cells[0].clone(),
-            slow_cells[1].clone(),
-            slow_cells[2].clone(),
-            slow_cells[3].clone(),
-        ]);
-        eff.row(vec![
-            w.name().into(),
-            eff_cells[0].clone(),
-            eff_cells[1].clone(),
-            eff_cells[2].clone(),
-            eff_cells[3].clone(),
-            if w.latency_sensitive() { "yes".into() } else { "no".into() },
-        ]);
-        eprintln!("  done {}", w.name());
-    }
-    let n = all_spec().len() as f64;
-    slow.row(vec![
-        "mean".into(),
-        format!("{:.2}x", sums[0] / n),
-        format!("{:.2}x", sums[1] / n),
-        format!("{:.2}x", sums[2] / n),
-        format!("{:.2}x", sums[3] / n),
-    ]);
-    println!("Figure 10 — weighted slowdown vs isolated run (32:1 shares,");
-    println!("16 SPEC cores + 16 streaming cores)");
-    println!("(paper: avg 2.0x without QoS -> 1.2x with PABST; combination always best)\n");
-    print!("{}", slow.render());
-    println!();
-    println!("Figure 12 — memory efficiency (data-bus utilization) of the same runs");
-    println!("(paper: QoS lowers efficiency; drop largest for latency-sensitive workloads)\n");
-    print!("{}", eff.render());
+    pabst_bench::harness::drive(&["fig10"]);
 }

@@ -4,24 +4,6 @@
 //!
 //! Paper result: 15–90% performance improvement from work conservation.
 
-use pabst_bench::scenarios::{all_spec, fig11_cell, MEASURE_EPOCHS};
-use pabst_bench::table::Table;
-
 fn main() {
-    let epochs = if pabst_bench::quick_flag() { 8 } else { MEASURE_EPOCHS };
-    let mut t = Table::new(vec!["workload", "static IPC", "PABST IPC", "improvement"]);
-    for w in all_spec() {
-        let c = fig11_cell(w, epochs);
-        t.row(vec![
-            w.name().into(),
-            format!("{:.3}", c.static_ipc),
-            format!("{:.3}", c.pabst_ipc),
-            format!("{:+.0}%", c.improvement_pct()),
-        ]);
-        eprintln!("  done {}", w.name());
-    }
-    println!("Figure 11 — four consolidated 25%-share classes vs a static");
-    println!("quarter-bandwidth allocation");
-    println!("(paper: 15-90% improvement thanks to work conservation)\n");
-    print!("{}", t.render());
+    pabst_bench::harness::drive(&["fig11"]);
 }

@@ -6,45 +6,6 @@
 //! latency sensitivity (the target arbiter forces inefficient schedules
 //! when it must pick among a latency-bound class's few requests).
 
-use pabst_bench::scenarios::{all_spec, fig10_cell, spec_isolated_ipc, MEASURE_EPOCHS};
-use pabst_bench::table::Table;
-use pabst_soc::config::RegulationMode;
-
 fn main() {
-    let epochs = if pabst_bench::quick_flag() { 8 } else { MEASURE_EPOCHS };
-    let mut t = Table::new(vec![
-        "workload",
-        "no-QoS",
-        "governor-only",
-        "arbiter-only",
-        "pabst",
-        "latency-sensitive",
-    ]);
-    for w in all_spec() {
-        let iso = spec_isolated_ipc(w, epochs);
-        let mut cells = Vec::new();
-        for mode in [
-            RegulationMode::None,
-            RegulationMode::SourceOnly,
-            RegulationMode::TargetOnly,
-            RegulationMode::Pabst,
-        ] {
-            let c = fig10_cell(w, mode, iso, epochs);
-            cells.push(format!("{:.2}", c.efficiency));
-        }
-        t.row(vec![
-            w.name().into(),
-            cells[0].clone(),
-            cells[1].clone(),
-            cells[2].clone(),
-            cells[3].clone(),
-            if w.latency_sensitive() { "yes".into() } else { "no".into() },
-        ]);
-        eprintln!("  done {}", w.name());
-    }
-    println!("Figure 12 — memory efficiency (data-bus utilization), SPEC +");
-    println!("streaming aggressor at 32:1");
-    println!("(paper: QoS lowers efficiency; the drop is largest for");
-    println!(" latency-sensitive workloads)\n");
-    print!("{}", t.render());
+    pabst_bench::harness::drive(&["fig12"]);
 }

@@ -1,6 +1,7 @@
 //! Self-profiles the simulator: simulated cycles per wall-clock second on
-//! the small-test and baseline machines, plus a per-epoch step() timing
-//! via the in-repo micro-benchmark harness.
+//! the small-test and baseline machines, a per-epoch step() timing via
+//! the in-repo micro-benchmark harness, and a serial-vs-parallel sweep
+//! comparison through `harness::run_indexed` (the `all_figures` executor).
 //!
 //! Writes `BENCH_sim_throughput.json` (override with `--out <path>`) —
 //! the seed of the repo's perf trajectory; CI runs this in `--quick`
@@ -9,8 +10,9 @@
 
 use std::time::Instant;
 
+use pabst_bench::obs::CliArgs;
 use pabst_bench::scenarios::read_streamers;
-use pabst_bench::{obs, quick_flag, timing};
+use pabst_bench::{harness, timing};
 use pabst_soc::config::{RegulationMode, SystemConfig};
 use pabst_soc::system::{System, SystemBuilder};
 
@@ -23,14 +25,22 @@ struct Profile {
     cycles_per_sec: u64,
 }
 
+/// Serial vs parallel wall-clock for a batch of independent runs.
+struct SweepProfile {
+    runs: usize,
+    jobs: usize,
+    serial_ns: u128,
+    parallel_ns: u128,
+}
+
 fn build(name: &str) -> System {
     let (cfg, per_class) = match name {
         "small" => (SystemConfig::small_test(), 2),
         _ => (SystemConfig::baseline_32core(), 16),
     };
     SystemBuilder::new(cfg, RegulationMode::Pabst)
-        .class(3, read_streamers(0, per_class))
-        .class(1, read_streamers(1, per_class))
+        .class(3, read_streamers(0, per_class, 0))
+        .class(1, read_streamers(1, per_class, 0))
         .build()
         .expect("throughput configuration")
 }
@@ -58,7 +68,31 @@ fn profile(name: &'static str, epochs: u64) -> Profile {
     }
 }
 
-fn to_json(profiles: &[Profile]) -> String {
+/// Times the same batch of independent small-machine runs twice through
+/// the sweep executor — once serially, once on `jobs` workers — the
+/// wall-clock scaling `all_figures --jobs N` gets on this host.
+fn profile_sweep(jobs: usize, runs: usize, epochs: usize) -> SweepProfile {
+    let items: Vec<usize> = (0..runs).collect();
+    let run_one = |_i: usize, _item: &usize| {
+        let mut sys = build("small");
+        sys.run_epochs(epochs);
+    };
+    let start = Instant::now();
+    harness::run_indexed(1, &items, run_one);
+    let serial_ns = start.elapsed().as_nanos();
+    let start = Instant::now();
+    harness::run_indexed(jobs, &items, run_one);
+    let parallel_ns = start.elapsed().as_nanos();
+    let speedup = serial_ns as f64 / parallel_ns.max(1) as f64;
+    println!(
+        "sweep      {runs} x {epochs} small epochs: serial {:>8.1} ms, --jobs {jobs} {:>8.1} ms  ->  {speedup:.2}x",
+        serial_ns as f64 / 1e6,
+        parallel_ns as f64 / 1e6,
+    );
+    SweepProfile { runs, jobs, serial_ns, parallel_ns }
+}
+
+fn to_json(profiles: &[Profile], sweep: &SweepProfile) -> String {
     use std::fmt::Write as _;
     let mut s = String::from("{\"bench\":\"sim_throughput\",\"configs\":[");
     for (i, p) in profiles.iter().enumerate() {
@@ -72,12 +106,17 @@ fn to_json(profiles: &[Profile]) -> String {
             p.name, p.epoch_cycles, p.epochs_timed, p.elapsed_ns, p.cycles_per_sec
         );
     }
-    s.push_str("]}\n");
+    let _ = writeln!(
+        s,
+        "],\"sweep\":{{\"runs\":{},\"jobs\":{},\"serial_ns\":{},\"parallel_ns\":{}}}}}",
+        sweep.runs, sweep.jobs, sweep.serial_ns, sweep.parallel_ns
+    );
     s
 }
 
 fn main() {
-    let quick = quick_flag();
+    let args = CliArgs::parse();
+    let quick = args.quick;
     let epochs = if quick { 2 } else { 10 };
     println!("simulator throughput ({} mode)", if quick { "smoke" } else { "full" });
 
@@ -98,8 +137,13 @@ fn main() {
         );
     }
 
-    let out = obs::arg_value("out").unwrap_or_else(|| "BENCH_sim_throughput.json".to_string());
-    let json = to_json(&profiles);
+    // Sweep scaling through the same executor all_figures uses.
+    let sweep_runs = 4;
+    let sweep_jobs = harness::worker_count(args.jobs, sweep_runs);
+    let sweep = profile_sweep(sweep_jobs, sweep_runs, if quick { 2 } else { 6 });
+
+    let out = args.out.unwrap_or_else(|| "BENCH_sim_throughput.json".to_string());
+    let json = to_json(&profiles, &sweep);
     match std::fs::write(&out, &json) {
         Ok(()) => println!("wrote {out}"),
         Err(e) => {

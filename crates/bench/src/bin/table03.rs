@@ -1,68 +1,7 @@
-//! Table III: the simulated system configuration.
-
-use pabst_bench::table::Table;
-use pabst_soc::config::SystemConfig;
+//! Table III: the simulated system configuration, printed from the live
+//! `SystemConfig::baseline_32core()` so the table can never drift from
+//! the code.
 
 fn main() {
-    let c = SystemConfig::baseline_32core();
-    let d = c.dram;
-    let mut t = Table::new(vec!["parameter", "value"]);
-    let rows: Vec<(&str, String)> = vec![
-        ("cores", format!("{} (8x4 tiled SoC), 2 GHz", c.cores)),
-        (
-            "core",
-            format!(
-                "OoO, {}-entry ROB, width {}, {} outstanding loads",
-                c.core.rob, c.core.width, c.core.max_outstanding
-            ),
-        ),
-        ("L1D", format!("{} KiB, {}-way, {}-cycle", c.l1.bytes() / 1024, c.l1.ways, c.l1_lat)),
-        (
-            "L2 (private)",
-            format!(
-                "{} KiB, {}-way, {}-cycle, {} MSHRs",
-                c.l2.bytes() / 1024,
-                c.l2.ways,
-                c.l2_lat,
-                c.l2_mshrs
-            ),
-        ),
-        (
-            "L3 (shared)",
-            format!(
-                "{} MiB, {}-way, way-partitioned, {}-cycle",
-                c.l3.bytes() / (1024 * 1024),
-                c.l3.ways,
-                c.l3_lat
-            ),
-        ),
-        ("memory controllers", format!("{}, one DDR channel each", c.mcs)),
-        (
-            "DRAM",
-            format!(
-                "{} banks/channel, tRCD/tCL/tRP {}/{}/{} cyc, {} cyc burst (~{:.0} GB/s/channel)",
-                d.banks,
-                d.t_rcd,
-                d.t_cl,
-                d.t_rp,
-                d.t_burst,
-                pabst_simkit::bytes_per_cycle_to_gbps(d.peak_bytes_per_cycle())
-            ),
-        ),
-        (
-            "MC queues",
-            format!(
-                "read {} / write {} front-end, {}-deep ingress, {}-entry data buffer",
-                d.read_q_cap, d.write_q_cap, d.ingress_cap, d.data_buf_cap
-            ),
-        ),
-        ("epoch", format!("{} cycles (10 us)", c.epoch_cycles)),
-        ("pacer burst", format!("{} requests", c.pacer_burst)),
-        ("arbiter slack", format!("{} virtual ticks", c.arbiter_slack)),
-    ];
-    for (k, v) in rows {
-        t.row(vec![k.into(), v]);
-    }
-    println!("Table III — simulated system configuration\n");
-    print!("{}", t.render());
+    pabst_bench::harness::drive(&["table03"]);
 }

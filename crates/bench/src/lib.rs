@@ -1,21 +1,25 @@
 //! Benchmark harness for the PABST reproduction.
 //!
-//! One runner per paper figure/table lives in [`scenarios`]; the binaries
-//! in `src/bin/` call them and print the same rows/series the paper
-//! reports. [`table`] renders plain aligned text tables.
+//! Every paper figure/table is a registered [`harness::Experiment`] in
+//! [`registry`]: a grid of independent `(experiment, config)` cells, a
+//! cell runner over the [`scenarios`] builders, and a renderer that
+//! rebuilds the printed figure from the ordered results. The binaries in
+//! `src/bin/` are one-line [`harness::drive`] wrappers.
 //!
 //! Run everything:
 //!
 //! ```text
-//! cargo run -p pabst-bench --bin all_figures --release
+//! cargo run -p pabst-bench --bin all_figures --release -- --jobs 0
 //! ```
 //!
 //! or a single figure, e.g. `cargo run -p pabst-bench --bin fig10 --release`.
-//! Every binary accepts `--quick` for a shortened run (fewer epochs, looser
-//! numbers) used by CI and the micro-benchmark wrappers, plus the
-//! observability flags `--trace <path>` (JSONL epoch records) and
-//! `--report-json <path>` (end-of-run summary) — see [`obs`] and
-//! `docs/OBSERVABILITY.md`.
+//! Every binary accepts the shared [`obs::CliArgs`] flags: `--quick` for a
+//! shortened run (fewer epochs, looser numbers), `--jobs <n>` to fan the
+//! sweep out over worker threads (output is byte-identical at any value;
+//! see `docs/EXPERIMENTS.md`), `--filter <name>` to select one experiment
+//! of a multi-experiment driver, and the observability sinks
+//! `--trace <path>` / `--report-json <path>` (merged in submission order —
+//! see `docs/OBSERVABILITY.md`).
 //!
 //! The `sim_throughput` binary self-profiles the simulator (simulated
 //! cycles per wall-clock second) and writes `BENCH_sim_throughput.json`,
@@ -28,13 +32,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod harness;
 pub mod obs;
+pub mod registry;
 pub mod scenarios;
 pub mod spark;
 pub mod table;
 pub mod timing;
-
-/// Parses the common `--quick` flag from `std::env::args`.
-pub fn quick_flag() -> bool {
-    std::env::args().any(|a| a == "--quick")
-}

@@ -1,79 +1,143 @@
-//! Command-line observability hooks shared by every figure/ablation
-//! binary: `--trace <path>` streams one JSONL [`EpochRecord`] per epoch
-//! from every system the binary runs, and `--report-json <path>` appends
-//! the end-of-run [`SystemReport`] as JSON.
+//! The one command-line parser shared by every figure/ablation binary.
 //!
-//! Both flags accept `--flag value` and `--flag=value`. A binary may run
-//! several systems (ablation sweeps, baselines); the first open of a path
-//! truncates it and later opens append, so one invocation produces one
-//! coherent file.
+//! Every `src/bin/` runner accepts the same flags, parsed once into
+//! [`CliArgs`] instead of being re-scanned ad hoc per binary:
 //!
-//! [`EpochRecord`]: pabst_simkit::trace::EpochRecord
-//! [`SystemReport`]: pabst_soc::report::SystemReport
+//! * `--quick` — shortened run (fewer epochs, looser numbers) for CI and
+//!   the micro-benchmark wrappers;
+//! * `--jobs <n>` — worker threads for the sweep harness (`0` = one per
+//!   available core); the merged output is byte-identical at any value;
+//! * `--filter <experiment>` — run only the named experiment of a
+//!   multi-experiment driver (`all_figures`);
+//! * `--trace <path>` — merged JSONL epoch records from every system the
+//!   invocation runs, in submission order;
+//! * `--report-json <path>` — merged end-of-run summaries, one JSON line
+//!   per system, tagged with experiment/config/seed;
+//! * `--out <path>` — output override for binaries that write an
+//!   artifact (`sim_throughput`).
+//!
+//! All value flags accept both `--flag value` and `--flag=value`.
+//! Unknown flags are an error (exit 2), not a silent ignore — a typoed
+//! `--trce` must not quietly drop the trace an experiment depended on.
 
-use std::collections::BTreeSet;
-use std::fs::{File, OpenOptions};
-use std::io::{BufWriter, Write as _};
-use std::path::PathBuf;
-use std::sync::{Mutex, OnceLock};
-
-use pabst_simkit::trace::JsonlSink;
-use pabst_soc::report::SystemReport;
-use pabst_soc::system::System;
-
-/// Returns the value of `--<flag> value` or `--<flag>=value` from the
-/// process arguments, if present.
-pub fn arg_value(flag: &str) -> Option<String> {
-    let long = format!("--{flag}");
-    let prefix = format!("--{flag}=");
-    let args: Vec<String> = std::env::args().collect();
-    for (i, a) in args.iter().enumerate() {
-        if let Some(v) = a.strip_prefix(&prefix) {
-            return Some(v.to_string());
-        }
-        if *a == long {
-            return args.get(i + 1).cloned();
-        }
-    }
-    None
+/// Parsed command-line flags common to every bench binary.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CliArgs {
+    /// Shortened run for CI / smoke testing.
+    pub quick: bool,
+    /// Requested sweep worker count; `None` (flag absent) sizes from
+    /// [`std::thread::available_parallelism`], as does an explicit `0`.
+    pub jobs: Option<usize>,
+    /// Only run the experiment with this name.
+    pub filter: Option<String>,
+    /// Write merged JSONL epoch records here.
+    pub trace: Option<String>,
+    /// Write merged end-of-run report JSON lines here.
+    pub report_json: Option<String>,
+    /// Artifact output path override.
+    pub out: Option<String>,
 }
 
-/// Opens `path` for this invocation: truncating on the first open,
-/// appending afterwards, so multi-system binaries produce one file.
-fn open_for(path: &str) -> Option<File> {
-    static OPENED: OnceLock<Mutex<BTreeSet<PathBuf>>> = OnceLock::new();
-    let canonical = PathBuf::from(path);
-    let mut seen = OPENED.get_or_init(|| Mutex::new(BTreeSet::new())).lock().ok()?;
-    let first = seen.insert(canonical);
-    let res = if first { File::create(path) } else { OpenOptions::new().append(true).open(path) };
-    match res {
-        Ok(f) => Some(f),
-        Err(e) => {
-            eprintln!("warning: cannot open {path}: {e}");
-            None
-        }
-    }
-}
-
-/// Attaches a JSONL trace sink to `sys` when `--trace <path>` was given.
-/// Call once per system, right after building it.
-pub fn attach(sys: &mut System) {
-    if let Some(path) = arg_value("trace") {
-        if let Some(f) = open_for(&path) {
-            sys.add_trace_sink(Box::new(JsonlSink::new(BufWriter::new(f))));
-        }
-    }
-}
-
-/// Appends the system's end-of-run report as one JSON line when
-/// `--report-json <path>` was given. Call once per system, after its run.
-pub fn report(sys: &System) {
-    if let Some(path) = arg_value("report-json") {
-        if let Some(mut f) = open_for(&path) {
-            let json = SystemReport::collect(sys).to_json();
-            if let Err(e) = writeln!(f, "{json}") {
-                eprintln!("warning: cannot write {path}: {e}");
+impl CliArgs {
+    /// Parses `std::env::args`, printing the problem and usage to stderr
+    /// and exiting with status 2 on any unknown or malformed flag.
+    pub fn parse() -> Self {
+        let argv: Vec<String> = std::env::args().skip(1).collect();
+        match Self::parse_from(&argv) {
+            Ok(args) => args,
+            Err(e) => {
+                eprintln!("error: {e}");
+                eprintln!("{}", usage());
+                std::process::exit(2);
             }
         }
+    }
+
+    /// Parses an explicit argument list (no leading program name).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first unknown flag, missing value, or
+    /// non-numeric `--jobs` argument.
+    pub fn parse_from(argv: &[String]) -> Result<Self, String> {
+        let mut args = Self::default();
+        let mut it = argv.iter();
+        while let Some(a) = it.next() {
+            let (flag, inline) = match a.split_once('=') {
+                Some((f, v)) => (f, Some(v.to_string())),
+                None => (a.as_str(), None),
+            };
+            let value = |it: &mut std::slice::Iter<'_, String>| -> Result<String, String> {
+                match inline.clone() {
+                    Some(v) => Ok(v),
+                    None => it.next().cloned().ok_or_else(|| format!("{flag} needs a value")),
+                }
+            };
+            match flag {
+                "--quick" => args.quick = true,
+                "--jobs" => {
+                    let v = value(&mut it)?;
+                    args.jobs =
+                        Some(v.parse().map_err(|_| format!("--jobs needs a number, got `{v}`"))?);
+                }
+                "--filter" => args.filter = Some(value(&mut it)?),
+                "--trace" => args.trace = Some(value(&mut it)?),
+                "--report-json" => args.report_json = Some(value(&mut it)?),
+                "--out" => args.out = Some(value(&mut it)?),
+                other => return Err(format!("unknown flag `{other}`")),
+            }
+        }
+        Ok(args)
+    }
+}
+
+/// The flag summary printed on a parse error.
+pub fn usage() -> String {
+    "usage: <bin> [--quick] [--jobs <n>] [--filter <experiment>] \
+     [--trace <path>] [--report-json <path>] [--out <path>]"
+        .to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<CliArgs, String> {
+        let argv: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        CliArgs::parse_from(&argv)
+    }
+
+    #[test]
+    fn defaults_are_empty() {
+        let args = parse(&[]).unwrap();
+        assert_eq!(args, CliArgs::default());
+        assert!(!args.quick);
+        assert_eq!(args.jobs, None);
+    }
+
+    #[test]
+    fn parses_both_value_styles() {
+        let a = parse(&["--quick", "--jobs", "4", "--trace=t.jsonl", "--filter", "fig05"]).unwrap();
+        assert!(a.quick);
+        assert_eq!(a.jobs, Some(4));
+        assert_eq!(a.trace.as_deref(), Some("t.jsonl"));
+        assert_eq!(a.filter.as_deref(), Some("fig05"));
+        let b = parse(&["--report-json=r.json", "--out", "bench.json"]).unwrap();
+        assert_eq!(b.report_json.as_deref(), Some("r.json"));
+        assert_eq!(b.out.as_deref(), Some("bench.json"));
+    }
+
+    #[test]
+    fn unknown_flags_are_errors() {
+        let err = parse(&["--trce", "t.jsonl"]).unwrap_err();
+        assert!(err.contains("--trce"), "{err}");
+        assert!(parse(&["positional"]).is_err());
+    }
+
+    #[test]
+    fn missing_and_malformed_values_are_errors() {
+        assert!(parse(&["--jobs"]).unwrap_err().contains("needs a value"));
+        assert!(parse(&["--jobs", "many"]).unwrap_err().contains("needs a number"));
+        assert!(parse(&["--trace"]).is_err());
     }
 }

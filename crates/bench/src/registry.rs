@@ -1,0 +1,886 @@
+//! The experiment registry: every paper figure, table, ablation, and
+//! calibration sweep as an [`Experiment`] descriptor.
+//!
+//! Each entry decomposes a figure into independent grid cells (one
+//! `(experiment, config)` run each — for the SPEC figures one cell is a
+//! whole workload row, because its mode runs share the isolated-IPC
+//! baseline), a cell runner over the [`crate::scenarios`] builders, and
+//! a renderer that rebuilds the figure's printed output from the
+//! submission-ordered results. The `src/bin/` binaries are one-line
+//! [`crate::harness::drive`] calls over these names.
+
+use crate::harness::{Experiment, ExperimentResult, Params, RunCtx};
+use crate::scenarios::{
+    ablate_burst, ablate_inertia, ablate_slack, ablate_writeback, all_spec, fig10_cell, fig11_cell,
+    fig1_cell, fig1_cell_with, fig5_series, fig6_series, fig8_run, fig9_run,
+    skewed_traffic_utilization, spec_isolated_ipc, Fig1Mix, MEASURE_EPOCHS,
+};
+use crate::table::Table;
+use pabst_simkit::bytes_per_cycle_to_gbps;
+use pabst_soc::config::{RegulationMode, SystemConfig, WbAccounting};
+
+/// The experiment names `all_figures` runs, in printing order. `fig10`
+/// prints both the Fig. 10 and Fig. 12 tables (same runs, two metrics),
+/// so `fig12` is not in the list.
+pub const ALL_FIGURES: [&str; 10] =
+    ["table03", "fig01", "fig05", "fig06", "fig07", "fig08", "fig09", "fig10", "fig11", "ablate"];
+
+/// Every registered experiment.
+pub static EXPERIMENTS: [Experiment; 12] = [
+    Experiment {
+        name: "table03",
+        title: "Table III — simulated system configuration",
+        grid: table03_grid,
+        run: table03_run,
+        render: table03_render,
+    },
+    Experiment {
+        name: "fig01",
+        title: "Fig. 1 — source vs target regulation on two mixes",
+        grid: fig01_grid,
+        run: fig01_run,
+        render: fig01_render,
+    },
+    Experiment {
+        name: "fig05",
+        title: "Fig. 5 — proportional allocation over time (7:3)",
+        grid: fig05_grid,
+        run: fig05_run,
+        render: fig05_render,
+    },
+    Experiment {
+        name: "fig06",
+        title: "Fig. 6 — work conservation under a periodic partner",
+        grid: fig06_grid,
+        run: fig06_run,
+        render: fig06_render,
+    },
+    Experiment {
+        name: "fig07",
+        title: "Fig. 7 — source and target regulation combined",
+        grid: fig07_grid,
+        run: fig07_run,
+        render: fig07_render,
+    },
+    Experiment {
+        name: "fig08",
+        title: "Fig. 8 — proportional distribution of excess bandwidth",
+        grid: fig08_grid,
+        run: fig08_run_cell,
+        render: fig08_render,
+    },
+    Experiment {
+        name: "fig09",
+        title: "Fig. 9 — memcached service times under an aggressor",
+        grid: fig09_grid,
+        run: fig09_run_cell,
+        render: fig09_render,
+    },
+    Experiment {
+        name: "fig10",
+        title: "Figs. 10 & 12 — SPEC slowdown and memory efficiency",
+        grid: fig10_grid,
+        run: spec_matrix_run,
+        render: fig10_render,
+    },
+    Experiment {
+        name: "fig11",
+        title: "Fig. 11 — work-conserving IaaS consolidation",
+        grid: fig11_grid,
+        run: fig11_run,
+        render: fig11_render,
+    },
+    Experiment {
+        name: "fig12",
+        title: "Fig. 12 — memory efficiency cost of bandwidth QoS",
+        grid: fig12_grid,
+        run: spec_matrix_run,
+        render: fig12_render,
+    },
+    Experiment {
+        name: "ablate",
+        title: "Ablations of PABST design choices (DESIGN.md §6)",
+        grid: ablate_grid,
+        run: ablate_run,
+        render: ablate_render,
+    },
+    Experiment {
+        name: "calibrate",
+        title: "Calibration — Fig. 1 asymmetry vs controller geometry",
+        grid: calibrate_grid,
+        run: calibrate_run,
+        render: calibrate_render,
+    },
+];
+
+/// Looks an experiment up by registry key.
+pub fn find(name: &str) -> Option<&'static Experiment> {
+    EXPERIMENTS.iter().find(|e| e.name == name)
+}
+
+fn gbps(bpc: f64) -> String {
+    format!("{:.1}", bytes_per_cycle_to_gbps(bpc))
+}
+
+// ---------------------------------------------------------------------
+// Table III.
+// ---------------------------------------------------------------------
+
+fn table03_grid(_quick: bool) -> Vec<Params> {
+    vec![Params::new("table03", "baseline_32core", 0, 0)]
+}
+
+fn table03_run(p: &Params, ctx: RunCtx) -> ExperimentResult {
+    ctx.finish(p, Vec::new(), Vec::new())
+}
+
+fn table03_render(_results: &[ExperimentResult]) -> String {
+    let c = SystemConfig::baseline_32core();
+    let d = c.dram;
+    let mut t = Table::new(vec!["parameter", "value"]);
+    let rows: Vec<(&str, String)> = vec![
+        ("cores", format!("{} (8x4 tiled SoC), 2 GHz", c.cores)),
+        (
+            "core",
+            format!(
+                "OoO, {}-entry ROB, width {}, {} outstanding loads",
+                c.core.rob, c.core.width, c.core.max_outstanding
+            ),
+        ),
+        ("L1D", format!("{} KiB, {}-way, {}-cycle", c.l1.bytes() / 1024, c.l1.ways, c.l1_lat)),
+        (
+            "L2 (private)",
+            format!(
+                "{} KiB, {}-way, {}-cycle, {} MSHRs",
+                c.l2.bytes() / 1024,
+                c.l2.ways,
+                c.l2_lat,
+                c.l2_mshrs
+            ),
+        ),
+        (
+            "L3 (shared)",
+            format!(
+                "{} MiB, {}-way, way-partitioned, {}-cycle",
+                c.l3.bytes() / (1024 * 1024),
+                c.l3.ways,
+                c.l3_lat
+            ),
+        ),
+        ("memory controllers", format!("{}, one DDR channel each", c.mcs)),
+        (
+            "DRAM",
+            format!(
+                "{} banks/channel, tRCD/tCL/tRP {}/{}/{} cyc, {} cyc burst (~{:.0} GB/s/channel)",
+                d.banks,
+                d.t_rcd,
+                d.t_cl,
+                d.t_rp,
+                d.t_burst,
+                bytes_per_cycle_to_gbps(d.peak_bytes_per_cycle())
+            ),
+        ),
+        (
+            "MC queues",
+            format!(
+                "read {} / write {} front-end, {}-deep ingress, {}-entry data buffer",
+                d.read_q_cap, d.write_q_cap, d.ingress_cap, d.data_buf_cap
+            ),
+        ),
+        ("epoch", format!("{} cycles (10 us)", c.epoch_cycles)),
+        ("pacer burst", format!("{} requests", c.pacer_burst)),
+        ("arbiter slack", format!("{} virtual ticks", c.arbiter_slack)),
+    ];
+    for (k, v) in rows {
+        t.row(vec![k.into(), v]);
+    }
+    format!("Table III — simulated system configuration\n\n{}", t.render())
+}
+
+// ---------------------------------------------------------------------
+// Figs. 1 and 7 (same cell shape, different mode sets and labels).
+// ---------------------------------------------------------------------
+
+fn fig01_cells() -> Vec<(Fig1Mix, &'static str, RegulationMode)> {
+    let mut cells = Vec::new();
+    for (mix, mix_name) in
+        [(Fig1Mix::StreamStream, "stream+stream"), (Fig1Mix::ChaserStream, "chaser+stream")]
+    {
+        for mode in [RegulationMode::SourceOnly, RegulationMode::TargetOnly] {
+            cells.push((mix, mix_name, mode));
+        }
+    }
+    cells
+}
+
+fn fig07_cells() -> Vec<(Fig1Mix, &'static str, RegulationMode)> {
+    let mut cells = Vec::new();
+    for (mix, mix_name) in
+        [(Fig1Mix::StreamStream, "write-stream x2"), (Fig1Mix::ChaserStream, "chaser+stream")]
+    {
+        for mode in [RegulationMode::SourceOnly, RegulationMode::TargetOnly, RegulationMode::Pabst]
+        {
+            cells.push((mix, mix_name, mode));
+        }
+    }
+    cells
+}
+
+fn alloc_grid(
+    experiment: &'static str,
+    cells: &[(Fig1Mix, &'static str, RegulationMode)],
+    epochs: usize,
+) -> Vec<Params> {
+    cells
+        .iter()
+        .enumerate()
+        .map(|(i, (_, mix_name, mode))| {
+            Params::new(experiment, format!("{mix_name}/{}", mode.label()), i, epochs)
+        })
+        .collect()
+}
+
+fn alloc_run(
+    cells: &[(Fig1Mix, &'static str, RegulationMode)],
+    p: &Params,
+    mut ctx: RunCtx,
+) -> ExperimentResult {
+    let (mix, _, mode) = cells[p.index];
+    let r = fig1_cell(mix, mode, p.epochs, p.seed, &mut ctx);
+    ctx.finish(
+        p,
+        vec![
+            ("bpc0", r.bytes_per_cycle[0]),
+            ("bpc1", r.bytes_per_cycle[1]),
+            ("error_pct", r.error_pct),
+        ],
+        Vec::new(),
+    )
+}
+
+fn alloc_table(
+    cells: &[(Fig1Mix, &'static str, RegulationMode)],
+    results: &[ExperimentResult],
+) -> Table {
+    let mut t = Table::new(vec!["mix", "regulator", "class0 GB/s", "class1 GB/s", "alloc error %"]);
+    for (r, (_, mix_name, mode)) in results.iter().zip(cells) {
+        t.row(vec![
+            (*mix_name).into(),
+            mode.label().into(),
+            gbps(r.metric("bpc0")),
+            gbps(r.metric("bpc1")),
+            format!("{:.0}", r.metric("error_pct")),
+        ]);
+    }
+    t
+}
+
+fn fig01_grid(quick: bool) -> Vec<Params> {
+    alloc_grid("fig01", &fig01_cells(), if quick { 10 } else { 40 })
+}
+
+fn fig01_run(p: &Params, ctx: RunCtx) -> ExperimentResult {
+    alloc_run(&fig01_cells(), p, ctx)
+}
+
+fn fig01_render(results: &[ExperimentResult]) -> String {
+    format!(
+        "Figure 1 — source vs target regulation, 3:1 target allocation\n\
+         (paper: b ~76% error, c ~128% error, a and d accurate)\n\n{}",
+        alloc_table(&fig01_cells(), results).render()
+    )
+}
+
+fn fig07_grid(quick: bool) -> Vec<Params> {
+    alloc_grid("fig07", &fig07_cells(), if quick { 10 } else { 40 })
+}
+
+fn fig07_run(p: &Params, ctx: RunCtx) -> ExperimentResult {
+    alloc_run(&fig07_cells(), p, ctx)
+}
+
+fn fig07_render(results: &[ExperimentResult]) -> String {
+    format!(
+        "Figure 7 — source and target regulation combined (3:1 target)\n\
+         (paper: PABST tracks the better regulator in each mix; a small\n \
+         residual error remains with the chaser)\n\n{}",
+        alloc_table(&fig07_cells(), results).render()
+    )
+}
+
+// ---------------------------------------------------------------------
+// Figs. 5 and 6: time-series experiments (one cell each).
+// ---------------------------------------------------------------------
+
+fn series_metrics(points: &[Vec<f64>]) -> (Vec<f64>, Vec<f64>) {
+    let s0: Vec<f64> = points.iter().map(|p| p[0]).collect();
+    let s1: Vec<f64> = points.iter().map(|p| p[1]).collect();
+    (s0, s1)
+}
+
+fn fig05_grid(quick: bool) -> Vec<Params> {
+    vec![Params::new("fig05", "7:3 read streams", 0, if quick { 15 } else { 60 })]
+}
+
+fn fig05_run(p: &Params, mut ctx: RunCtx) -> ExperimentResult {
+    let s = fig5_series(p.epochs, p.seed, &mut ctx);
+    let (s0, s1) = series_metrics(&s.points);
+    ctx.finish(p, Vec::new(), vec![("class0", s0), ("class1", s1)])
+}
+
+fn fig05_render(results: &[ExperimentResult]) -> String {
+    let r = &results[0];
+    let (s0, s1) = (r.series("class0"), r.series("class1"));
+    let mut t = Table::new(vec!["epoch", "class0 GB/s", "class1 GB/s", "class0 share"]);
+    for (e, (&p0, &p1)) in s0.iter().zip(s1).enumerate() {
+        let total = p0 + p1;
+        t.row(vec![
+            e.to_string(),
+            gbps(p0),
+            gbps(p1),
+            if total > 0.0 { format!("{:.3}", p0 / total) } else { "-".into() },
+        ]);
+    }
+    let epochs = r.params.epochs;
+    let from = epochs / 2;
+    let mean0: f64 =
+        s0[from..].iter().zip(&s1[from..]).map(|(&p0, &p1)| p0 / (p0 + p1)).sum::<f64>()
+            / (epochs - from) as f64;
+    format!(
+        "Figure 5 — proportional allocation, 7:3 read streams\n\
+         (paper: quick convergence to a steady 70%/30% split)\n\n{}\n\n{}\n\
+         steady-state class0 share: {mean0:.3} (target 0.700)\n",
+        crate::spark::spark_rows(&["class0 (70%)", "class1 (30%)"], &[s0.to_vec(), s1.to_vec()]),
+        t.render()
+    )
+}
+
+fn fig06_grid(quick: bool) -> Vec<Params> {
+    vec![Params::new("fig06", "periodic 70% + constant 30%", 0, if quick { 40 } else { 170 })]
+}
+
+fn fig06_run(p: &Params, mut ctx: RunCtx) -> ExperimentResult {
+    let s = fig6_series(p.epochs, p.seed, &mut ctx);
+    let (s0, s1) = series_metrics(&s.points);
+    ctx.finish(p, Vec::new(), vec![("periodic", s0), ("constant", s1)])
+}
+
+fn fig06_render(results: &[ExperimentResult]) -> String {
+    let r = &results[0];
+    let (s0, s1) = (r.series("periodic"), r.series("constant"));
+    let mut t = Table::new(vec!["epoch", "periodic GB/s", "constant GB/s", "constant share"]);
+    for (e, (&p0, &p1)) in s0.iter().zip(s1).enumerate() {
+        let total = p0 + p1;
+        t.row(vec![
+            e.to_string(),
+            gbps(p0),
+            gbps(p1),
+            if total > 0.1 { format!("{:.2}", p1 / total) } else { "-".into() },
+        ]);
+    }
+    // Summarize the two phases.
+    let (mut boosted, mut throttled) = (Vec::new(), Vec::new());
+    for (&p0, &p1) in s0.iter().zip(s1).skip(10) {
+        let total = p0 + p1;
+        if total < 0.5 {
+            continue;
+        }
+        if p0 / total < 0.10 {
+            boosted.push(p1);
+        } else if p0 / total > 0.5 {
+            throttled.push(p1);
+        }
+    }
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+    format!(
+        "Figure 6 — work conservation (periodic 70% + constant 30%)\n\
+         (paper: constant streamer takes ~100% during the partner's idle phases)\n\n{}\n\n{}\n\
+         constant streamer: {:.1} GB/s while partner active, {:.1} GB/s while partner idle\n",
+        crate::spark::spark_rows(
+            &["periodic (70%)", "constant (30%)"],
+            &[s0.to_vec(), s1.to_vec()]
+        ),
+        t.render(),
+        bytes_per_cycle_to_gbps(mean(&throttled)),
+        bytes_per_cycle_to_gbps(mean(&boosted)),
+    )
+}
+
+// ---------------------------------------------------------------------
+// Fig. 8.
+// ---------------------------------------------------------------------
+
+fn fig08_grid(quick: bool) -> Vec<Params> {
+    vec![Params::new("fig08", "resident + high/low DDR", 0, if quick { 20 } else { 60 })]
+}
+
+fn fig08_run_cell(p: &Params, mut ctx: RunCtx) -> ExperimentResult {
+    let r = fig8_run(p.epochs, p.seed, &mut ctx);
+    ctx.finish(
+        p,
+        vec![("share0", r.shares[0]), ("share1", r.shares[1]), ("share2", r.shares[2])],
+        Vec::new(),
+    )
+}
+
+fn fig08_render(results: &[ExperimentResult]) -> String {
+    let r = &results[0];
+    let mut t = Table::new(vec!["class", "allocation", "observed share"]);
+    for (i, (name, alloc)) in
+        [("L3-resident stream", "25%"), ("DDR stream (high)", "50%"), ("DDR stream (low)", "25%")]
+            .iter()
+            .enumerate()
+    {
+        let share = r.metric(["share0", "share1", "share2"][i]);
+        t.row(vec![name.to_string(), alloc.to_string(), format!("{:.1}%", share * 100.0)]);
+    }
+    format!(
+        "Figure 8 — proportional distribution of excess bandwidth\n\
+         (paper: high DDR stream ~66%, low DDR stream ~33%)\n\n{}",
+        t.render()
+    )
+}
+
+// ---------------------------------------------------------------------
+// Fig. 9.
+// ---------------------------------------------------------------------
+
+fn fig09_cells() -> [(&'static str, RegulationMode, bool); 3] {
+    [
+        ("isolated", RegulationMode::None, false),
+        ("contended, no QoS", RegulationMode::None, true),
+        ("contended, PABST 20:1", RegulationMode::Pabst, true),
+    ]
+}
+
+fn fig09_grid(quick: bool) -> Vec<Params> {
+    let epochs = if quick { 20 } else { 40 };
+    fig09_cells()
+        .iter()
+        .enumerate()
+        .map(|(i, (label, _, _))| Params::new("fig09", *label, i, epochs))
+        .collect()
+}
+
+fn fig09_run_cell(p: &Params, mut ctx: RunCtx) -> ExperimentResult {
+    let (_, mode, aggressor) = fig09_cells()[p.index];
+    let r = fig9_run(mode, aggressor, p.epochs, p.seed, &mut ctx);
+    ctx.finish(
+        p,
+        vec![
+            ("mean", r.mean),
+            ("p50", r.p50 as f64),
+            ("p95", r.p95 as f64),
+            ("p99", r.p99 as f64),
+            ("count", r.count as f64),
+        ],
+        Vec::new(),
+    )
+}
+
+fn fig09_render(results: &[ExperimentResult]) -> String {
+    let mut t = Table::new(vec!["configuration", "txns", "mean (cyc)", "p50", "p95", "p99"]);
+    for (r, (label, _, _)) in results.iter().zip(fig09_cells().iter()) {
+        t.row(vec![
+            (*label).into(),
+            format!("{}", r.metric("count")),
+            format!("{:.0}", r.metric("mean")),
+            format!("{}", r.metric("p50")),
+            format!("{}", r.metric("p95")),
+            format!("{}", r.metric("p99")),
+        ]);
+    }
+    format!(
+        "Figure 9 — memcached service times under a bandwidth aggressor\n\
+         (paper: PABST nearly restores both the mean and the tail)\n\n{}",
+        t.render()
+    )
+}
+
+// ---------------------------------------------------------------------
+// Figs. 10, 11, 12: SPEC workload matrices. One cell = one workload row
+// (its mode runs share the isolated-IPC baseline, so they stay together).
+// ---------------------------------------------------------------------
+
+const SPEC_MODES: [RegulationMode; 4] = [
+    RegulationMode::None,
+    RegulationMode::SourceOnly,
+    RegulationMode::TargetOnly,
+    RegulationMode::Pabst,
+];
+const SLOWDOWN_KEYS: [&str; 4] =
+    ["slowdown_none", "slowdown_source", "slowdown_target", "slowdown_pabst"];
+const EFF_KEYS: [&str; 4] = ["eff_none", "eff_source", "eff_target", "eff_pabst"];
+
+fn spec_grid(experiment: &'static str, epochs: usize) -> Vec<Params> {
+    all_spec()
+        .iter()
+        .enumerate()
+        .map(|(i, w)| Params::new(experiment, w.name(), i, epochs))
+        .collect()
+}
+
+fn fig10_grid(quick: bool) -> Vec<Params> {
+    spec_grid("fig10", if quick { 6 } else { MEASURE_EPOCHS })
+}
+
+fn fig12_grid(quick: bool) -> Vec<Params> {
+    spec_grid("fig12", if quick { 8 } else { MEASURE_EPOCHS })
+}
+
+/// Shared Fig. 10 / Fig. 12 cell: the isolated baseline plus all four
+/// regulation modes for one SPEC workload.
+fn spec_matrix_run(p: &Params, mut ctx: RunCtx) -> ExperimentResult {
+    let w = all_spec()[p.index];
+    let iso = spec_isolated_ipc(w, p.epochs, p.seed, &mut ctx);
+    let mut metrics = vec![("iso_ipc", iso)];
+    for (i, mode) in SPEC_MODES.iter().enumerate() {
+        let c = fig10_cell(w, *mode, iso, p.epochs, p.seed, &mut ctx);
+        metrics.push((SLOWDOWN_KEYS[i], c.slowdown));
+        metrics.push((EFF_KEYS[i], c.efficiency));
+    }
+    eprintln!("  done {}", w.name());
+    ctx.finish(p, metrics, Vec::new())
+}
+
+fn efficiency_table(results: &[ExperimentResult]) -> Table {
+    let mut t = Table::new(vec![
+        "workload",
+        "no-QoS",
+        "governor-only",
+        "arbiter-only",
+        "pabst",
+        "latency-sensitive",
+    ]);
+    for (r, w) in results.iter().zip(all_spec()) {
+        let mut cells = vec![w.name().to_string()];
+        cells.extend(EFF_KEYS.iter().map(|k| format!("{:.2}", r.metric(k))));
+        cells.push(if w.latency_sensitive() { "yes".into() } else { "no".into() });
+        t.row(cells);
+    }
+    t
+}
+
+fn fig10_render(results: &[ExperimentResult]) -> String {
+    let mut slow = Table::new(vec!["workload", "no-QoS", "source-only", "target-only", "pabst"]);
+    let mut sums = [0.0f64; 4];
+    for (r, w) in results.iter().zip(all_spec()) {
+        let mut cells = vec![w.name().to_string()];
+        for (i, k) in SLOWDOWN_KEYS.iter().enumerate() {
+            let v = r.metric(k);
+            sums[i] += v;
+            cells.push(format!("{v:.2}x"));
+        }
+        slow.row(cells);
+    }
+    let n = all_spec().len() as f64;
+    slow.row(vec![
+        "mean".into(),
+        format!("{:.2}x", sums[0] / n),
+        format!("{:.2}x", sums[1] / n),
+        format!("{:.2}x", sums[2] / n),
+        format!("{:.2}x", sums[3] / n),
+    ]);
+    format!(
+        "Figure 10 — weighted slowdown vs isolated run (32:1 shares,\n\
+         16 SPEC cores + 16 streaming cores)\n\
+         (paper: avg 2.0x without QoS -> 1.2x with PABST; combination always best)\n\n{}\n\
+         Figure 12 — memory efficiency (data-bus utilization) of the same runs\n\
+         (paper: QoS lowers efficiency; drop largest for latency-sensitive workloads)\n\n{}",
+        slow.render(),
+        efficiency_table(results).render()
+    )
+}
+
+fn fig12_render(results: &[ExperimentResult]) -> String {
+    format!(
+        "Figure 12 — memory efficiency (data-bus utilization), SPEC +\n\
+         streaming aggressor at 32:1\n\
+         (paper: QoS lowers efficiency; the drop is largest for\n \
+         latency-sensitive workloads)\n\n{}",
+        efficiency_table(results).render()
+    )
+}
+
+fn fig11_grid(quick: bool) -> Vec<Params> {
+    spec_grid("fig11", if quick { 8 } else { MEASURE_EPOCHS })
+}
+
+fn fig11_run(p: &Params, mut ctx: RunCtx) -> ExperimentResult {
+    let w = all_spec()[p.index];
+    let c = fig11_cell(w, p.epochs, p.seed, &mut ctx);
+    eprintln!("  done {}", w.name());
+    ctx.finish(p, vec![("static_ipc", c.static_ipc), ("pabst_ipc", c.pabst_ipc)], Vec::new())
+}
+
+fn fig11_render(results: &[ExperimentResult]) -> String {
+    let mut t = Table::new(vec!["workload", "static IPC", "PABST IPC", "improvement"]);
+    for (r, w) in results.iter().zip(all_spec()) {
+        let (s, p) = (r.metric("static_ipc"), r.metric("pabst_ipc"));
+        t.row(vec![
+            w.name().into(),
+            format!("{s:.3}"),
+            format!("{p:.3}"),
+            format!("{:+.0}%", (p / s - 1.0) * 100.0),
+        ]);
+    }
+    format!(
+        "Figure 11 — four consolidated 25%-share classes vs a static\n\
+         quarter-bandwidth allocation\n\
+         (paper: 15-90% improvement thanks to work conservation)\n\n{}",
+        t.render()
+    )
+}
+
+// ---------------------------------------------------------------------
+// Ablations.
+// ---------------------------------------------------------------------
+
+/// One typed ablation cell (five sub-studies flattened into one grid).
+#[derive(Debug, Clone, Copy)]
+enum AblateCell {
+    Writeback(&'static str, WbAccounting),
+    Burst(u64),
+    Slack(u64),
+    Inertia(u32),
+    Skew(&'static str, bool),
+}
+
+fn ablate_cells() -> Vec<AblateCell> {
+    let mut cells = Vec::new();
+    for (name, p) in [
+        ("charge-demand (paper)", WbAccounting::ChargeDemand),
+        ("charge-owner", WbAccounting::ChargeOwner),
+        ("charge-none", WbAccounting::ChargeNone),
+    ] {
+        cells.push(AblateCell::Writeback(name, p));
+    }
+    for burst in [1u64, 4, 16, 64, 256] {
+        cells.push(AblateCell::Burst(burst));
+    }
+    for slack in [8u64, 32, 128, 512, 4096] {
+        cells.push(AblateCell::Slack(slack));
+    }
+    for inertia in [1u32, 2, 3, 5, 8] {
+        cells.push(AblateCell::Inertia(inertia));
+    }
+    for (name, per_mc) in
+        [("global wired-OR SAT (paper default)", false), ("per-MC SAT + governor", true)]
+    {
+        cells.push(AblateCell::Skew(name, per_mc));
+    }
+    cells
+}
+
+fn ablate_grid(quick: bool) -> Vec<Params> {
+    let epochs = if quick { 16 } else { 40 };
+    ablate_cells()
+        .iter()
+        .enumerate()
+        .map(|(i, cell)| {
+            let config = match cell {
+                AblateCell::Writeback(name, _) => format!("writeback/{name}"),
+                AblateCell::Burst(b) => format!("burst/{b}"),
+                AblateCell::Slack(s) => format!("slack/{s}"),
+                AblateCell::Inertia(n) => format!("inertia/{n}"),
+                AblateCell::Skew(name, _) => format!("skew/{name}"),
+            };
+            Params::new("ablate", config, i, epochs)
+        })
+        .collect()
+}
+
+fn ablate_run(p: &Params, mut ctx: RunCtx) -> ExperimentResult {
+    let metrics = match ablate_cells()[p.index] {
+        AblateCell::Writeback(_, policy) => {
+            let (s0, s1) = ablate_writeback(policy, p.epochs, p.seed, &mut ctx);
+            vec![("share0", s0), ("share1", s1)]
+        }
+        AblateCell::Burst(burst) => {
+            vec![("error_pct", ablate_burst(burst, p.epochs, p.seed, &mut ctx))]
+        }
+        AblateCell::Slack(slack) => {
+            vec![("error_pct", ablate_slack(slack, p.epochs, p.seed, &mut ctx))]
+        }
+        AblateCell::Inertia(inertia) => {
+            let (err, jitter) = ablate_inertia(inertia, p.epochs, p.seed, &mut ctx);
+            vec![("error_pct", err), ("jitter", jitter)]
+        }
+        AblateCell::Skew(_, per_mc) => {
+            vec![("bpc", skewed_traffic_utilization(per_mc, p.epochs, p.seed, &mut ctx))]
+        }
+    };
+    ctx.finish(p, metrics, Vec::new())
+}
+
+fn ablate_render(results: &[ExperimentResult]) -> String {
+    let cells = ablate_cells();
+    let mut out = String::new();
+
+    out.push_str("Ablation 1 — writeback accounting (write streams, 7:3)\n\n");
+    let mut t = Table::new(vec!["policy", "class0 share", "class1 share"]);
+    for (r, cell) in results.iter().zip(&cells) {
+        if let AblateCell::Writeback(name, _) = cell {
+            t.row(vec![
+                (*name).into(),
+                format!("{:.3}", r.metric("share0")),
+                format!("{:.3}", r.metric("share1")),
+            ]);
+        }
+    }
+    out.push_str(&t.render());
+
+    out.push_str("\nAblation 2 — pacer burst window (read streams, 7:3)\n\n");
+    let mut t = Table::new(vec!["burst (requests)", "alloc error %"]);
+    for (r, cell) in results.iter().zip(&cells) {
+        if let AblateCell::Burst(burst) = cell {
+            t.row(vec![burst.to_string(), format!("{:.1}", r.metric("error_pct"))]);
+        }
+    }
+    out.push_str(&t.render());
+
+    out.push_str("\nAblation 3 — arbiter slack (chaser+stream, 3:1)\n\n");
+    let mut t = Table::new(vec!["slack (vticks)", "alloc error %"]);
+    for (r, cell) in results.iter().zip(&cells) {
+        if let AblateCell::Slack(slack) = cell {
+            t.row(vec![slack.to_string(), format!("{:.1}", r.metric("error_pct"))]);
+        }
+    }
+    out.push_str(&t.render());
+
+    out.push_str("\nAblation 4 — governor inertia (read streams, 7:3)\n\n");
+    let mut t = Table::new(vec!["inertia (epochs)", "alloc error %", "mean |dM|/M"]);
+    for (r, cell) in results.iter().zip(&cells) {
+        if let AblateCell::Inertia(inertia) = cell {
+            t.row(vec![
+                inertia.to_string(),
+                format!("{:.1}", r.metric("error_pct")),
+                format!("{:.4}", r.metric("jitter")),
+            ]);
+        }
+    }
+    out.push_str(&t.render());
+
+    out.push_str("\nAblation 5 — per-MC governors under skewed traffic (SIII-C1)\n\n");
+    let mut t = Table::new(vec!["regulation granularity", "total GB/s"]);
+    for (r, cell) in results.iter().zip(&cells) {
+        if let AblateCell::Skew(name, _) = cell {
+            t.row(vec![(*name).into(), gbps(r.metric("bpc"))]);
+        }
+    }
+    out.push_str(&t.render());
+    out
+}
+
+// ---------------------------------------------------------------------
+// Calibration sweep.
+// ---------------------------------------------------------------------
+
+const CALIBRATE_GEOMETRIES: [(usize, usize, u64); 3] = [
+    (32, 16, 12), // default data buffer
+    (64, 4, 12),  // deeper front-end, shallow blind FIFO
+    (64, 4, 6),   // + shallower data buffer
+];
+const CALIBRATE_MIXES: [(Fig1Mix, &str, RegulationMode, &str); 4] = [
+    (Fig1Mix::StreamStream, "stream", RegulationMode::SourceOnly, "src"),
+    (Fig1Mix::StreamStream, "stream", RegulationMode::TargetOnly, "tgt"),
+    (Fig1Mix::ChaserStream, "chaser", RegulationMode::SourceOnly, "src"),
+    (Fig1Mix::ChaserStream, "chaser", RegulationMode::TargetOnly, "tgt"),
+];
+
+fn calibrate_grid(quick: bool) -> Vec<Params> {
+    let epochs = if quick { 8 } else { 16 };
+    let mut cells = Vec::new();
+    for (read_q, ingress, horizon) in CALIBRATE_GEOMETRIES {
+        for (_, mix_name, _, mode_name) in CALIBRATE_MIXES {
+            let i = cells.len();
+            cells.push(Params::new(
+                "calibrate",
+                format!("rq{read_q} in{ingress} hz{horizon} {mix_name}/{mode_name}"),
+                i,
+                epochs,
+            ));
+        }
+    }
+    cells
+}
+
+fn calibrate_run(p: &Params, mut ctx: RunCtx) -> ExperimentResult {
+    let (read_q, ingress, horizon) = CALIBRATE_GEOMETRIES[p.index / CALIBRATE_MIXES.len()];
+    let (mix, _, mode, _) = CALIBRATE_MIXES[p.index % CALIBRATE_MIXES.len()];
+    let mut cfg = SystemConfig::baseline_32core();
+    cfg.dram.read_q_cap = read_q;
+    cfg.dram.ingress_cap = ingress;
+    cfg.dram.data_buf_cap = horizon as usize;
+    let err = fig1_cell_with(cfg, mix, mode, p.epochs, p.seed, &mut ctx).error_pct;
+    eprintln!("  done {}", p.config);
+    ctx.finish(p, vec![("error_pct", err)], Vec::new())
+}
+
+fn calibrate_render(results: &[ExperimentResult]) -> String {
+    let mut t = Table::new(vec![
+        "read_q",
+        "ingress",
+        "data_buf",
+        "stream src%",
+        "stream tgt%",
+        "chaser src%",
+        "chaser tgt%",
+    ]);
+    for (g, (read_q, ingress, horizon)) in CALIBRATE_GEOMETRIES.iter().enumerate() {
+        let cell =
+            |k: usize| format!("{:.0}", results[g * CALIBRATE_MIXES.len() + k].metric("error_pct"));
+        t.row(vec![
+            read_q.to_string(),
+            ingress.to_string(),
+            horizon.to_string(),
+            cell(0),
+            cell(1),
+            cell(2),
+            cell(3),
+        ]);
+    }
+    format!(
+        "Calibration — Fig. 1 asymmetry vs controller geometry\n\
+         (want: stream src low / tgt high; chaser src high / tgt low)\n\n{}",
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_name_resolves_and_grids_are_consistent() {
+        for exp in &EXPERIMENTS {
+            assert!(find(exp.name).is_some(), "{} must be findable", exp.name);
+            for quick in [false, true] {
+                let grid = (exp.grid)(quick);
+                for (i, p) in grid.iter().enumerate() {
+                    assert_eq!(p.index, i, "{}: index matches grid position", exp.name);
+                    assert_eq!(p.experiment, exp.name, "{}: cell tagged with owner", exp.name);
+                }
+                let mut names: Vec<&str> = grid.iter().map(|p| p.config.as_str()).collect();
+                names.sort_unstable();
+                names.dedup();
+                assert_eq!(names.len(), grid.len(), "{}: config names unique", exp.name);
+            }
+        }
+    }
+
+    #[test]
+    fn all_figures_names_resolve() {
+        for name in ALL_FIGURES {
+            assert!(find(name).is_some(), "{name} must be registered");
+        }
+        assert!(find("fig02").is_none());
+    }
+
+    #[test]
+    fn table03_renders_without_running_anything() {
+        let out = table03_render(&[]);
+        assert!(out.starts_with("Table III — simulated system configuration\n\n"));
+        assert!(out.contains("pacer burst"));
+    }
+}

@@ -1,10 +1,15 @@
 //! One runner per paper figure/table.
 //!
 //! Each function builds the experiment the paper describes, runs it, and
-//! returns structured results; the `src/bin/` binaries print them. All
-//! runners accept an epoch budget so the Criterion wrappers and `--quick`
-//! mode can shrink them.
+//! returns structured results; the [`crate::registry`] cell runners call
+//! them and the renderers print them. All runners accept an epoch budget
+//! (so `--quick` mode and the micro-benchmark wrappers can shrink them),
+//! a base RNG `seed` their workload generators derive per-core seeds
+//! from (`0` reproduces the paper runs), and a [`RunCtx`] that attaches
+//! trace sinks and collects tagged end-of-run reports for the sweep
+//! harness.
 
+use crate::harness::RunCtx;
 use pabst_cpu::Workload;
 use pabst_simkit::stats::allocation_error_pct;
 use pabst_soc::config::{RegulationMode, SystemConfig, WbAccounting};
@@ -25,41 +30,53 @@ pub fn region_for(class: usize, core: usize, lines: u64) -> Region {
     Region::new(((class as u64) << 40) + ((core as u64) << 32), lines)
 }
 
-/// `n` read streamers for a class.
-pub fn read_streamers(class: usize, n: usize) -> Vec<Box<dyn Workload>> {
+/// `n` read streamers for a class, seeded `seed + class*64 + i`.
+pub fn read_streamers(class: usize, n: usize, seed: u64) -> Vec<Box<dyn Workload>> {
     (0..n)
         .map(|i| {
-            Box::new(StreamGen::reads(region_for(class, i, 1 << 20), (class * 64 + i) as u64))
-                as Box<dyn Workload>
+            Box::new(StreamGen::reads(
+                region_for(class, i, 1 << 20),
+                seed + (class * 64 + i) as u64,
+            )) as Box<dyn Workload>
         })
         .collect()
 }
 
-/// `n` write streamers for a class.
-pub fn write_streamers(class: usize, n: usize) -> Vec<Box<dyn Workload>> {
+/// `n` write streamers for a class, seeded `seed + class*64 + i`.
+pub fn write_streamers(class: usize, n: usize, seed: u64) -> Vec<Box<dyn Workload>> {
     (0..n)
         .map(|i| {
-            Box::new(StreamGen::writes(region_for(class, i, 1 << 20), (class * 64 + i) as u64))
-                as Box<dyn Workload>
+            Box::new(StreamGen::writes(
+                region_for(class, i, 1 << 20),
+                seed + (class * 64 + i) as u64,
+            )) as Box<dyn Workload>
         })
         .collect()
 }
 
-/// `n` chasers (4 chains each) for a class.
-pub fn chasers(class: usize, n: usize) -> Vec<Box<dyn Workload>> {
+/// `n` chasers (4 chains each) for a class, seeded `seed + class*64 + i`.
+pub fn chasers(class: usize, n: usize, seed: u64) -> Vec<Box<dyn Workload>> {
     (0..n)
         .map(|i| {
-            Box::new(ChaserGen::new(region_for(class, i, 1 << 18), 4, (class * 64 + i) as u64))
-                as Box<dyn Workload>
+            Box::new(ChaserGen::new(
+                region_for(class, i, 1 << 18),
+                4,
+                seed + (class * 64 + i) as u64,
+            )) as Box<dyn Workload>
         })
         .collect()
 }
 
-/// `n` instances of a SPEC proxy for a class.
-pub fn spec_cores(which: SpecWorkload, class: usize, n: usize) -> Vec<Box<dyn Workload>> {
+/// `n` instances of a SPEC proxy for a class, seeded `seed + i`.
+pub fn spec_cores(
+    which: SpecWorkload,
+    class: usize,
+    n: usize,
+    seed: u64,
+) -> Vec<Box<dyn Workload>> {
     (0..n)
         .map(|i| {
-            Box::new(SpecProxyGen::new(which, region_for(class, i, 1 << 20), i as u64))
+            Box::new(SpecProxyGen::new(which, region_for(class, i, 1 << 20), seed + i as u64))
                 as Box<dyn Workload>
         })
         .collect()
@@ -71,13 +88,14 @@ fn two_class(
     w1: u32,
     c0: Vec<Box<dyn Workload>>,
     c1: Vec<Box<dyn Workload>>,
+    ctx: &mut RunCtx,
 ) -> System {
     let mut sys = SystemBuilder::new(SystemConfig::baseline_32core(), mode)
         .class(w0, c0)
         .class(w1, c1)
         .build()
         .expect("valid two-class configuration");
-    crate::obs::attach(&mut sys);
+    ctx.attach(&mut sys);
     sys
 }
 
@@ -105,8 +123,14 @@ pub struct AllocResult {
 }
 
 /// Runs one (mix, mode) cell of Fig. 1 / Fig. 7 on the baseline machine.
-pub fn fig1_cell(mix: Fig1Mix, mode: RegulationMode, epochs: usize) -> AllocResult {
-    fig1_cell_with(SystemConfig::baseline_32core(), mix, mode, epochs)
+pub fn fig1_cell(
+    mix: Fig1Mix,
+    mode: RegulationMode,
+    epochs: usize,
+    seed: u64,
+    ctx: &mut RunCtx,
+) -> AllocResult {
+    fig1_cell_with(SystemConfig::baseline_32core(), mix, mode, epochs, seed, ctx)
 }
 
 /// [`fig1_cell`] with an explicit machine configuration (used by the
@@ -116,20 +140,22 @@ pub fn fig1_cell_with(
     mix: Fig1Mix,
     mode: RegulationMode,
     epochs: usize,
+    seed: u64,
+    ctx: &mut RunCtx,
 ) -> AllocResult {
     let (c0, c1) = match mix {
-        Fig1Mix::StreamStream => (write_streamers(0, 16), write_streamers(1, 16)),
-        Fig1Mix::ChaserStream => (chasers(0, 16), read_streamers(1, 16)),
+        Fig1Mix::StreamStream => (write_streamers(0, 16, seed), write_streamers(1, 16, seed)),
+        Fig1Mix::ChaserStream => (chasers(0, 16, seed), read_streamers(1, 16, seed)),
     };
     let mut sys = SystemBuilder::new(cfg, mode)
         .class(3, c0)
         .class(1, c1)
         .build()
         .expect("valid two-class configuration");
-    crate::obs::attach(&mut sys);
+    ctx.attach(&mut sys);
     let warm = epochs / 2;
     sys.run_epochs(warm + epochs);
-    crate::obs::report(&sys);
+    ctx.report(&sys);
     let m = sys.metrics();
     let o0 = m.bw_series.mean_over(0, warm);
     let o1 = m.bw_series.mean_over(1, warm);
@@ -156,11 +182,17 @@ pub struct SeriesResult {
 }
 
 /// Runs Fig. 5: two 16-core read-stream classes at 7:3.
-pub fn fig5_series(epochs: usize) -> SeriesResult {
-    let mut sys =
-        two_class(RegulationMode::Pabst, 7, 3, read_streamers(0, 16), read_streamers(1, 16));
+pub fn fig5_series(epochs: usize, seed: u64, ctx: &mut RunCtx) -> SeriesResult {
+    let mut sys = two_class(
+        RegulationMode::Pabst,
+        7,
+        3,
+        read_streamers(0, 16, seed),
+        read_streamers(1, 16, seed),
+        ctx,
+    );
     sys.run_epochs(epochs);
-    crate::obs::report(&sys);
+    ctx.report(&sys);
     collect_series(&sys)
 }
 
@@ -179,7 +211,7 @@ fn collect_series(sys: &System) -> SeriesResult {
 
 /// Runs Fig. 6 and returns the bandwidth series (class 0 = periodic,
 /// class 1 = constant).
-pub fn fig6_series(epochs: usize) -> SeriesResult {
+pub fn fig6_series(epochs: usize, seed: u64, ctx: &mut RunCtx) -> SeriesResult {
     let periodic: Vec<Box<dyn Workload>> = (0..16)
         .map(|i| {
             Box::new(PeriodicStreamGen::new(
@@ -187,13 +219,14 @@ pub fn fig6_series(epochs: usize) -> SeriesResult {
                 256,
                 8_000,
                 900_000,
-                i as u64,
+                seed + i as u64,
             )) as Box<dyn Workload>
         })
         .collect();
-    let mut sys = two_class(RegulationMode::Pabst, 7, 3, periodic, read_streamers(1, 16));
+    let mut sys =
+        two_class(RegulationMode::Pabst, 7, 3, periodic, read_streamers(1, 16, seed), ctx);
     sys.run_epochs(epochs);
-    crate::obs::report(&sys);
+    ctx.report(&sys);
     collect_series(&sys)
 }
 
@@ -212,19 +245,21 @@ pub struct Fig8Result {
 
 /// Runs Fig. 8: a 25%-share L3-resident streamer plus 50%- and 25%-share
 /// DDR streamers; the resident class's excess must split 2:1.
-pub fn fig8_run(epochs: usize) -> Fig8Result {
+pub fn fig8_run(epochs: usize, seed: u64, ctx: &mut RunCtx) -> Fig8Result {
     let resident: Vec<Box<dyn Workload>> = (0..8)
-        .map(|i| Box::new(StreamGen::reads(region_for(0, i, 4096), i as u64)) as Box<dyn Workload>)
+        .map(|i| {
+            Box::new(StreamGen::reads(region_for(0, i, 4096), seed + i as u64)) as Box<dyn Workload>
+        })
         .collect();
     let hi: Vec<Box<dyn Workload>> = (0..12)
         .map(|i| {
-            Box::new(StreamGen::reads(region_for(1, i, 1 << 20), 100 + i as u64))
+            Box::new(StreamGen::reads(region_for(1, i, 1 << 20), seed + 100 + i as u64))
                 as Box<dyn Workload>
         })
         .collect();
     let lo: Vec<Box<dyn Workload>> = (0..12)
         .map(|i| {
-            Box::new(StreamGen::reads(region_for(2, i, 1 << 20), 200 + i as u64))
+            Box::new(StreamGen::reads(region_for(2, i, 1 << 20), seed + 200 + i as u64))
                 as Box<dyn Workload>
         })
         .collect();
@@ -237,9 +272,9 @@ pub fn fig8_run(epochs: usize) -> Fig8Result {
         .l3_ways(10, 6)
         .build()
         .expect("fig8 configuration");
-    crate::obs::attach(&mut sys);
+    ctx.attach(&mut sys);
     sys.run_epochs(epochs);
-    crate::obs::report(&sys);
+    ctx.report(&sys);
     let from = epochs / 2;
     let m = sys.metrics();
     Fig8Result {
@@ -269,26 +304,32 @@ pub struct ServiceResult {
 
 /// Runs one Fig. 9 configuration. `aggressor` co-locates 7 streaming
 /// cores; `mode` selects the QoS configuration.
-pub fn fig9_run(mode: RegulationMode, aggressor: bool, epochs: usize) -> ServiceResult {
+pub fn fig9_run(
+    mode: RegulationMode,
+    aggressor: bool,
+    epochs: usize,
+    seed: u64,
+    ctx: &mut RunCtx,
+) -> ServiceResult {
     let server: Vec<Box<dyn Workload>> =
-        vec![Box::new(MemcachedGen::new(region_for(0, 0, 1 << 18), 7))];
+        vec![Box::new(MemcachedGen::new(region_for(0, 0, 1 << 18), seed + 7))];
     let mut b =
         SystemBuilder::new(SystemConfig::scaled_8core(), mode).class(20, server).l3_ways(0, 8);
     if aggressor {
         let streamers: Vec<Box<dyn Workload>> = (0..7)
             .map(|i| {
-                Box::new(StreamGen::reads(region_for(1, i, 1 << 20), 50 + i as u64))
+                Box::new(StreamGen::reads(region_for(1, i, 1 << 20), seed + 50 + i as u64))
                     as Box<dyn Workload>
             })
             .collect();
         b = b.class(1, streamers).l3_ways(8, 8);
     }
     let mut sys = b.build().expect("fig9 configuration");
-    crate::obs::attach(&mut sys);
+    ctx.attach(&mut sys);
     sys.run_epochs(WARMUP_EPOCHS);
     sys.mark_measurement();
     sys.run_epochs(epochs.max(20));
-    crate::obs::report(&sys);
+    ctx.report(&sys);
     let h = &mut sys.metrics_mut().service[0];
     ServiceResult {
         mean: h.mean().unwrap_or(0.0),
@@ -315,17 +356,17 @@ pub struct SpecCell {
 }
 
 /// Mean IPC of the isolated 16-core SPEC run (same 8-way cache slice).
-pub fn spec_isolated_ipc(which: SpecWorkload, epochs: usize) -> f64 {
+pub fn spec_isolated_ipc(which: SpecWorkload, epochs: usize, seed: u64, ctx: &mut RunCtx) -> f64 {
     let mut sys = SystemBuilder::new(SystemConfig::baseline_32core(), RegulationMode::None)
-        .class(32, spec_cores(which, 0, 16))
+        .class(32, spec_cores(which, 0, 16, seed))
         .l3_ways(0, 8)
         .build()
         .expect("isolated configuration");
-    crate::obs::attach(&mut sys);
+    ctx.attach(&mut sys);
     sys.run_epochs(WARMUP_EPOCHS);
     sys.mark_measurement();
     sys.run_epochs(epochs);
-    crate::obs::report(&sys);
+    ctx.report_labeled(&sys, "isolated");
     (0..16).map(|i| sys.ipc_since_mark(i)).sum::<f64>() / 16.0
 }
 
@@ -336,19 +377,21 @@ pub fn fig10_cell(
     mode: RegulationMode,
     iso_ipc: f64,
     epochs: usize,
+    seed: u64,
+    ctx: &mut RunCtx,
 ) -> SpecCell {
     let mut sys = SystemBuilder::new(SystemConfig::baseline_32core(), mode)
-        .class(32, spec_cores(which, 0, 16))
+        .class(32, spec_cores(which, 0, 16, seed))
         .l3_ways(0, 8)
-        .class(1, read_streamers(1, 16))
+        .class(1, read_streamers(1, 16, seed))
         .l3_ways(8, 8)
         .build()
         .expect("fig10 configuration");
-    crate::obs::attach(&mut sys);
+    ctx.attach(&mut sys);
     sys.run_epochs(WARMUP_EPOCHS);
     sys.mark_measurement();
     sys.run_epochs(epochs);
-    crate::obs::report(&sys);
+    ctx.report_labeled(&sys, mode.label());
     let ipc = (0..16).map(|i| sys.ipc_since_mark(i)).sum::<f64>() / 16.0;
     let window = (epochs as u64) * 20_000;
     SpecCell {
@@ -382,17 +425,17 @@ impl Fig11Cell {
 /// Runs one Fig. 11 workload: four 8-core classes of the same SPEC proxy
 /// at equal 25% shares, against an 8-core isolated run with DDR scaled
 /// down 4x.
-pub fn fig11_cell(which: SpecWorkload, epochs: usize) -> Fig11Cell {
+pub fn fig11_cell(which: SpecWorkload, epochs: usize, seed: u64, ctx: &mut RunCtx) -> Fig11Cell {
     let mut b = SystemBuilder::new(SystemConfig::baseline_32core(), RegulationMode::Pabst);
     for c in 0..4 {
-        b = b.class(1, spec_cores(which, c, 8)).l3_ways(c * 4, 4);
+        b = b.class(1, spec_cores(which, c, 8, seed)).l3_ways(c * 4, 4);
     }
     let mut sys = b.build().expect("fig11 configuration");
-    crate::obs::attach(&mut sys);
+    ctx.attach(&mut sys);
     sys.run_epochs(WARMUP_EPOCHS);
     sys.mark_measurement();
     sys.run_epochs(epochs);
-    crate::obs::report(&sys);
+    ctx.report_labeled(&sys, "consolidated");
     let pabst_ipc = (0..32).map(|i| sys.ipc_since_mark(i)).sum::<f64>() / 32.0;
 
     // Static baseline: 8 cores alone, DDR frequency / 4, same 4-way cache
@@ -402,15 +445,15 @@ pub fn fig11_cell(which: SpecWorkload, epochs: usize) -> Fig11Cell {
     cfg.mcs = 4;
     cfg.dram = cfg.dram.down_clocked(4);
     let mut base = SystemBuilder::new(cfg, RegulationMode::None)
-        .class(1, spec_cores(which, 0, 8))
+        .class(1, spec_cores(which, 0, 8, seed))
         .l3_ways(0, 4)
         .build()
         .expect("fig11 baseline");
-    crate::obs::attach(&mut base);
+    ctx.attach(&mut base);
     base.run_epochs(WARMUP_EPOCHS);
     base.mark_measurement();
     base.run_epochs(epochs);
-    crate::obs::report(&base);
+    ctx.report_labeled(&base, "static baseline");
     let static_ipc = (0..8).map(|i| base.ipc_since_mark(i)).sum::<f64>() / 8.0;
 
     Fig11Cell { pabst_ipc, static_ipc }
@@ -421,35 +464,40 @@ pub fn fig11_cell(which: SpecWorkload, epochs: usize) -> Fig11Cell {
 // ---------------------------------------------------------------------
 
 /// Runs the Fig. 5 workload with an explicit writeback accounting policy,
-/// returning (share0, share1). Used by the `ablate_wb` bench binary.
-pub fn ablate_writeback(policy: WbAccounting, epochs: usize) -> (f64, f64) {
+/// returning (share0, share1).
+pub fn ablate_writeback(
+    policy: WbAccounting,
+    epochs: usize,
+    seed: u64,
+    ctx: &mut RunCtx,
+) -> (f64, f64) {
     let mut cfg = SystemConfig::baseline_32core();
     cfg.wb_accounting = policy;
     let mut sys = SystemBuilder::new(cfg, RegulationMode::Pabst)
-        .class(7, write_streamers(0, 16))
-        .class(3, write_streamers(1, 16))
+        .class(7, write_streamers(0, 16, seed))
+        .class(3, write_streamers(1, 16, seed))
         .build()
         .expect("ablation configuration");
-    crate::obs::attach(&mut sys);
+    ctx.attach(&mut sys);
     sys.run_epochs(epochs);
-    crate::obs::report(&sys);
+    ctx.report(&sys);
     let from = epochs / 2;
     (sys.metrics().mean_share(0, from), sys.metrics().mean_share(1, from))
 }
 
 /// Runs Fig. 5 with an overridden pacer burst window, returning the
 /// allocation error (share accuracy vs 7:3).
-pub fn ablate_burst(burst: u64, epochs: usize) -> f64 {
+pub fn ablate_burst(burst: u64, epochs: usize, seed: u64, ctx: &mut RunCtx) -> f64 {
     let mut cfg = SystemConfig::baseline_32core();
     cfg.pacer_burst = burst;
     let mut sys = SystemBuilder::new(cfg, RegulationMode::Pabst)
-        .class(7, read_streamers(0, 16))
-        .class(3, read_streamers(1, 16))
+        .class(7, read_streamers(0, 16, seed))
+        .class(3, read_streamers(1, 16, seed))
         .build()
         .expect("ablation configuration");
-    crate::obs::attach(&mut sys);
+    ctx.attach(&mut sys);
     sys.run_epochs(epochs);
-    crate::obs::report(&sys);
+    ctx.report(&sys);
     let from = epochs / 2;
     let m = sys.metrics();
     allocation_error_pct(
@@ -460,17 +508,17 @@ pub fn ablate_burst(burst: u64, epochs: usize) -> f64 {
 
 /// Runs the chaser+stream mix with an overridden arbiter slack, returning
 /// the allocation error vs 3:1.
-pub fn ablate_slack(slack: u64, epochs: usize) -> f64 {
+pub fn ablate_slack(slack: u64, epochs: usize, seed: u64, ctx: &mut RunCtx) -> f64 {
     let mut cfg = SystemConfig::baseline_32core();
     cfg.arbiter_slack = slack;
     let mut sys = SystemBuilder::new(cfg, RegulationMode::Pabst)
-        .class(3, chasers(0, 16))
-        .class(1, read_streamers(1, 16))
+        .class(3, chasers(0, 16, seed))
+        .class(1, read_streamers(1, 16, seed))
         .build()
         .expect("ablation configuration");
-    crate::obs::attach(&mut sys);
+    ctx.attach(&mut sys);
     sys.run_epochs(epochs);
-    crate::obs::report(&sys);
+    ctx.report(&sys);
     let from = epochs / 2;
     let m = sys.metrics();
     allocation_error_pct(
@@ -482,17 +530,17 @@ pub fn ablate_slack(slack: u64, epochs: usize) -> f64 {
 /// Runs Fig. 5 with an overridden governor inertia, returning
 /// (allocation error pct, mean |ΔM|/M over the tail) — the stability
 /// ablation of DESIGN.md §6.
-pub fn ablate_inertia(inertia: u32, epochs: usize) -> (f64, f64) {
+pub fn ablate_inertia(inertia: u32, epochs: usize, seed: u64, ctx: &mut RunCtx) -> (f64, f64) {
     let mut cfg = SystemConfig::baseline_32core();
     cfg.monitor.inertia = inertia;
     let mut sys = SystemBuilder::new(cfg, RegulationMode::Pabst)
-        .class(7, read_streamers(0, 16))
-        .class(3, read_streamers(1, 16))
+        .class(7, read_streamers(0, 16, seed))
+        .class(3, read_streamers(1, 16, seed))
         .build()
         .expect("ablation configuration");
-    crate::obs::attach(&mut sys);
+    ctx.attach(&mut sys);
     sys.run_epochs(epochs);
-    crate::obs::report(&sys);
+    ctx.report(&sys);
     let from = epochs / 2;
     let m = sys.metrics();
     let err = allocation_error_pct(
@@ -513,28 +561,28 @@ pub fn ablate_inertia(inertia: u32, epochs: usize) -> (f64, f64) {
 /// granularity. With the global wired-OR SAT, the hot controller keeps
 /// the signal high and the governor throttles traffic destined for the
 /// three idle controllers too; the per-MC variant recovers them.
-pub fn skewed_traffic_utilization(per_mc: bool, epochs: usize) -> f64 {
+pub fn skewed_traffic_utilization(per_mc: bool, epochs: usize, seed: u64, ctx: &mut RunCtx) -> f64 {
     use pabst_workloads::SkewedStreamGen;
     let mut cfg = SystemConfig::baseline_32core();
     cfg.per_mc_regulation = per_mc;
     let skewed: Vec<Box<dyn Workload>> = (0..16)
         .map(|i| {
-            Box::new(SkewedStreamGen::new(region_for(0, i, 1 << 20), 0, cfg.mcs, i as u64))
+            Box::new(SkewedStreamGen::new(region_for(0, i, 1 << 20), 0, cfg.mcs, seed + i as u64))
                 as Box<dyn Workload>
         })
         .collect();
     let mut sys = SystemBuilder::new(cfg, RegulationMode::Pabst)
         .class(1, skewed)
-        .class(1, read_streamers(1, 16))
+        .class(1, read_streamers(1, 16, seed))
         .build()
         .expect("skewed configuration");
-    crate::obs::attach(&mut sys);
+    ctx.attach(&mut sys);
     sys.run_epochs(epochs);
-    crate::obs::report(&sys);
+    ctx.report(&sys);
     sys.metrics().total_bytes_per_cycle(epochs / 2)
 }
 
-/// All SPEC workloads, re-exported for binaries.
+/// All SPEC workloads, re-exported for the registry and binaries.
 pub fn all_spec() -> [SpecWorkload; 8] {
     ALL_SPEC
 }

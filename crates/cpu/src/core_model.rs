@@ -126,6 +126,15 @@ pub struct OooCore {
     load_pos: BTreeMap<LoadId, u64>,
     /// Entry seqs that still need issue-stage work.
     attention: Vec<u64>,
+    /// Recycled backing storage for the issue stage's kept-entry list, so
+    /// the per-cycle filter does not allocate (the simulator spends most
+    /// of its time here).
+    attention_scratch: Vec<u64>,
+    /// Unissued stores currently on the attention list. Stores are the
+    /// only entries that can issue while `outstanding` is at its bound, so
+    /// this lets the issue stage stop scanning the moment neither loads
+    /// nor stores can make progress.
+    attention_stores: usize,
     outstanding: usize,
     stats: CoreStats,
     markers: Vec<(u64, Cycle)>,
@@ -148,6 +157,8 @@ impl OooCore {
             rob_insts: 0,
             load_pos: BTreeMap::new(),
             attention: Vec::new(),
+            attention_scratch: Vec::new(),
+            attention_stores: 0,
             outstanding: 0,
             stats: CoreStats::default(),
             markers: Vec::new(),
@@ -180,6 +191,12 @@ impl OooCore {
     /// Drains recorded `(marker_tag, retire_cycle)` pairs.
     pub fn take_markers(&mut self) -> Vec<(u64, Cycle)> {
         std::mem::take(&mut self.markers)
+    }
+
+    /// True when markers are waiting to be drained; lets the caller skip
+    /// [`OooCore::take_markers`] on the (overwhelmingly common) empty case.
+    pub fn has_markers(&self) -> bool {
+        !self.markers.is_empty()
     }
 
     /// Loads currently outstanding in the memory system.
@@ -246,9 +263,22 @@ impl OooCore {
             return;
         }
         let mut issued_this_cycle = 0u32;
-        let mut kept = Vec::with_capacity(self.attention.len());
+        let mut kept = std::mem::take(&mut self.attention_scratch);
+        kept.clear();
         let attention = std::mem::take(&mut self.attention);
-        for seq in attention {
+        for (pos, &seq) in attention.iter().enumerate() {
+            if issued_this_cycle >= 2
+                || (self.outstanding >= self.cfg.max_outstanding && self.attention_stores == 0)
+            {
+                // No further entry can issue this cycle: the per-cycle cap
+                // is exhausted, or loads are MLP-bound and no store is
+                // pending anywhere on the list. Nothing in the tail can
+                // change observable state (a resolvable WaitDep is
+                // indistinguishable from Ready until it can issue), so
+                // keep it wholesale.
+                kept.extend_from_slice(&attention[pos..]);
+                break;
+            }
             let Some(idx) = seq.checked_sub(self.head_seq) else { continue };
             let Some(entry) = self.rob.get_mut(idx as usize) else { continue };
             match entry {
@@ -315,6 +345,7 @@ impl OooCore {
                                 // the hierarchy's MSHRs bound the fill.
                                 *issued = true;
                                 self.stats.stores += 1;
+                                self.attention_stores -= 1;
                                 issued_this_cycle += 1;
                             }
                             Access::Stall => kept.push(seq),
@@ -327,6 +358,10 @@ impl OooCore {
             }
         }
         self.attention = kept;
+        // Recycle the drained list's capacity for the next cycle's `kept`.
+        let mut drained = attention;
+        drained.clear();
+        self.attention_scratch = drained;
     }
 
     fn dispatch(&mut self, _now: Cycle, workload: &mut dyn Workload) {
@@ -368,6 +403,7 @@ impl OooCore {
                     self.rob.push_back(Entry::Store { line: addr.line(), issued: false });
                     self.rob_insts += 1;
                     self.attention.push(seq);
+                    self.attention_stores += 1;
                     budget -= 1;
                 }
                 Op::Marker(tag) => {

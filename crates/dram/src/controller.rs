@@ -189,6 +189,17 @@ pub struct McSnapshot {
     pub virtual_clocks: Vec<u64>,
 }
 
+/// Per-bank scratch used by one back-end selection pass: the aged entry
+/// (starvation guard), else the priority winner and the first-ready (row
+/// hit) winner. Stored on the controller so the per-cycle pass reuses one
+/// allocation.
+#[derive(Debug, Clone, Copy, Default)]
+struct BankScratch {
+    aged: Option<(usize, Cycle)>,
+    prio: Option<(usize, (VirtualDeadline, u64))>,
+    fr: Option<(usize, (VirtualDeadline, u64))>,
+}
+
 /// A completed column access whose data burst awaits the bus.
 #[derive(Debug, Clone, Copy)]
 struct PendingBurst {
@@ -230,6 +241,9 @@ pub struct MemController {
     age_cap: Cycle,
     /// Max consecutive row-hit bypasses of the priority-order winner.
     max_hit_streak: u32,
+    /// Reused per-bank scratch for [`MemController::issue_one`]'s single
+    /// pass over the front-end queue (avoids a per-cycle allocation).
+    issue_scratch: Vec<BankScratch>,
 }
 
 impl MemController {
@@ -270,6 +284,7 @@ impl MemController {
             // low-share queueing delay.
             age_cap: 10_000,
             max_hit_streak: 3,
+            issue_scratch: Vec::new(),
             cfg,
             mode,
         }
@@ -302,12 +317,26 @@ impl MemController {
     /// Advances the controller one cycle, returning accesses whose data
     /// burst completed this cycle.
     pub fn step(&mut self, now: Cycle) -> Vec<Completion> {
+        let mut out = Vec::new();
+        self.step_into(now, &mut out);
+        out
+    }
+
+    /// Advances the controller one cycle, appending accesses whose data
+    /// burst completed this cycle to `out`. The allocation-free form of
+    /// [`MemController::step`] for callers that step every cycle.
+    pub fn step_into(&mut self, now: Cycle, out: &mut Vec<Completion>) {
         self.satmon.sample(self.read_q.len());
+        if self.pending() == 0 {
+            // Idle fast path: no queued or in-flight work anywhere, so the
+            // accept/issue/bus/collect stages below are all no-ops.
+            return;
+        }
         self.accept_from_ingress(now);
         self.update_drain_mode();
         self.back_end_issue(now);
         self.bus_schedule(now);
-        self.collect_completions(now)
+        self.collect_completions_into(now, out);
     }
 
     /// Computes this controller's SAT bit for the epoch that just ended and
@@ -443,6 +472,10 @@ impl MemController {
     /// Selects and issues one request from the chosen front-end queue.
     /// Returns whether anything issued.
     fn issue_one(&mut self, now: Cycle, from_writes: bool) -> bool {
+        let q = if from_writes { &self.write_q } else { &self.read_q };
+        if q.is_empty() {
+            return false;
+        }
         let cfg = self.cfg;
         let banks = &self.banks;
         let mode = self.mode;
@@ -453,18 +486,14 @@ impl MemController {
             ArbiterMode::Edf | ArbiterMode::Fqm => (e.deadline, e.seq),
             ArbiterMode::Fcfs => (VirtualDeadline(0), e.seq),
         };
-        let q = if from_writes { &self.write_q } else { &self.read_q };
 
         // Per ready bank: the aged entry (starvation guard), else the
         // priority winner and the first-ready (row hit) winner — all
-        // gathered in a single pass over the queue with per-bank scratch.
-        #[derive(Clone, Copy)]
-        struct BankScratch {
-            aged: Option<(usize, Cycle)>,
-            prio: Option<(usize, (VirtualDeadline, u64))>,
-            fr: Option<(usize, (VirtualDeadline, u64))>,
-        }
-        let mut scratch = vec![BankScratch { aged: None, prio: None, fr: None }; banks.len()];
+        // gathered in a single pass over the queue with per-bank scratch
+        // (persistent across cycles, see `issue_scratch`).
+        let scratch = &mut self.issue_scratch;
+        scratch.clear();
+        scratch.resize(banks.len(), BankScratch::default());
         for (i, e) in q.iter().enumerate() {
             let b = bank_of(e.req.line);
             let bank = &banks[b];
@@ -497,7 +526,7 @@ impl MemController {
                 *win = Some(n);
             }
         };
-        for (b, sc) in scratch.into_iter().enumerate() {
+        for (b, sc) in scratch.iter().copied().enumerate() {
             if let Some((i, _)) = sc.aged {
                 // Aged entries outrank everything (starvation backstop).
                 consider(
@@ -616,8 +645,7 @@ impl MemController {
         self.inflight.push((p.e, data_done));
     }
 
-    fn collect_completions(&mut self, now: Cycle) -> Vec<Completion> {
-        let mut done = Vec::new();
+    fn collect_completions_into(&mut self, now: Cycle, done: &mut Vec<Completion>) {
         let mut i = 0;
         while i < self.inflight.len() {
             if self.inflight[i].1 <= now {
@@ -640,7 +668,6 @@ impl MemController {
                 i += 1;
             }
         }
-        done
     }
 }
 

@@ -391,6 +391,55 @@ impl<W: io::Write> std::fmt::Debug for JsonlSink<W> {
     }
 }
 
+/// A sink accumulating JSONL text in a shared in-memory buffer.
+///
+/// The parallel sweep harness runs many systems concurrently and must
+/// merge their traces in submission order, byte-identical to a serial
+/// run; each run therefore records into its own `MemSink` and the
+/// harness concatenates the buffers afterwards. Clones share one buffer,
+/// so the caller keeps a handle while the system owns the attached sink.
+#[derive(Debug, Clone, Default)]
+pub struct MemSink {
+    buf: std::sync::Arc<std::sync::Mutex<String>>,
+}
+
+impl MemSink {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The accumulated JSONL text (one record per line).
+    ///
+    /// A poisoned lock cannot corrupt the plain `String` inside, so the
+    /// buffer is recovered rather than propagating the panic.
+    pub fn contents(&self) -> String {
+        match self.buf.lock() {
+            Ok(g) => g.clone(),
+            Err(p) => p.into_inner().clone(),
+        }
+    }
+
+    /// Takes the accumulated text, leaving the buffer empty.
+    pub fn take(&self) -> String {
+        match self.buf.lock() {
+            Ok(mut g) => std::mem::take(&mut *g),
+            Err(p) => std::mem::take(&mut *p.into_inner()),
+        }
+    }
+}
+
+impl TraceSink for MemSink {
+    fn record(&mut self, rec: &EpochRecord) {
+        let mut g = match self.buf.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+        g.push_str(&rec.to_json());
+        g.push('\n');
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -496,6 +545,20 @@ mod tests {
         assert_eq!(lines.len(), 2);
         assert_eq!(parse_line(lines[0]), Ok(sample()));
         assert_eq!(parse_line(lines[1]), Ok(EpochRecord::default()));
+    }
+
+    #[test]
+    fn mem_sink_clones_share_one_buffer() {
+        let handle = MemSink::new();
+        let mut attached = handle.clone();
+        attached.record(&sample());
+        attached.record(&EpochRecord::default());
+        let text = handle.contents();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(parse_line(lines[0]), Ok(sample()));
+        assert_eq!(handle.take(), text, "take drains what contents saw");
+        assert!(handle.contents().is_empty(), "take leaves the buffer empty");
     }
 
     #[test]

@@ -31,6 +31,12 @@ pub struct SystemReport {
     pub bus_utilization: f64,
     /// Measurement window length in cycles.
     pub window_cycles: u64,
+    /// Experiment name the run belonged to, when driven by a sweep.
+    pub experiment: Option<String>,
+    /// Grid-cell (configuration) name within the experiment.
+    pub config: Option<String>,
+    /// Base RNG seed the run's workload generators derived from.
+    pub seed: Option<u64>,
 }
 
 impl SystemReport {
@@ -65,18 +71,48 @@ impl SystemReport {
                 cores: tiles.len(),
             });
         }
-        Self { classes, bus_utilization: sys.bus_utilization_since_mark(), window_cycles: window }
+        Self {
+            classes,
+            bus_utilization: sys.bus_utilization_since_mark(),
+            window_cycles: window,
+            experiment: None,
+            config: None,
+            seed: None,
+        }
+    }
+
+    /// Tags the report with the sweep context that produced it, so a
+    /// merged multi-run report identifies which experiment, grid cell,
+    /// and generator seed each line came from.
+    #[must_use]
+    pub fn with_context(mut self, experiment: &str, config: &str, seed: u64) -> Self {
+        self.experiment = Some(experiment.to_string());
+        self.config = Some(config.to_string());
+        self.seed = Some(seed);
+        self
     }
 
     /// Serializes the report as one JSON object (hand-rolled; the
     /// workspace has a zero-dependency rule). Non-finite floats become
-    /// `null` so the output is always valid JSON.
+    /// `null` so the output is always valid JSON. Context fields set via
+    /// [`SystemReport::with_context`] lead the object; untagged reports
+    /// serialize exactly as before.
     pub fn to_json(&self) -> String {
         use std::fmt::Write as _;
         let mut s = String::with_capacity(256);
+        s.push('{');
+        if let Some(e) = &self.experiment {
+            let _ = write!(s, "\"experiment\":\"{}\",", json_escape(e));
+        }
+        if let Some(c) = &self.config {
+            let _ = write!(s, "\"config\":\"{}\",", json_escape(c));
+        }
+        if let Some(seed) = self.seed {
+            let _ = write!(s, "\"seed\":{seed},");
+        }
         let _ = write!(
             s,
-            "{{\"window_cycles\":{},\"bus_utilization\":{},\"classes\":[",
+            "\"window_cycles\":{},\"bus_utilization\":{},\"classes\":[",
             self.window_cycles,
             json_f64(self.bus_utilization)
         );
@@ -124,6 +160,13 @@ impl SystemReport {
         }
         out
     }
+}
+
+/// Escapes the two characters JSON strings cannot carry raw. Experiment
+/// and config names are plain ASCII labels, so this minimal escape keeps
+/// the output valid without a full serializer.
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
 /// A float as a JSON number, or `null` when not finite (JSON has no
@@ -215,6 +258,32 @@ mod tests {
         }
         assert_eq!(j.matches("\"class\":").count(), 2, "one object per class");
         assert!(!j.contains("NaN") && !j.contains("inf"), "non-finite floats must be null");
+    }
+
+    #[test]
+    fn context_fields_lead_the_json_object() {
+        let mut sys = SystemBuilder::new(SystemConfig::small_test(), RegulationMode::Pabst)
+            .class(1, vec![Box::new(Idle) as Box<dyn Workload>])
+            .build()
+            .unwrap();
+        sys.run_epochs(1);
+        sys.mark_measurement();
+        sys.run_epochs(1);
+        let bare = SystemReport::collect(&sys);
+        assert!(!bare.to_json().contains("\"experiment\""), "untagged reports stay unchanged");
+        let tagged = bare.with_context("fig05", "7:3 read streams", 42);
+        let j = tagged.to_json();
+        assert!(
+            j.starts_with("{\"experiment\":\"fig05\",\"config\":\"7:3 read streams\",\"seed\":42,"),
+            "{j}"
+        );
+        assert!(j.contains("\"window_cycles\":"), "{j}");
+    }
+
+    #[test]
+    fn json_escape_handles_quotes_and_backslashes() {
+        assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(json_escape("plain"), "plain");
     }
 
     #[test]

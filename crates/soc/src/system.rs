@@ -82,6 +82,10 @@ pub struct System {
     mc_out: Vec<Vec<VecDeque<MemReq>>>,
     /// Round-robin cursor per MC over the class queues.
     mc_out_rr: Vec<usize>,
+    /// Total requests staged in `mc_out[k]` across all class queues; lets
+    /// the per-cycle drain skip controllers with nothing staged instead of
+    /// scanning every class queue.
+    mc_out_pending: Vec<usize>,
     mcs: Vec<MemController>,
     /// Response network back to the tiles.
     resp_net: DelayQueue<TileResp>,
@@ -102,6 +106,9 @@ pub struct System {
     /// Cumulative per-tile throttle counts at the previous boundary, for
     /// per-epoch deltas in the trace record.
     prev_throttles: Vec<u64>,
+    /// Recycled buffer for each cycle's memory-controller completions, so
+    /// the hot loop does not allocate per cycle.
+    completions_scratch: Vec<Completion>,
 }
 
 impl System {
@@ -228,20 +235,26 @@ impl System {
         }
     }
 
-    /// Runs `n` epochs (each `epoch_cycles` long).
+    /// Runs `n` epochs (each `epoch_cycles` long). From a mid-epoch start
+    /// the first epoch is the remainder of the current one — epochs are
+    /// wall-clock aligned, exactly as [`System::run_cycles`] sees them.
     pub fn run_epochs(&mut self, n: usize) {
-        for _ in 0..n {
-            for _ in 0..self.cfg.epoch_cycles {
-                self.step();
-            }
-            self.on_epoch_boundary();
-        }
+        let e = self.cfg.epoch_cycles;
+        self.advance(((self.now / e) + n as u64) * e);
     }
 
     /// Runs an exact number of cycles (epoch boundaries still fire on
     /// schedule).
     pub fn run_cycles(&mut self, n: Cycle) {
-        for _ in 0..n {
+        self.advance(self.now + n);
+    }
+
+    /// The single stepping loop both public entry points share: advances
+    /// to cycle `until`, firing [`System::on_epoch_boundary`] at every
+    /// multiple of `epoch_cycles` — one code path, so the two entry points
+    /// cannot drift on when the governor heartbeat runs.
+    fn advance(&mut self, until: Cycle) {
+        while self.now < until {
             self.step();
             if self.now.is_multiple_of(self.cfg.epoch_cycles) {
                 self.on_epoch_boundary();
@@ -253,18 +266,25 @@ impl System {
     fn step(&mut self) {
         let now = self.now;
 
-        // 1. Memory controllers: advance DRAM, collect completions.
-        let mut completions: Vec<Completion> = Vec::new();
+        // 1. Memory controllers: advance DRAM, collect completions into
+        //    the recycled scratch buffer (no per-cycle allocation).
+        let mut completions = std::mem::take(&mut self.completions_scratch);
+        completions.clear();
         for mc in &mut self.mcs {
-            completions.extend(mc.step(now));
+            mc.step_into(now, &mut completions);
         }
-        for c in completions {
+        for c in completions.drain(..) {
             self.on_mc_completion(c);
         }
+        self.completions_scratch = completions;
 
         // 2. Drain per-MC staging into MC ingress, round-robin across
-        //    class queues (per-source-fair network arbitration).
+        //    class queues (per-source-fair network arbitration). The
+        //    pending counter skips controllers with nothing staged.
         for (k, queues) in self.mc_out.iter_mut().enumerate() {
+            if self.mc_out_pending[k] == 0 {
+                continue;
+            }
             let n = queues.len();
             'mc: loop {
                 let mut progressed = false;
@@ -275,6 +295,7 @@ impl System {
                             break 'mc; // ingress full
                         }
                         queues[c].pop_front();
+                        self.mc_out_pending[k] -= 1;
                         self.mc_out_rr[k] = (c + 1) % n;
                         progressed = true;
                         break;
@@ -290,21 +311,25 @@ impl System {
         //    when the miss path is backed up).
         self.l3_service(now);
 
-        // 4. Responses reach tiles.
-        while let Some(resp) = self.resp_net.pop_ready(now) {
-            self.on_tile_response(resp);
+        // 4. Responses reach tiles (skip the pop loop when provably empty).
+        if !self.resp_net.is_empty() {
+            while let Some(resp) = self.resp_net.pop_ready(now) {
+                self.on_tile_response(resp);
+            }
         }
 
         // 5. Tiles: inject paced L2 misses + L2 writebacks, then step cores.
         self.tile_injection(now);
         for (i, tile) in self.tiles.iter_mut().enumerate() {
             tile.step_core(now);
-            for (tag, at) in tile.core.take_markers() {
-                let _ = tag;
-                if let Some(prev) = self.metrics.last_marker[i] {
-                    self.metrics.service[i].record(at - prev);
+            if tile.core.has_markers() {
+                for (tag, at) in tile.core.take_markers() {
+                    let _ = tag;
+                    if let Some(prev) = self.metrics.last_marker[i] {
+                        self.metrics.service[i].record(at - prev);
+                    }
+                    self.metrics.last_marker[i] = Some(at);
                 }
-                self.metrics.last_marker[i] = Some(at);
             }
         }
 
@@ -380,6 +405,7 @@ impl System {
             is_write: false,
             token: 0,
         });
+        self.mc_out_pending[mc] += 1;
     }
 
     /// Routes a memory-controller completion: reads fill the L3 and wake
@@ -422,6 +448,7 @@ impl System {
         };
         let mc = line.interleave(self.cfg.mcs);
         self.mc_out[mc][class.index()].push_back(MemReq { line, class, is_write: true, token: 0 });
+        self.mc_out_pending[mc] += 1;
     }
 
     /// A response arrives at a tile: fill caches, wake the core, settle
@@ -450,6 +477,11 @@ impl System {
         let n = self.tiles.len();
         for off in 0..n {
             let i = (self.inject_rr + off) % n;
+            // Idle tiles (nothing queued for injection) are skipped before
+            // the pacer is consulted.
+            if !self.tiles[i].mem.wants_inject() {
+                continue;
+            }
             // One injection per tile per cycle.
             if let Some(req) = self.tiles[i].mem.try_inject(now) {
                 let class = self.tiles[i].mem.class;
@@ -583,6 +615,18 @@ impl System {
                 mc.pending() as u64,
             );
         }
+        for (k, queues) in self.mc_out.iter().enumerate() {
+            // The staged-request counter that gates the per-cycle drain
+            // must agree with the actual class-queue contents.
+            let staged: usize = queues.iter().map(VecDeque::len).sum();
+            san.check_conserved(
+                "mc_out staged",
+                k,
+                self.mc_out_pending[k] as u64,
+                staged as u64,
+                0,
+            );
+        }
         let sat_epochs = self.metrics.sat_series.iter().filter(|&&s| s).count() as u64;
         san.check_fraction("sat duty", 0, sat_epochs, self.metrics.sat_series.len() as u64);
     }
@@ -704,6 +748,7 @@ impl SystemBuilder {
                 .map(|_| (0..classes).map(|_| VecDeque::new()).collect())
                 .collect(),
             mc_out_rr: vec![0; self.cfg.mcs],
+            mc_out_pending: vec![0; self.cfg.mcs],
             mcs,
             resp_net: DelayQueue::new(self.cfg.resp_lat),
             monitors: (0..if self.cfg.per_mc_regulation { self.cfg.mcs } else { 1 })
@@ -720,6 +765,7 @@ impl SystemBuilder {
             sanitizer: Sanitizer::new(),
             trace_sinks: Vec::new(),
             prev_throttles: vec![0; cores],
+            completions_scratch: Vec::new(),
             cfg: self.cfg,
             mode: self.mode,
         })

@@ -154,6 +154,12 @@ impl TileMem {
         }
     }
 
+    /// True when at least one miss is queued for injection; lets the SoC
+    /// loop skip idle tiles without consulting the pacer.
+    pub fn wants_inject(&self) -> bool {
+        !self.inject_q.is_empty()
+    }
+
     /// Attempts to release the oldest pending injection, gated by the
     /// responsible pacer. Returns the request when the network may take it
     /// this cycle.

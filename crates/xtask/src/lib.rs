@@ -20,6 +20,9 @@
 //! * `unwrap` — no `.unwrap()`/`.expect()` in non-test code of `pabst-core`
 //!   and `pabst-simkit`; mechanism code must surface errors, not abort.
 //! * `missing-docs` — every `pub fn` in `pabst-core` carries a doc comment.
+//! * `thread` — no `std::thread` outside `bench::harness`; the sweep
+//!   executor is the single place parallelism is allowed, because its
+//!   submission-order merge is what keeps parallel runs byte-identical.
 //!
 //! Suppression: `// simlint: allow(<rule>): <justification>` on the same
 //! line silences that line; on its own line it silences the item that
@@ -41,12 +44,14 @@ pub const RULE_FLOAT_MATH: &str = "float-math";
 pub const RULE_UNWRAP: &str = "unwrap";
 /// `pub fn` without a doc comment in `pabst-core`.
 pub const RULE_MISSING_DOCS: &str = "missing-docs";
+/// `std::thread` outside the sweep executor.
+pub const RULE_THREAD: &str = "thread";
 /// Malformed suppression comments (missing justification, unknown rule).
 pub const RULE_SUPPRESSION: &str = "suppression";
 
 /// All real (suppressible) rule names.
-pub const ALL_RULES: [&str; 5] =
-    [RULE_HASH_MAP, RULE_NONDET, RULE_FLOAT_MATH, RULE_UNWRAP, RULE_MISSING_DOCS];
+pub const ALL_RULES: [&str; 6] =
+    [RULE_HASH_MAP, RULE_NONDET, RULE_FLOAT_MATH, RULE_UNWRAP, RULE_MISSING_DOCS, RULE_THREAD];
 
 /// Crates whose simulation state must iterate deterministically (rule L1).
 const SIM_CRATES: [&str; 6] = ["simkit", "core", "cache", "cpu", "dram", "soc"];
@@ -60,6 +65,9 @@ const FLOAT_FREE_FILES: [&str; 3] = ["pacer.rs", "arbiter.rs", "qos.rs"];
 const FLOAT_FREE_SIMKIT_FILES: [&str; 1] = ["trace.rs"];
 /// Crates where `.unwrap()`/`.expect()` are banned outside tests (rule L4).
 const PANIC_FREE_CRATES: [&str; 2] = ["core", "simkit"];
+/// The one file allowed to touch `std::thread` (rule L6): the sweep
+/// executor whose submission-order merge makes parallelism deterministic.
+const THREAD_EXEMPT_FILES: [&str; 1] = ["crates/bench/src/harness.rs"];
 
 /// A single lint violation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -531,6 +539,7 @@ pub fn lint_source(spec: &FileSpec<'_>, source: &str) -> Vec<Diagnostic> {
         && spec.rel_path.contains("src");
     let panic_free = PANIC_FREE_CRATES.contains(&spec.crate_name);
     let wants_docs = spec.crate_name == "core";
+    let thread_applies = !THREAD_EXEMPT_FILES.contains(&spec.rel_path);
 
     // One diagnostic per (line, rule): a line with two banned tokens is one
     // problem to fix, not two.
@@ -644,6 +653,34 @@ pub fn lint_source(spec: &FileSpec<'_>, source: &str) -> Vec<Diagnostic> {
                         ),
                     );
                 }
+            }
+        }
+
+        // L6: parallelism is confined to the sweep executor. Anywhere
+        // else, a spawned thread can reorder observable output (or worse,
+        // simulation state) and silently break the byte-identical-runs
+        // guarantee the figures rest on. Applies to test code too — a
+        // racy test is as unreproducible as a racy model.
+        if thread_applies {
+            let text: String = line.iter().collect();
+            let thread_token = toks.iter().any(|(col, w)| {
+                w == "thread"
+                    && line[col + w.len()..]
+                        .iter()
+                        .collect::<String>()
+                        .trim_start()
+                        .starts_with("::")
+            });
+            if text.contains("std::thread") || thread_token {
+                push(
+                    &mut diags,
+                    ln,
+                    RULE_THREAD,
+                    "std::thread outside bench::harness; route parallelism \
+                     through the sweep executor (harness::run_indexed), whose \
+                     submission-order merge keeps output deterministic"
+                        .into(),
+                );
             }
         }
 
@@ -921,6 +958,32 @@ mod tests {
         let src = "let x = 1; // simlint: allow(made-up): because\n";
         let diags = lint_source(&spec("core", "crates/core/src/x.rs"), src);
         assert_eq!(rules(&diags), [RULE_SUPPRESSION]);
+    }
+
+    #[test]
+    fn thread_banned_everywhere_but_the_harness() {
+        let src = "use std::thread;\nfn f() { thread::spawn(|| {}); }\n";
+        let diags = lint_source(&spec("soc", "crates/soc/src/x.rs"), src);
+        assert_eq!(rules(&diags), [RULE_THREAD, RULE_THREAD]);
+        // The sweep executor itself is the one sanctioned user.
+        assert!(lint_source(&spec("bench", "crates/bench/src/harness.rs"), src).is_empty());
+        // The rest of the bench crate still may not spawn.
+        let diags = lint_source(&spec("bench", "crates/bench/src/bin/sim_throughput.rs"), src);
+        assert_eq!(rules(&diags), [RULE_THREAD, RULE_THREAD]);
+    }
+
+    #[test]
+    fn thread_rule_ignores_lookalike_identifiers() {
+        let src = "let thread_count = 4;\nlet t = my_thread;\nfn thread() {}\n";
+        assert!(lint_source(&spec("soc", "crates/soc/src/x.rs"), src).is_empty());
+    }
+
+    #[test]
+    fn thread_rule_applies_to_test_code() {
+        let fixture =
+            FileSpec { crate_name: "soc", rel_path: "crates/soc/tests/t.rs", is_test: true };
+        let diags = lint_source(&fixture, "fn f() { std::thread::sleep(d); }\n");
+        assert_eq!(rules(&diags), [RULE_THREAD]);
     }
 
     #[test]

@@ -104,6 +104,27 @@ fn missing_docs_fixture_flags_bare_pub_fns() {
 }
 
 #[test]
+fn thread_fixture_flags_spawns_outside_the_harness() {
+    let diags =
+        lint_fixture("soc", "crates/soc/src/fixture.rs", include_str!("fixtures/thread_use.rs"));
+    assert!(diags.iter().all(|d| d.rule == xtask::RULE_THREAD), "{diags:?}");
+    // `use std::thread`, `thread::spawn`, `std::thread::scope`; the
+    // justified allow silences `sanctioned()` and plain identifiers
+    // containing "thread" never match.
+    assert_eq!(lines_for(&diags, xtask::RULE_THREAD), vec![3, 6, 11]);
+}
+
+#[test]
+fn thread_fixture_is_clean_in_the_harness_file() {
+    let diags = lint_fixture(
+        "bench",
+        "crates/bench/src/harness.rs",
+        include_str!("fixtures/thread_use.rs"),
+    );
+    assert!(diags.is_empty(), "the sweep executor may use std::thread: {diags:?}");
+}
+
+#[test]
 fn suppressed_fixture_is_fully_clean() {
     let diags =
         lint_fixture("core", "crates/core/src/pacer.rs", include_str!("fixtures/suppressed.rs"));

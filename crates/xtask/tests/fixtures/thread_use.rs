@@ -1,0 +1,25 @@
+//! Fixture: std::thread usage outside the sweep executor (rule L6).
+
+use std::thread;
+
+pub fn racy_fanout() {
+    let h = thread::spawn(|| 1 + 1);
+    let _ = h.join();
+}
+
+pub fn scoped(xs: &mut [u64]) {
+    std::thread::scope(|s| {
+        s.spawn(|| xs[0] += 1);
+    });
+}
+
+// A suppression with justification silences the item that follows.
+// simlint: allow(thread): fixture demonstrating a sanctioned escape hatch
+pub fn sanctioned() {
+    std::thread::yield_now();
+}
+
+pub fn lookalikes_stay_clean() {
+    let thread_count = 4;
+    let _ = thread_count;
+}
