@@ -1,0 +1,5 @@
+//! Resilience degradation curve: fault rate vs fairness/throughput.
+
+fn main() {
+    pabst_bench::harness::drive(&["resilience"]);
+}

@@ -24,6 +24,15 @@
 //! only stdout and the `--trace`/`--report-json` files are covered by
 //! the byte-identical guarantee.
 //!
+//! Cells are additionally **failure-isolated**: each runs under
+//! [`std::panic::catch_unwind`], so one panicking cell (a watchdog abort,
+//! a scenario bug) becomes a [`CellFailure`] record in the merged output
+//! — tagged with experiment/config/seed for one-command repro — instead
+//! of killing the whole sweep. Failure records occupy the failed cell's
+//! submission-order slot, so the merged report stays deterministic at
+//! any `--jobs` value. [`run_cli`] stops after the first experiment with
+//! failures unless `--keep-going` is set, and exits non-zero either way.
+//!
 //! This module is the only place in the workspace allowed to touch
 //! `std::thread` (the `thread` simlint rule enforces it).
 
@@ -272,34 +281,140 @@ where
         .collect()
 }
 
+/// One grid cell that panicked instead of producing a result.
+#[derive(Debug, Clone)]
+pub struct CellFailure {
+    /// The cell that failed (experiment/config/index/seed identify it for
+    /// a one-command repro).
+    pub params: Params,
+    /// The panic payload, stringified (`<non-string panic payload>` when
+    /// the payload was neither `String` nor `&str`).
+    pub panic: String,
+}
+
+impl CellFailure {
+    /// The failure's merged-report line: same leading context keys as a
+    /// success report, plus `"failed":true` and the panic text, so report
+    /// consumers can split successes from failures on one key.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"experiment\":\"{}\",\"config\":\"{}\",\"seed\":{},\"failed\":true,\
+             \"index\":{},\"panic\":\"{}\"}}",
+            escape_json(self.params.experiment),
+            escape_json(&self.params.config),
+            self.params.seed,
+            self.params.index,
+            escape_json(&self.panic)
+        )
+    }
+
+    /// The one-command repro for this cell.
+    pub fn repro(&self, bin: &str) -> String {
+        format!(
+            "cargo run --release -p pabst-bench --bin {bin} -- --filter {} --jobs 1",
+            self.params.experiment
+        )
+    }
+}
+
+/// Stringifies a `catch_unwind` payload.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars) for
+/// failure records; panic messages may contain anything.
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 /// The merged, submission-ordered output of one experiment sweep.
 #[derive(Debug, Clone)]
 pub struct SweepOutput {
-    /// The experiment's rendered stdout.
+    /// The experiment's rendered stdout (with one trailing `FAILED` line
+    /// per failed cell).
     pub rendered: String,
     /// Concatenated JSONL epoch records (empty unless tracing).
     pub trace: String,
-    /// Concatenated report JSON lines, `\n`-terminated.
+    /// Concatenated report JSON lines, `\n`-terminated; failed cells
+    /// contribute a [`CellFailure::to_json`] line in their slot.
     pub reports: String,
+    /// Cells that panicked, in submission order.
+    pub failures: Vec<CellFailure>,
 }
 
 /// Expands an experiment's grid, runs every cell (in parallel when
-/// `jobs > 1`), and merges rendered output, trace, and reports in
-/// submission order.
+/// `jobs > 1`) under per-cell panic isolation, and merges rendered
+/// output, trace, and reports in submission order.
+///
+/// A panicking cell yields a [`CellFailure`] in its submission-order
+/// slot: its failure record lands in `reports`, a deterministic `FAILED`
+/// line is appended to `rendered`, and the remaining cells still run.
+/// The renderer sees only the successful cells (and is itself isolated —
+/// a renderer that cannot cope with the survivors degrades to an error
+/// line, not a dead sweep).
 pub fn run_sweep(exp: &Experiment, quick: bool, jobs: usize, tracing: bool) -> SweepOutput {
+    use std::panic::{catch_unwind, AssertUnwindSafe};
     let cells = (exp.grid)(quick);
-    let results = run_indexed(jobs, &cells, |_, p| (exp.run)(p, RunCtx::new(p, tracing)));
-    let rendered = (exp.render)(&results);
+    let outcomes: Vec<Result<ExperimentResult, CellFailure>> = run_indexed(jobs, &cells, |_, p| {
+        catch_unwind(AssertUnwindSafe(|| (exp.run)(p, RunCtx::new(p, tracing))))
+            .map_err(|payload| CellFailure { params: p.clone(), panic: panic_message(payload) })
+    });
+    let successes: Vec<ExperimentResult> =
+        outcomes.iter().filter_map(|o| o.as_ref().ok().cloned()).collect();
+    let mut rendered = match catch_unwind(AssertUnwindSafe(|| (exp.render)(&successes))) {
+        Ok(s) => s,
+        Err(payload) => format!("render failed: {}\n", panic_message(payload)),
+    };
     let mut trace = String::new();
     let mut reports = String::new();
-    for r in &results {
-        trace.push_str(&r.trace);
-        for line in &r.reports {
-            reports.push_str(line);
-            reports.push('\n');
+    for o in &outcomes {
+        match o {
+            Ok(r) => {
+                trace.push_str(&r.trace);
+                for line in &r.reports {
+                    reports.push_str(line);
+                    reports.push('\n');
+                }
+            }
+            Err(f) => {
+                reports.push_str(&f.to_json());
+                reports.push('\n');
+            }
         }
     }
-    SweepOutput { rendered, trace, reports }
+    let failures: Vec<CellFailure> = outcomes.into_iter().filter_map(Result::err).collect();
+    for f in &failures {
+        let first = f.panic.lines().next().unwrap_or("");
+        rendered.push_str(&format!(
+            "FAILED {}/{} (seed {}): {first}\n  repro: {}\n",
+            f.params.experiment,
+            f.params.config,
+            f.params.seed,
+            f.repro(exp.name)
+        ));
+    }
+    SweepOutput { rendered, trace, reports, failures }
 }
 
 /// CLI entry point shared by every figure binary: parses [`CliArgs`] and
@@ -337,6 +452,7 @@ pub fn run_cli(names: &[&str], args: &CliArgs) {
     let banner = names.len() > 1;
     let mut trace = String::new();
     let mut reports = String::new();
+    let mut failed_cells = 0usize;
     for exp in selected {
         if banner {
             println!("\n================================================================");
@@ -349,12 +465,27 @@ pub fn run_cli(names: &[&str], args: &CliArgs) {
         print!("{}", out.rendered);
         trace.push_str(&out.trace);
         reports.push_str(&out.reports);
+        if !out.failures.is_empty() {
+            failed_cells += out.failures.len();
+            if !args.keep_going {
+                eprintln!(
+                    "error: {} cell(s) failed in `{}`; stopping (pass --keep-going to continue)",
+                    out.failures.len(),
+                    exp.name
+                );
+                break;
+            }
+        }
     }
     if let Some(path) = &args.trace {
         write_merged(path, &trace);
     }
     if let Some(path) = &args.report_json {
         write_merged(path, &reports);
+    }
+    if failed_cells > 0 {
+        eprintln!("error: {failed_cells} cell(s) failed");
+        std::process::exit(1);
     }
 }
 
@@ -430,5 +561,63 @@ mod tests {
         let p = Params::new("t", "c", 0, 1);
         let r = RunCtx::new(&p, false).finish(&p, Vec::new(), Vec::new());
         let _ = r.metric("absent");
+    }
+
+    fn flaky_grid(_quick: bool) -> Vec<Params> {
+        (0..4).map(|i| Params::new("flaky", format!("cell{i}"), i, 1)).collect()
+    }
+    fn flaky_run(p: &Params, ctx: RunCtx) -> ExperimentResult {
+        assert!(p.index != 2, "deliberate cell panic for the harness isolation test");
+        ctx.finish(p, vec![("v", p.index as f64)], Vec::new())
+    }
+    fn flaky_render(rs: &[ExperimentResult]) -> String {
+        let cells: Vec<String> = rs.iter().map(|r| format!("{}", r.metric("v"))).collect();
+        format!("flaky: {}\n", cells.join(" "))
+    }
+    const FLAKY: Experiment = Experiment {
+        name: "flaky",
+        title: "deliberately panicking grid",
+        grid: flaky_grid,
+        run: flaky_run,
+        render: flaky_render,
+    };
+
+    #[test]
+    fn panicking_cell_becomes_a_failure_record_not_a_dead_sweep() {
+        let out = run_sweep(&FLAKY, true, 1, false);
+        assert_eq!(out.failures.len(), 1);
+        assert_eq!(out.failures[0].params.config, "cell2");
+        assert!(
+            out.failures[0].panic.contains("deliberate cell panic"),
+            "{}",
+            out.failures[0].panic
+        );
+        assert!(out.rendered.starts_with("flaky: 0 1 3\n"), "{}", out.rendered);
+        assert!(out.rendered.contains("FAILED flaky/cell2 (seed 0):"), "{}", out.rendered);
+        assert!(out.rendered.contains("--filter flaky --jobs 1"), "{}", out.rendered);
+        let recs: Vec<&str> = out.reports.lines().collect();
+        assert_eq!(recs.len(), 1, "the failure record holds the failed cell's report slot");
+        assert!(
+            recs[0].starts_with(
+                "{\"experiment\":\"flaky\",\"config\":\"cell2\",\"seed\":0,\"failed\":true"
+            ),
+            "{}",
+            recs[0]
+        );
+    }
+
+    #[test]
+    fn failure_records_are_deterministic_across_job_counts() {
+        let serial = run_sweep(&FLAKY, true, 1, false);
+        let parallel = run_sweep(&FLAKY, true, 4, false);
+        assert_eq!(serial.rendered, parallel.rendered);
+        assert_eq!(serial.reports, parallel.reports);
+        assert_eq!(serial.failures.len(), parallel.failures.len());
+    }
+
+    #[test]
+    fn escape_json_handles_quotes_newlines_and_controls() {
+        assert_eq!(escape_json("a\"b\\c\nd\te"), "a\\\"b\\\\c\\nd\\te");
+        assert_eq!(escape_json("\u{1}"), "\\u0001");
     }
 }

@@ -14,7 +14,11 @@
 //! * `--report-json <path>` — merged end-of-run summaries, one JSON line
 //!   per system, tagged with experiment/config/seed;
 //! * `--out <path>` — output override for binaries that write an
-//!   artifact (`sim_throughput`).
+//!   artifact (`sim_throughput`);
+//! * `--keep-going` — when a grid cell panics, keep running the remaining
+//!   experiments instead of stopping after the first one with failures
+//!   (either way the cell's failure is recorded and the exit code is
+//!   non-zero).
 //!
 //! All value flags accept both `--flag value` and `--flag=value`.
 //! Unknown flags are an error (exit 2), not a silent ignore — a typoed
@@ -36,6 +40,9 @@ pub struct CliArgs {
     pub report_json: Option<String>,
     /// Artifact output path override.
     pub out: Option<String>,
+    /// Keep running later experiments after one records cell failures
+    /// (default is fail-fast: stop after the first failing experiment).
+    pub keep_going: bool,
 }
 
 impl CliArgs {
@@ -84,6 +91,7 @@ impl CliArgs {
                 "--trace" => args.trace = Some(value(&mut it)?),
                 "--report-json" => args.report_json = Some(value(&mut it)?),
                 "--out" => args.out = Some(value(&mut it)?),
+                "--keep-going" => args.keep_going = true,
                 other => return Err(format!("unknown flag `{other}`")),
             }
         }
@@ -94,7 +102,7 @@ impl CliArgs {
 /// The flag summary printed on a parse error.
 pub fn usage() -> String {
     "usage: <bin> [--quick] [--jobs <n>] [--filter <experiment>] \
-     [--trace <path>] [--report-json <path>] [--out <path>]"
+     [--trace <path>] [--report-json <path>] [--out <path>] [--keep-going]"
         .to_string()
 }
 
@@ -125,6 +133,12 @@ mod tests {
         let b = parse(&["--report-json=r.json", "--out", "bench.json"]).unwrap();
         assert_eq!(b.report_json.as_deref(), Some("r.json"));
         assert_eq!(b.out.as_deref(), Some("bench.json"));
+    }
+
+    #[test]
+    fn keep_going_defaults_off_and_parses() {
+        assert!(!parse(&[]).unwrap().keep_going);
+        assert!(parse(&["--keep-going"]).unwrap().keep_going);
     }
 
     #[test]

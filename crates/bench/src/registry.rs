@@ -12,11 +12,12 @@
 use crate::harness::{Experiment, ExperimentResult, Params, RunCtx};
 use crate::scenarios::{
     ablate_burst, ablate_inertia, ablate_slack, ablate_writeback, all_spec, fig10_cell, fig11_cell,
-    fig1_cell, fig1_cell_with, fig5_series, fig6_series, fig8_run, fig9_run,
+    fig1_cell, fig1_cell_with, fig5_series, fig6_series, fig8_run, fig9_run, resilience_cell,
     skewed_traffic_utilization, spec_isolated_ipc, Fig1Mix, MEASURE_EPOCHS,
 };
 use crate::table::Table;
 use pabst_simkit::bytes_per_cycle_to_gbps;
+use pabst_simkit::fault::{FaultKind, FaultPlan, FaultSpec};
 use pabst_soc::config::{RegulationMode, SystemConfig, WbAccounting};
 
 /// The experiment names `all_figures` runs, in printing order. `fig10`
@@ -26,7 +27,7 @@ pub const ALL_FIGURES: [&str; 10] =
     ["table03", "fig01", "fig05", "fig06", "fig07", "fig08", "fig09", "fig10", "fig11", "ablate"];
 
 /// Every registered experiment.
-pub static EXPERIMENTS: [Experiment; 12] = [
+pub static EXPERIMENTS: [Experiment; 13] = [
     Experiment {
         name: "table03",
         title: "Table III — simulated system configuration",
@@ -110,6 +111,13 @@ pub static EXPERIMENTS: [Experiment; 12] = [
         grid: calibrate_grid,
         run: calibrate_run,
         render: calibrate_render,
+    },
+    Experiment {
+        name: "resilience",
+        title: "Resilience — fault rate vs fairness/throughput degradation",
+        grid: resilience_grid,
+        run: resilience_run,
+        render: resilience_render,
     },
 ];
 
@@ -843,6 +851,144 @@ fn calibrate_render(results: &[ExperimentResult]) -> String {
     format!(
         "Calibration — Fig. 1 asymmetry vs controller geometry\n\
          (want: stream src low / tgt high; chaser src high / tgt low)\n\n{}",
+        t.render()
+    )
+}
+
+// ---------------------------------------------------------------------
+// Resilience: fault rate vs fairness/throughput (degradation curve).
+// Registered but not in ALL_FIGURES — fault sweeps are diagnostics, not
+// paper figures, and `all_figures` output must stay byte-stable.
+// ---------------------------------------------------------------------
+
+/// One typed resilience cell: which fault kind at which per-epoch rate.
+#[derive(Debug, Clone, Copy)]
+enum ResilienceCell {
+    /// SAT broadcast dropped with this probability (ppm per epoch).
+    SatDrop(u64),
+    /// SAT broadcast inverted with this probability.
+    SatCorrupt(u64),
+    /// Per-tile epoch-sync skew (missed reprogram) with this probability.
+    EpochSkew(u64),
+    /// Per-tile pacer credit leak with this probability.
+    CreditLeak(u64),
+    /// A finite whole-epoch MC service-stall window (epochs 6..=8).
+    McStallWindow,
+}
+
+fn resilience_cells() -> Vec<ResilienceCell> {
+    let mut cells = Vec::new();
+    // The headline curve: SAT-drop rate 0 → 100%. Rate 0 doubles as the
+    // live proof that an inert plan reproduces the healthy run; rate
+    // 100% starves the governor forever, driving the stale-SAT fail-safe
+    // all the way to its conservative floor.
+    for ppm in [0u64, 10_000, 50_000, 200_000, 500_000, 1_000_000] {
+        cells.push(ResilienceCell::SatDrop(ppm));
+    }
+    for ppm in [50_000u64, 200_000] {
+        cells.push(ResilienceCell::SatCorrupt(ppm));
+    }
+    cells.push(ResilienceCell::EpochSkew(200_000));
+    cells.push(ResilienceCell::CreditLeak(200_000));
+    cells.push(ResilienceCell::McStallWindow);
+    cells
+}
+
+fn resilience_label(cell: ResilienceCell) -> String {
+    match cell {
+        ResilienceCell::SatDrop(ppm) => format!("sat-drop/{ppm}ppm"),
+        ResilienceCell::SatCorrupt(ppm) => format!("sat-corrupt/{ppm}ppm"),
+        ResilienceCell::EpochSkew(ppm) => format!("epoch-skew/{ppm}ppm"),
+        ResilienceCell::CreditLeak(ppm) => format!("credit-leak/{ppm}ppm"),
+        ResilienceCell::McStallWindow => "mc-stall/epochs6-8".to_string(),
+    }
+}
+
+/// Builds the cell's fault plan. Tile-targeted kinds get one spec per
+/// core of the scaled 8-core machine; SAT kinds target the single global
+/// monitor (target 0); the stall window targets the single controller.
+fn resilience_plan(cell: ResilienceCell, seed: u64) -> FaultPlan {
+    let spec = |kind, target, prob_ppm, magnitude| FaultSpec {
+        kind,
+        target,
+        from_epoch: 0,
+        until_epoch: u64::MAX,
+        prob_ppm,
+        magnitude,
+        seed: seed ^ 0x5eed_0000,
+    };
+    let mut plan = FaultPlan::new();
+    match cell {
+        ResilienceCell::SatDrop(ppm) => plan.push(spec(FaultKind::SatDrop, 0, ppm, 0)),
+        ResilienceCell::SatCorrupt(ppm) => plan.push(spec(FaultKind::SatCorrupt, 0, ppm, 0)),
+        ResilienceCell::EpochSkew(ppm) => {
+            for tile in 0..8 {
+                plan.push(spec(FaultKind::EpochSkew, tile, ppm, 0));
+            }
+        }
+        ResilienceCell::CreditLeak(ppm) => {
+            for tile in 0..8 {
+                plan.push(spec(FaultKind::CreditLeak, tile, ppm, 5_000));
+            }
+        }
+        ResilienceCell::McStallWindow => plan.push(FaultSpec {
+            kind: FaultKind::McStall,
+            target: 0,
+            from_epoch: 6,
+            until_epoch: 8,
+            prob_ppm: pabst_simkit::fault::PPM_SCALE,
+            magnitude: 0,
+            seed,
+        }),
+    }
+    plan
+}
+
+fn resilience_grid(quick: bool) -> Vec<Params> {
+    let epochs = if quick { 10 } else { 30 };
+    resilience_cells()
+        .iter()
+        .enumerate()
+        .map(|(i, &cell)| Params::new("resilience", resilience_label(cell), i, epochs))
+        .collect()
+}
+
+fn resilience_run(p: &Params, mut ctx: RunCtx) -> ExperimentResult {
+    let plan = resilience_plan(resilience_cells()[p.index], p.seed);
+    let r = resilience_cell(plan, p.epochs, p.seed, &mut ctx);
+    ctx.finish(
+        p,
+        vec![
+            ("error_pct", r.error_pct),
+            ("bpc", r.total_bpc),
+            ("faults", r.faults as f64),
+            ("degraded", r.degraded_epochs as f64),
+        ],
+        Vec::new(),
+    )
+}
+
+fn resilience_render(results: &[ExperimentResult]) -> String {
+    let mut t = Table::new(vec![
+        "fault",
+        "alloc error %",
+        "total GB/s",
+        "faults injected",
+        "degraded epochs",
+    ]);
+    for r in results {
+        t.row(vec![
+            r.params.config.clone(),
+            format!("{:.1}", r.metric("error_pct")),
+            gbps(r.metric("bpc")),
+            format!("{}", r.metric("faults")),
+            format!("{}", r.metric("degraded")),
+        ]);
+    }
+    format!(
+        "Resilience — deterministic fault injection vs fairness and throughput\n\
+         (sat-drop row 0ppm is the healthy reference; the governor's stale-SAT\n \
+         fail-safe and the finite mc-stall window both recover without deadlock)\n\n{}",
         t.render()
     )
 }

@@ -11,6 +11,7 @@
 
 use crate::harness::RunCtx;
 use pabst_cpu::Workload;
+use pabst_simkit::fault::FaultPlan;
 use pabst_simkit::stats::allocation_error_pct;
 use pabst_soc::config::{RegulationMode, SystemConfig, WbAccounting};
 use pabst_soc::system::{System, SystemBuilder};
@@ -580,6 +581,58 @@ pub fn skewed_traffic_utilization(per_mc: bool, epochs: usize, seed: u64, ctx: &
     sys.run_epochs(epochs);
     ctx.report(&sys);
     sys.metrics().total_bytes_per_cycle(epochs / 2)
+}
+
+// ---------------------------------------------------------------------
+// Resilience: fault-rate degradation curve (docs/RESILIENCE.md).
+// ---------------------------------------------------------------------
+
+/// One point of the resilience degradation curve.
+#[derive(Debug, Clone)]
+pub struct ResilienceResult {
+    /// Max relative share error vs the 3:1 target, percent.
+    pub error_pct: f64,
+    /// Aggregate delivered bandwidth over the measured window,
+    /// bytes/cycle.
+    pub total_bpc: f64,
+    /// Fault events the plan injected over the whole run.
+    pub faults: u64,
+    /// Epochs the governor spent in the degraded (stale-SAT) policy.
+    pub degraded_epochs: u64,
+}
+
+/// Runs one resilience cell: a 3:1 read-stream contest on the scaled
+/// 8-core machine with `plan` injected and the forward-progress watchdog
+/// armed — a fault mix that truly wedges the machine becomes a panic the
+/// sweep harness records as a cell failure, not a hung run.
+pub fn resilience_cell(
+    plan: FaultPlan,
+    epochs: usize,
+    seed: u64,
+    ctx: &mut RunCtx,
+) -> ResilienceResult {
+    let mut cfg = SystemConfig::scaled_8core();
+    cfg.watchdog_epochs = 50;
+    let mut sys = SystemBuilder::new(cfg, RegulationMode::Pabst)
+        .class(3, read_streamers(0, 4, seed))
+        .class(1, read_streamers(1, 4, seed))
+        .fault_plan(plan)
+        .build()
+        .expect("valid resilience configuration");
+    ctx.attach(&mut sys);
+    let warm = epochs / 2;
+    sys.run_epochs(warm + epochs);
+    ctx.report(&sys);
+    let m = sys.metrics();
+    let o0 = m.bw_series.mean_over(0, warm);
+    let o1 = m.bw_series.mean_over(1, warm);
+    let ec = m.bw_series.epoch_cycles() as f64;
+    ResilienceResult {
+        error_pct: allocation_error_pct(&[3.0, 1.0], &[o0.max(1.0), o1.max(1.0)]),
+        total_bpc: (o0 + o1) / ec,
+        faults: sys.faults_injected(),
+        degraded_epochs: sys.degraded_epochs(),
+    }
 }
 
 /// All SPEC workloads, re-exported for the registry and binaries.

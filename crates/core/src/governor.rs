@@ -68,6 +68,17 @@ pub struct MonitorConfig {
     /// Consecutive low-SAT epochs required before `δM` starts growing
     /// again (the paper's *inertia*, e.g. 3).
     pub inertia: u32,
+    /// Fail-safe: stale epochs (no fresh SAT sample) tolerated while the
+    /// monitor holds its last rate. Beyond this window the monitor enters
+    /// the degraded policy and decays the rate toward a conservative
+    /// floor. Must be ≥ 1 — a zero window would degrade on the very first
+    /// sample and is a configuration error.
+    pub staleness_k: u32,
+    /// Fail-safe: the multiplier ceiling the degraded policy decays `M`
+    /// toward — the conservative *rate floor*. Heavy throttling (safe when
+    /// the feedback signal is lost) but not zero rate. Must lie within
+    /// `[m_min, m_max]`.
+    pub degraded_m: u32,
 }
 
 impl Default for MonitorConfig {
@@ -90,6 +101,13 @@ impl Default for MonitorConfig {
             dm_min: 1,
             dm_max: 256,
             inertia: 3,
+            // With 10 µs epochs, four stale epochs is 40 µs of signal
+            // loss before the fail-safe engages — long enough to ride out
+            // a dropped broadcast, short enough to bound overcommit.
+            staleness_k: 4,
+            // 32× the default operating point: heavy throttling, but the
+            // system keeps making forward progress while degraded.
+            degraded_m: 1 << 16,
         }
     }
 }
@@ -113,6 +131,12 @@ impl MonitorConfig {
         if self.dm_min == 0 || self.dm_min > self.dm_max {
             return Err("require 0 < dm_min <= dm_max".into());
         }
+        if self.staleness_k == 0 {
+            return Err("staleness_k must be >= 1 (a zero window degrades instantly)".into());
+        }
+        if !(self.m_min..=self.m_max).contains(&self.degraded_m) {
+            return Err("degraded_m must lie within [m_min, m_max]".into());
+        }
         Ok(())
     }
 }
@@ -132,6 +156,10 @@ pub struct SystemMonitor {
     rate_dir: RateDir,
     delta_dir: DeltaDir,
     epochs: u64,
+    /// Consecutive epochs without a fresh SAT sample (fail-safe state).
+    stale_epochs: u32,
+    /// Total epochs spent in the degraded policy (observability).
+    degraded_epochs: u64,
 }
 
 impl SystemMonitor {
@@ -153,12 +181,15 @@ impl SystemMonitor {
             rate_dir: RateDir::Up,
             delta_dir: DeltaDir::Down,
             epochs: 0,
+            stale_epochs: 0,
+            degraded_epochs: 0,
         }
     }
 
     /// Advances one epoch given the saturation signal observed during the
     /// epoch that just ended, returning the new multiplier `M`.
     pub fn on_epoch(&mut self, sat: bool) -> u32 {
+        self.stale_epochs = 0;
         self.epochs += 1;
         let new_dir = if sat { RateDir::Down } else { RateDir::Up };
 
@@ -192,6 +223,57 @@ impl SystemMonitor {
             self.m = self.m.saturating_sub(self.dm).max(self.cfg.m_min);
         }
         self.m
+    }
+
+    /// Advances one epoch given a possibly-missing saturation sample: the
+    /// fail-safe entry point (§ fault injection).
+    ///
+    /// `Some(sat)` is a fresh broadcast and behaves exactly like
+    /// [`SystemMonitor::on_epoch`]. `None` means the SAT broadcast was
+    /// lost this epoch: for up to `staleness_k` consecutive stale epochs
+    /// the monitor **holds its last rate** (`M`, `δM`, and `E` are
+    /// untouched); beyond the window it enters the *degraded policy* and
+    /// decays the goal rate toward a conservative floor — `M` grows
+    /// multiplicatively (`M += M/4 + 1` per epoch) up to
+    /// `degraded_m`, and the step state resets so the loop re-converges
+    /// gently once the signal returns. Returns the multiplier in force.
+    pub fn on_epoch_observed(&mut self, sat: Option<bool>) -> u32 {
+        match sat {
+            Some(s) => self.on_epoch(s),
+            None => {
+                self.epochs += 1;
+                self.stale_epochs = self.stale_epochs.saturating_add(1);
+                if self.stale_epochs > self.cfg.staleness_k {
+                    // Degraded: no information means overcommit is the
+                    // dangerous direction, so throttle toward the floor.
+                    self.degraded_epochs += 1;
+                    if self.m < self.cfg.degraded_m {
+                        let step = (self.m / 4).saturating_add(1);
+                        self.m = self.m.saturating_add(step).min(self.cfg.degraded_m);
+                    }
+                    self.dm = self.cfg.dm_min;
+                    self.e = 0;
+                    self.delta_dir = DeltaDir::Down;
+                }
+                self.m
+            }
+        }
+    }
+
+    /// Consecutive epochs without a fresh SAT sample.
+    pub fn stale_epochs(&self) -> u32 {
+        self.stale_epochs
+    }
+
+    /// True while the fail-safe degraded policy is active (the staleness
+    /// window has been exceeded).
+    pub fn is_degraded(&self) -> bool {
+        self.stale_epochs > self.cfg.staleness_k
+    }
+
+    /// Total epochs spent under the degraded policy.
+    pub fn degraded_epochs(&self) -> u64 {
+        self.degraded_epochs
     }
 
     /// Current multiplier.
@@ -234,6 +316,8 @@ impl SystemMonitor {
             rate_dir: self.rate_dir,
             delta_dir: self.delta_dir,
             epochs: self.epochs,
+            stale_epochs: self.stale_epochs,
+            degraded: self.is_degraded(),
         }
     }
 }
@@ -254,6 +338,10 @@ pub struct MonitorSnapshot {
     pub delta_dir: DeltaDir,
     /// Total epochs processed.
     pub epochs: u64,
+    /// Consecutive epochs without a fresh SAT sample.
+    pub stale_epochs: u32,
+    /// True while the fail-safe degraded policy is active.
+    pub degraded: bool,
 }
 
 /// Stride scale used by the governor's rate computation: pass
@@ -452,6 +540,99 @@ mod tests {
         c.m_init = c.m_max + 1;
         assert!(c.validate().unwrap_err().contains("m_init"));
         assert!(MonitorConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn fresh_samples_via_observed_match_on_epoch_exactly() {
+        // The fail-safe entry point must be bit-identical to the classic
+        // path when every sample is fresh (the all-zero-plan criterion).
+        let mut a = SystemMonitor::new(cfg());
+        let mut b = SystemMonitor::new(cfg());
+        let pattern = [true, false, false, true, true, false];
+        for &sat in pattern.iter().cycle().take(300) {
+            assert_eq!(a.on_epoch(sat), b.on_epoch_observed(Some(sat)));
+        }
+        assert_eq!(a, b);
+        assert_eq!(b.stale_epochs(), 0);
+        assert_eq!(b.degraded_epochs(), 0);
+    }
+
+    #[test]
+    fn staleness_holds_last_rate_within_the_window() {
+        let mut mon = SystemMonitor::new(cfg());
+        for _ in 0..10 {
+            mon.on_epoch(true);
+        }
+        let held_m = mon.m();
+        let held_dm = mon.delta_m();
+        for k in 1..=cfg().staleness_k {
+            assert_eq!(mon.on_epoch_observed(None), held_m, "epoch {k}: hold");
+            assert_eq!(mon.delta_m(), held_dm);
+            assert!(!mon.is_degraded());
+            assert_eq!(mon.stale_epochs(), k);
+        }
+    }
+
+    #[test]
+    fn staleness_beyond_k_decays_toward_the_conservative_floor() {
+        let mut mon = SystemMonitor::new(cfg());
+        let m0 = mon.m();
+        for _ in 0..cfg().staleness_k {
+            mon.on_epoch_observed(None);
+        }
+        assert_eq!(mon.m(), m0, "still holding at exactly K stale epochs");
+        let mut prev = mon.m();
+        for _ in 0..60 {
+            let m = mon.on_epoch_observed(None);
+            assert!(m >= prev, "degraded decay is monotone toward the floor");
+            assert!(m <= cfg().degraded_m);
+            prev = m;
+        }
+        assert!(mon.is_degraded());
+        assert_eq!(mon.m(), cfg().degraded_m, "decay converges to degraded_m");
+        assert!(mon.degraded_epochs() > 0);
+        let snap = mon.snapshot();
+        assert!(snap.degraded);
+        assert_eq!(snap.stale_epochs, mon.stale_epochs());
+    }
+
+    #[test]
+    fn degraded_monitor_above_the_floor_holds_not_drops() {
+        // A monitor already throttling harder than the floor must not
+        // *increase* its rate on no information.
+        let high =
+            MonitorConfig { m_init: 1 << 20, degraded_m: 1 << 16, ..MonitorConfig::default() };
+        let mut mon = SystemMonitor::new(high);
+        for _ in 0..high.staleness_k + 10 {
+            mon.on_epoch_observed(None);
+        }
+        assert_eq!(mon.m(), 1 << 20, "degraded policy never lowers M");
+    }
+
+    #[test]
+    fn fresh_sample_ends_staleness_and_resumes_the_loop() {
+        let mut mon = SystemMonitor::new(cfg());
+        for _ in 0..cfg().staleness_k + 5 {
+            mon.on_epoch_observed(None);
+        }
+        assert!(mon.is_degraded());
+        let m_degraded = mon.m();
+        mon.on_epoch_observed(Some(false));
+        assert_eq!(mon.stale_epochs(), 0);
+        assert!(!mon.is_degraded());
+        assert!(mon.m() < m_degraded, "headroom sample lowers M again");
+        assert_eq!(mon.delta_m(), cfg().dm_min, "loop re-converges gently");
+    }
+
+    #[test]
+    fn staleness_config_is_validated() {
+        let c = MonitorConfig { staleness_k: 0, ..MonitorConfig::default() };
+        assert!(c.validate().unwrap_err().contains("staleness_k"));
+        let c = MonitorConfig { degraded_m: 0, ..MonitorConfig::default() };
+        assert!(c.validate().unwrap_err().contains("degraded_m"));
+        let mut c = MonitorConfig::default();
+        c.degraded_m = c.m_max + 1;
+        assert!(c.validate().unwrap_err().contains("degraded_m"));
     }
 
     #[test]

@@ -125,6 +125,16 @@ impl Pacer {
         self.c_next = self.c_next.saturating_add(charged);
     }
 
+    /// Fault-injection hook (the `credit-leak` kind of
+    /// `pabst_simkit::fault`): drains `cycles` of accumulated credit by
+    /// pushing `C_next` that far into the future. Behaves like an
+    /// unearned writeback charge — the source pays for bandwidth it never
+    /// consumed — so the leak is bounded only by how often the fault
+    /// plan fires, never by the burst window.
+    pub fn leak_credit(&mut self, cycles: Cycle) {
+        self.c_next = self.c_next.saturating_add(cycles);
+    }
+
     /// A read-only view of the pacer for observability: current period,
     /// clamped credit at `now`, the credit ceiling, and the issue/NACK
     /// counters. Does not mutate the pacer (the clamp is applied to the
@@ -326,6 +336,16 @@ mod tests {
         // c_next was 1000; floor is 500-20=480, so c_next stays 1000: still throttled.
         assert!(!p.try_issue(500));
         assert!(p.try_issue(1000));
+    }
+
+    #[test]
+    fn leak_credit_pushes_the_issue_horizon_out() {
+        let mut p = Pacer::new(100);
+        assert!(p.try_issue(0)); // c_next = 100
+        p.leak_credit(250); // c_next = 350
+        assert!(!p.try_issue(100));
+        assert!(!p.try_issue(349));
+        assert!(p.try_issue(350));
     }
 
     #[test]

@@ -108,6 +108,16 @@ impl Stride {
     }
 }
 
+/// Largest tolerated `max_weight / min_weight` ratio.
+///
+/// Scaled strides grow with the weight ratio, and the governor's period
+/// arithmetic multiplies a stride by the multiplier bound (`2^22`) and
+/// the thread count; ratios beyond `2^24` could overflow that u64
+/// datapath. No sensible QoS allocation approaches this bound — hitting
+/// it is a configuration bug, reported as a typed error instead of
+/// wrapping silently deep in the stride math.
+pub const MAX_WEIGHT_RATIO: u64 = 1 << 24;
+
 /// Errors from constructing shares.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ShareError {
@@ -120,6 +130,14 @@ pub enum ShareError {
     },
     /// No classes were supplied.
     Empty,
+    /// The weight ratio would overflow the integer stride/period
+    /// datapath (see [`MAX_WEIGHT_RATIO`]).
+    RatioOverflow {
+        /// Largest weight supplied.
+        max: u32,
+        /// Smallest weight supplied.
+        min: u32,
+    },
 }
 
 impl fmt::Display for ShareError {
@@ -130,6 +148,11 @@ impl fmt::Display for ShareError {
                 write!(f, "requested {requested} classes, max is {MAX_CLASSES}")
             }
             ShareError::Empty => write!(f, "at least one class is required"),
+            ShareError::RatioOverflow { max, min } => write!(
+                f,
+                "weight ratio {max}:{min} overflows the stride datapath \
+                 (max ratio {MAX_WEIGHT_RATIO})"
+            ),
         }
     }
 }
@@ -164,7 +187,8 @@ impl ShareTable {
     /// # Errors
     ///
     /// Returns an error when `weights` is empty, longer than
-    /// [`MAX_CLASSES`], or contains a zero.
+    /// [`MAX_CLASSES`], contains a zero, or spans a ratio beyond
+    /// [`MAX_WEIGHT_RATIO`] (which would overflow the stride datapath).
     pub fn from_weights(weights: &[u32]) -> Result<Self, ShareError> {
         if weights.is_empty() {
             return Err(ShareError::Empty);
@@ -174,6 +198,11 @@ impl ShareTable {
         }
         let weights: Vec<Weight> =
             weights.iter().map(|&w| Weight::new(w)).collect::<Result<_, _>>()?;
+        let max = weights.iter().map(|w| w.get()).max().unwrap_or(1);
+        let min = weights.iter().map(|w| w.get()).min().unwrap_or(1);
+        if u64::from(max) > MAX_WEIGHT_RATIO.saturating_mul(u64::from(min)) {
+            return Err(ShareError::RatioOverflow { max, min });
+        }
         let strides = weights.iter().map(|&w| Stride::from_weight(w)).collect();
         Ok(Self { weights, strides })
     }
@@ -270,6 +299,19 @@ mod tests {
             ShareTable::from_weights(&too_many),
             Err(ShareError::TooManyClasses { .. })
         ));
+    }
+
+    #[test]
+    fn overflowing_weight_ratio_rejected() {
+        assert_eq!(
+            ShareTable::from_weights(&[u32::MAX, 1]),
+            Err(ShareError::RatioOverflow { max: u32::MAX, min: 1 })
+        );
+        // The boundary itself is accepted.
+        let at_bound = ShareTable::from_weights(&[MAX_WEIGHT_RATIO as u32, 1]);
+        assert!(at_bound.is_ok());
+        let msg = ShareError::RatioOverflow { max: u32::MAX, min: 1 }.to_string();
+        assert!(msg.contains("overflows"), "{msg}");
     }
 
     #[test]

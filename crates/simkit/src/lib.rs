@@ -16,6 +16,9 @@
 //!   per-epoch time series used to produce every figure in the paper.
 //! * [`rng::SimRng`] — a deterministic, explicitly seeded SplitMix64
 //!   generator, the only randomness source allowed in the simulator.
+//! * [`fault`] — deterministic fault-injection plans: seed-reproducible
+//!   injection decisions (SAT drop/delay/corrupt, epoch skew, MC stall,
+//!   credit leak) with a JSONL-serializable schema.
 //! * [`sanitizer::Sanitizer`] — debug-mode runtime invariant checks
 //!   (credit caps, deadline monotonicity, queue conservation) wired into
 //!   the SoC epoch loop.
@@ -37,6 +40,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fault;
 pub mod queue;
 pub mod rng;
 pub mod sanitizer;

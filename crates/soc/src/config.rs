@@ -4,6 +4,7 @@ use std::fmt;
 
 use pabst_cache::CacheConfig;
 use pabst_core::governor::MonitorConfig;
+use pabst_core::qos::ShareError;
 use pabst_dram::DramConfig;
 use pabst_simkit::Cycle;
 
@@ -102,6 +103,11 @@ pub struct SystemConfig {
     /// the per-MC variant avoids under-utilizing lightly loaded channels
     /// when traffic is skewed across controllers.
     pub per_mc_regulation: bool,
+    /// Forward-progress watchdog: abort with a full diagnostic snapshot
+    /// after this many consecutive epochs in which requests were pending
+    /// but nothing completed. Zero disables the watchdog (the default —
+    /// healthy experiments never need it; resilience runs enable it).
+    pub watchdog_epochs: u64,
 }
 
 impl SystemConfig {
@@ -135,6 +141,7 @@ impl SystemConfig {
             arbiter_slack: 128,
             wb_accounting: WbAccounting::ChargeDemand,
             per_mc_regulation: false,
+            watchdog_epochs: 0,
         }
     }
 
@@ -168,34 +175,102 @@ impl SystemConfig {
     /// Returns [`ConfigError`] describing the first violated constraint.
     pub fn validate(&self) -> Result<(), ConfigError> {
         if self.cores == 0 {
-            return Err(ConfigError("cores must be non-zero".into()));
+            return Err(ConfigError::ZeroCores);
         }
         if self.mcs == 0 {
-            return Err(ConfigError("mcs must be non-zero".into()));
+            return Err(ConfigError::ZeroMcs);
         }
         if self.epoch_cycles == 0 {
-            return Err(ConfigError("epoch_cycles must be non-zero".into()));
+            return Err(ConfigError::ZeroEpochCycles);
         }
         if self.l2_mshrs == 0 || self.l3_mshrs == 0 {
-            return Err(ConfigError("MSHR capacities must be non-zero".into()));
+            return Err(ConfigError::ZeroMshrs);
         }
-        self.dram.validate().map_err(ConfigError)?;
-        self.monitor.validate().map_err(ConfigError)?;
+        if self.monitor.staleness_k == 0 {
+            // Typed here (not just as a string from the monitor): a zero
+            // staleness window is the fail-safe misconfiguration callers
+            // most plausibly hit programmatically.
+            return Err(ConfigError::ZeroStalenessWindow);
+        }
+        self.dram.validate().map_err(ConfigError::Dram)?;
+        self.monitor.validate().map_err(ConfigError::Monitor)?;
         Ok(())
     }
 }
 
-/// An invalid [`SystemConfig`].
+/// An invalid [`SystemConfig`] or [`crate::system::SystemBuilder`] input,
+/// as a typed error — callers can match on the failure instead of
+/// string-scraping, and nothing panics deep in `qos::stride`.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct ConfigError(pub String);
+pub enum ConfigError {
+    /// `cores` was zero.
+    ZeroCores,
+    /// `mcs` was zero.
+    ZeroMcs,
+    /// `epoch_cycles` was zero.
+    ZeroEpochCycles,
+    /// An MSHR capacity was zero.
+    ZeroMshrs,
+    /// The governor's staleness window `K` was zero (the fail-safe would
+    /// degrade on the very first epoch).
+    ZeroStalenessWindow,
+    /// No tile was given a workload.
+    NoWorkloads,
+    /// The classes' workload lists need more cores than the system has.
+    TooManyCores {
+        /// Cores consumed by the workload lists.
+        requested: usize,
+        /// Cores the configuration provides.
+        available: usize,
+    },
+    /// A tile references a QoS class outside the weight table.
+    ClassOutOfRange {
+        /// The out-of-range class index.
+        class: usize,
+        /// Number of classes the weight table defines.
+        classes: usize,
+    },
+    /// The weight table is invalid (empty class set, zero or overflowing
+    /// weights, too many classes).
+    Weights(ShareError),
+    /// DRAM timing validation failed.
+    Dram(String),
+    /// Governor configuration validation failed.
+    Monitor(String),
+}
 
 impl fmt::Display for ConfigError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "invalid system config: {}", self.0)
+        write!(f, "invalid system config: ")?;
+        match self {
+            ConfigError::ZeroCores => write!(f, "cores must be non-zero"),
+            ConfigError::ZeroMcs => write!(f, "mcs must be non-zero"),
+            ConfigError::ZeroEpochCycles => write!(f, "epoch_cycles must be non-zero"),
+            ConfigError::ZeroMshrs => write!(f, "MSHR capacities must be non-zero"),
+            ConfigError::ZeroStalenessWindow => {
+                write!(f, "monitor staleness window K must be >= 1")
+            }
+            ConfigError::NoWorkloads => write!(f, "at least one core must run a workload"),
+            ConfigError::TooManyCores { requested, available } => {
+                write!(f, "classes use {requested} cores but the system has {available}")
+            }
+            ConfigError::ClassOutOfRange { class, classes } => {
+                write!(f, "workload class {class} out of range for {classes} weights")
+            }
+            ConfigError::Weights(e) => write!(f, "{e}"),
+            ConfigError::Dram(m) => write!(f, "{m}"),
+            ConfigError::Monitor(m) => write!(f, "{m}"),
+        }
     }
 }
 
 impl std::error::Error for ConfigError {}
+
+impl From<ShareError> for ConfigError {
+    fn from(e: ShareError) -> Self {
+        ConfigError::Weights(e)
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -233,9 +308,34 @@ mod tests {
     fn validation_rejects_zero_cores() {
         let mut c = SystemConfig::baseline_32core();
         c.cores = 0;
-        assert!(c.validate().is_err());
+        assert_eq!(c.validate(), Err(ConfigError::ZeroCores));
         let mut c = SystemConfig::baseline_32core();
         c.epoch_cycles = 0;
-        assert!(c.validate().is_err());
+        assert_eq!(c.validate(), Err(ConfigError::ZeroEpochCycles));
+    }
+
+    #[test]
+    fn validation_errors_are_typed() {
+        let mut c = SystemConfig::baseline_32core();
+        c.mcs = 0;
+        assert_eq!(c.validate(), Err(ConfigError::ZeroMcs));
+        let mut c = SystemConfig::baseline_32core();
+        c.l3_mshrs = 0;
+        assert_eq!(c.validate(), Err(ConfigError::ZeroMshrs));
+        let mut c = SystemConfig::baseline_32core();
+        c.monitor.staleness_k = 0;
+        assert_eq!(c.validate(), Err(ConfigError::ZeroStalenessWindow));
+        let mut c = SystemConfig::baseline_32core();
+        c.monitor.dm_min = 0;
+        assert!(matches!(c.validate(), Err(ConfigError::Monitor(_))));
+    }
+
+    #[test]
+    fn config_error_display_keeps_the_invalid_config_prefix() {
+        assert!(ConfigError::ZeroCores.to_string().starts_with("invalid system config: "));
+        let e = ConfigError::Weights(ShareError::ZeroWeight);
+        assert!(e.to_string().contains("non-zero"), "{e}");
+        let e = ConfigError::ClassOutOfRange { class: 5, classes: 2 };
+        assert!(e.to_string().contains("class 5"), "{e}");
     }
 }

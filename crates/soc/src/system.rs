@@ -11,6 +11,7 @@ use pabst_core::qos::{QosId, ShareTable};
 use pabst_core::satmon::or_sat;
 use pabst_cpu::{OooCore, Workload};
 use pabst_dram::{ArbiterMode, Completion, MemController, MemReq};
+use pabst_simkit::fault::{FaultKind, FaultPlan};
 use pabst_simkit::queue::DelayQueue;
 use pabst_simkit::sanitizer::Sanitizer;
 use pabst_simkit::trace::{EpochRecord, TraceSink};
@@ -109,7 +110,26 @@ pub struct System {
     /// Recycled buffer for each cycle's memory-controller completions, so
     /// the hot loop does not allocate per cycle.
     completions_scratch: Vec<Completion>,
+    /// Active fault-injection plan. `None` (the default) is structurally
+    /// inert: no RNG draws, no history upkeep, no behavioral change.
+    fault_plan: Option<FaultPlan>,
+    /// Per-monitor history of raw SAT broadcasts, feeding the sat-delay
+    /// fault kind (bounded to [`SAT_HISTORY_MAX`] epochs). Empty unless a
+    /// plan is attached.
+    sat_history: Vec<VecDeque<bool>>,
+    /// Per-MC stall window for the epoch in progress (mc-stall faults): a
+    /// stalled controller freezes — it accepts ingress but services
+    /// nothing until the window ends.
+    mc_stalled: Vec<bool>,
+    /// Total fault events injected so far, across all kinds.
+    faults_injected: u64,
+    /// Consecutive epochs with queued memory work but zero delivered
+    /// bytes, for the forward-progress watchdog.
+    stalled_epochs: u64,
 }
+
+/// SAT broadcast history kept per monitor for the sat-delay fault kind.
+const SAT_HISTORY_MAX: usize = 64;
 
 impl System {
     /// Current simulated cycle.
@@ -157,6 +177,17 @@ impl System {
     /// The tiles (inspection only).
     pub fn tiles(&self) -> &[Tile] {
         &self.tiles
+    }
+
+    /// Total fault events injected so far by the attached plan (all
+    /// kinds). Always zero without a plan.
+    pub fn faults_injected(&self) -> u64 {
+        self.faults_injected
+    }
+
+    /// Epochs any governor has spent in the degraded (stale-SAT) policy.
+    pub fn degraded_epochs(&self) -> u64 {
+        self.monitors.iter().map(SystemMonitor::degraded_epochs).sum()
     }
 
     /// Instructions retired by core `i` since the measurement mark.
@@ -270,7 +301,14 @@ impl System {
         //    the recycled scratch buffer (no per-cycle allocation).
         let mut completions = std::mem::take(&mut self.completions_scratch);
         completions.clear();
-        for mc in &mut self.mcs {
+        for (k, mc) in self.mcs.iter_mut().enumerate() {
+            // A stalled controller (mc-stall fault window) freezes: it
+            // still accepts ingress, but services nothing. The arbiter's
+            // virtual clocks only advance on picks, so they stay monotone
+            // and the other controllers keep running.
+            if self.mc_stalled[k] {
+                continue;
+            }
             mc.step_into(now, &mut completions);
         }
         for c in completions.drain(..) {
@@ -494,31 +532,67 @@ impl System {
         self.inject_rr = (self.inject_rr + 1) % n;
     }
 
-    /// Epoch heartbeat: SAT aggregation, governor update, pacer
-    /// reprogramming, metrics snapshot.
+    /// Epoch heartbeat: SAT aggregation (through the fault layer when a
+    /// plan is attached), governor update, pacer reprogramming, metrics
+    /// snapshot, fault-window refresh, watchdog.
     fn on_epoch_boundary(&mut self) {
         let now = self.now;
+        let epoch = self.epochs_run as u64;
         let sats: Vec<bool> = self.mcs.iter_mut().map(|m| m.take_epoch_sat()).collect();
-        let ms: Vec<u32> = if self.monitors.len() == 1 {
+        // What each governor actually observes: the raw SAT broadcast,
+        // possibly dropped / delayed / inverted by the fault plan. With no
+        // plan this is `Some(raw)` and the governor path is bit-identical
+        // to an unfaulted build.
+        let observed: Vec<Option<bool>> = if self.monitors.len() == 1 {
             // Global wired-OR SAT, one governor (the paper's default).
-            let sat = or_sat(sats.iter().copied());
-            vec![self.monitors[0].on_epoch(sat)]
+            vec![self.observe_sat(0, or_sat(sats.iter().copied()), epoch)]
         } else {
             // Per-MC SAT and governors (SIII-C1 variant).
-            self.monitors.iter_mut().zip(&sats).map(|(mon, &s)| mon.on_epoch(s)).collect()
+            (0..sats.len()).map(|k| self.observe_sat(k, sats[k], epoch)).collect()
         };
+        let ms: Vec<u32> = self
+            .monitors
+            .iter_mut()
+            .zip(&observed)
+            .map(|(mon, &o)| mon.on_epoch_observed(o))
+            .collect();
         self.metrics.m_series.push(ms[0]);
         self.metrics.sat_series.push(or_sat(sats.iter().copied()));
 
         if self.mode.source_active() {
-            for tile in &mut self.tiles {
+            for (i, tile) in self.tiles.iter_mut().enumerate() {
                 let class = tile.mem.class;
                 let stride = self.shares.scaled_stride(class, GOVERNOR_STRIDE_SCALE);
                 let threads = self.threads[class.index()].max(1);
+                if let Some(plan) = &self.fault_plan {
+                    // Epoch-sync skew: this tile misses the reprogram
+                    // broadcast and keeps its stale periods this epoch.
+                    // The boundary credit clamp is the pacer's own
+                    // hardware, not part of the broadcast, so it still
+                    // applies (at the stale period).
+                    if plan.fires(FaultKind::EpochSkew, i as u64, epoch) {
+                        self.faults_injected += 1;
+                        for p in tile.mem.pacers_mut().iter_mut() {
+                            let stale = p.period();
+                            p.set_period(stale, now);
+                        }
+                        continue;
+                    }
+                }
+                let leak = self
+                    .fault_plan
+                    .as_ref()
+                    .and_then(|p| p.magnitude(FaultKind::CreditLeak, i as u64, epoch));
                 for (k, p) in tile.mem.pacers_mut().iter_mut().enumerate() {
                     let m = ms[k.min(ms.len() - 1)];
                     let period = self.rategen.source_period(m, stride, threads);
                     p.set_period(period, now);
+                    if let Some(cycles) = leak {
+                        p.leak_credit(cycles);
+                    }
+                }
+                if leak.is_some() {
+                    self.faults_injected += 1;
                 }
             }
         }
@@ -532,6 +606,7 @@ impl System {
                 *b += per_class[c];
             }
         }
+        let epoch_bytes: u64 = bytes_u64.iter().sum();
         let bytes: Vec<f64> = bytes_u64.iter().map(|&b| b as f64).collect();
         self.metrics.bw_series.push_epoch(&bytes);
         if !self.trace_sinks.is_empty() {
@@ -539,7 +614,114 @@ impl System {
             self.emit_trace_record(now, sat, bytes_u64);
         }
         self.epochs_run += 1;
+        // Refresh mc-stall windows for the epoch now starting.
+        if self.fault_plan.is_some() {
+            let next = self.epochs_run as u64;
+            for k in 0..self.mc_stalled.len() {
+                let stalled = self
+                    .fault_plan
+                    .as_ref()
+                    .is_some_and(|p| p.fires(FaultKind::McStall, k as u64, next));
+                self.mc_stalled[k] = stalled;
+                if stalled {
+                    self.faults_injected += 1;
+                }
+            }
+        }
+        self.check_forward_progress(now, epoch_bytes);
         self.sanitize_epoch(now);
+    }
+
+    /// Applies the SAT-broadcast fault kinds to one monitor's raw sample
+    /// for this epoch: drop (`None` — no sample arrives), delay (a stale
+    /// sample from `magnitude` epochs ago), corrupt (inverted). Pure
+    /// pass-through when no plan is attached.
+    fn observe_sat(&mut self, k: usize, sat: bool, epoch: u64) -> Option<bool> {
+        let Some(plan) = &self.fault_plan else { return Some(sat) };
+        let hist = &mut self.sat_history[k];
+        hist.push_back(sat);
+        if hist.len() > SAT_HISTORY_MAX {
+            hist.pop_front();
+        }
+        let target = k as u64;
+        if plan.fires(FaultKind::SatDrop, target, epoch) {
+            self.faults_injected += 1;
+            return None;
+        }
+        if let Some(d) = plan.magnitude(FaultKind::SatDelay, target, epoch) {
+            self.faults_injected += 1;
+            let d = (d.max(1) as usize).min(hist.len() - 1);
+            return Some(hist[hist.len() - 1 - d]);
+        }
+        if plan.fires(FaultKind::SatCorrupt, target, epoch) {
+            self.faults_injected += 1;
+            return Some(!sat);
+        }
+        Some(sat)
+    }
+
+    /// Forward-progress watchdog: aborts with a full diagnostic snapshot
+    /// after `watchdog_epochs` consecutive epochs in which memory requests
+    /// were queued somewhere but zero bytes were delivered. Disabled when
+    /// `watchdog_epochs` is 0 (the default).
+    ///
+    /// The abort is a panic so the bench harness's per-cell isolation
+    /// turns it into a failure record instead of a dead sweep.
+    fn check_forward_progress(&mut self, now: Cycle, epoch_bytes: u64) {
+        if self.cfg.watchdog_epochs == 0 {
+            return;
+        }
+        let queued = self.mcs.iter().any(|m| m.pending() > 0)
+            || self.mc_out_pending.iter().any(|&p| p > 0)
+            || !self.mshr_wait.is_empty();
+        if queued && epoch_bytes == 0 {
+            self.stalled_epochs += 1;
+        } else {
+            self.stalled_epochs = 0;
+        }
+        if self.stalled_epochs >= self.cfg.watchdog_epochs {
+            panic!("{}", self.watchdog_diagnostic(now));
+        }
+    }
+
+    /// Renders the watchdog abort diagnostic: governor, memory-controller,
+    /// and pacer snapshots plus the fault counter, one line each.
+    fn watchdog_diagnostic(&self, now: Cycle) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "watchdog: no forward progress for {} epochs (epoch {}, cycle {})",
+            self.stalled_epochs, self.epochs_run, now
+        );
+        for (i, mon) in self.monitors.iter().enumerate() {
+            let s = mon.snapshot();
+            let _ = writeln!(
+                out,
+                "  monitor[{i}]: m={} dm={} e={} stale={} degraded={}",
+                s.m, s.delta_m, s.steady_epochs, s.stale_epochs, s.degraded
+            );
+        }
+        for (k, mc) in self.mcs.iter().enumerate() {
+            let s = mc.snapshot();
+            let _ = writeln!(
+                out,
+                "  mc[{k}]: read_q={} write_q={} pending={} stalled={}",
+                s.read_q_depth, s.write_q_depth, s.pending, self.mc_stalled[k]
+            );
+        }
+        for (i, tile) in self.tiles.iter().enumerate() {
+            for (k, p) in tile.mem.pacers().iter().enumerate() {
+                let s = p.snapshot(now);
+                let _ = writeln!(
+                    out,
+                    "  pacer[tile {i}, mc {k}]: period={} credit={} issued={} throttled={}",
+                    s.period, s.credit, s.issued, s.throttled
+                );
+            }
+        }
+        let _ = writeln!(out, "  faults_injected={}", self.faults_injected);
+        out
     }
 
     /// Builds one [`EpochRecord`] for the epoch that just ended and hands
@@ -644,13 +826,29 @@ pub struct SystemBuilder {
     weights: Vec<u32>,
     workloads: Vec<Vec<Box<dyn Workload>>>,
     l3_ways: Vec<Option<(usize, usize)>>,
+    fault_plan: Option<FaultPlan>,
 }
 
 impl SystemBuilder {
     /// Starts building a system with the given configuration and
     /// regulation mode.
     pub fn new(cfg: SystemConfig, mode: RegulationMode) -> Self {
-        Self { cfg, mode, weights: Vec::new(), workloads: Vec::new(), l3_ways: Vec::new() }
+        Self {
+            cfg,
+            mode,
+            weights: Vec::new(),
+            workloads: Vec::new(),
+            l3_ways: Vec::new(),
+            fault_plan: None,
+        }
+    }
+
+    /// Attaches a deterministic fault-injection plan (see
+    /// [`pabst_simkit::fault`]). An absent or inert plan leaves every
+    /// output byte-identical to an unfaulted run.
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
     }
 
     /// Adds a QoS class with proportional-share `weight`, running one
@@ -683,16 +881,15 @@ impl SystemBuilder {
         self.cfg.validate()?;
         let total_cores: usize = self.workloads.iter().map(Vec::len).sum();
         if total_cores == 0 {
-            return Err(ConfigError("at least one core must run a workload".into()));
+            return Err(ConfigError::NoWorkloads);
         }
         if total_cores > self.cfg.cores {
-            return Err(ConfigError(format!(
-                "classes use {total_cores} cores but the system has {}",
-                self.cfg.cores
-            )));
+            return Err(ConfigError::TooManyCores {
+                requested: total_cores,
+                available: self.cfg.cores,
+            });
         }
-        let shares =
-            ShareTable::from_weights(&self.weights).map_err(|e| ConfigError(e.to_string()))?;
+        let shares = ShareTable::from_weights(&self.weights).map_err(ConfigError::Weights)?;
 
         // L3 partitioning: equal exclusive slices by default.
         let mut l3 = SetAssocCache::new(self.cfg.l3);
@@ -738,6 +935,15 @@ impl SystemBuilder {
         }
 
         let cores = tiles.len();
+        let n_monitors = if self.cfg.per_mc_regulation { self.cfg.mcs } else { 1 };
+        // Epoch 0's mc-stall windows are decided at build time; later
+        // epochs refresh at each boundary.
+        let mc_stalled: Vec<bool> = (0..self.cfg.mcs)
+            .map(|k| {
+                self.fault_plan.as_ref().is_some_and(|p| p.fires(FaultKind::McStall, k as u64, 0))
+            })
+            .collect();
+        let faults_injected = mc_stalled.iter().filter(|&&s| s).count() as u64;
         Ok(System {
             metrics: Metrics::new(cores, classes, self.cfg.epoch_cycles),
             l3,
@@ -751,9 +957,7 @@ impl SystemBuilder {
             mc_out_pending: vec![0; self.cfg.mcs],
             mcs,
             resp_net: DelayQueue::new(self.cfg.resp_lat),
-            monitors: (0..if self.cfg.per_mc_regulation { self.cfg.mcs } else { 1 })
-                .map(|_| SystemMonitor::new(self.cfg.monitor))
-                .collect(),
+            monitors: (0..n_monitors).map(|_| SystemMonitor::new(self.cfg.monitor)).collect(),
             rategen: RateGenerator::default(),
             tiles,
             tile_class,
@@ -766,6 +970,11 @@ impl SystemBuilder {
             trace_sinks: Vec::new(),
             prev_throttles: vec![0; cores],
             completions_scratch: Vec::new(),
+            sat_history: vec![VecDeque::new(); n_monitors],
+            mc_stalled,
+            faults_injected,
+            stalled_epochs: 0,
+            fault_plan: self.fault_plan,
             cfg: self.cfg,
             mode: self.mode,
         })
@@ -954,6 +1163,159 @@ mod tests {
         }
         let b = run();
         assert_eq!(a, b, "trace must be deterministic across identical runs");
+    }
+
+    use pabst_simkit::fault::FaultSpec;
+    use pabst_workloads::{Region, StreamGen};
+
+    /// Memory-bound read streamers over a region far larger than the L3,
+    /// so every epoch generates misses for as long as the run lasts.
+    fn stream_boxes(n: usize) -> Vec<Box<dyn Workload>> {
+        (0..n)
+            .map(|i| {
+                Box::new(StreamGen::reads(Region::new(0, 1 << 16), i as u64)) as Box<dyn Workload>
+            })
+            .collect()
+    }
+
+    fn always(kind: FaultKind, target: u64, magnitude: u64) -> FaultSpec {
+        FaultSpec {
+            kind,
+            target,
+            from_epoch: 0,
+            until_epoch: u64::MAX,
+            prob_ppm: pabst_simkit::fault::PPM_SCALE,
+            magnitude,
+            seed: 1,
+        }
+    }
+
+    #[test]
+    fn watchdog_fires_on_a_permanently_stalled_mc() {
+        let mut cfg = SystemConfig::small_test();
+        cfg.watchdog_epochs = 3;
+        let mut plan = FaultPlan::new();
+        plan.push(always(FaultKind::McStall, 0, 0));
+        let mut sys = SystemBuilder::new(cfg, RegulationMode::Pabst)
+            .class(1, stream_boxes(2))
+            .fault_plan(plan)
+            .build()
+            .unwrap();
+        let panic = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            sys.run_epochs(20);
+        }))
+        .expect_err("a fully stalled memory system must trip the watchdog");
+        let msg =
+            panic.downcast_ref::<String>().cloned().unwrap_or_else(|| "<non-string panic>".into());
+        assert!(msg.starts_with("watchdog: no forward progress"), "{msg}");
+        assert!(msg.contains("mc[0]"), "diagnostic must include MC snapshots: {msg}");
+        assert!(msg.contains("monitor[0]"), "diagnostic must include governor state: {msg}");
+    }
+
+    #[test]
+    fn watchdog_is_silent_on_a_healthy_run() {
+        let mut cfg = SystemConfig::small_test();
+        cfg.watchdog_epochs = 2;
+        let mut sys = SystemBuilder::new(cfg, RegulationMode::Pabst)
+            .class(1, stream_boxes(2))
+            .build()
+            .unwrap();
+        sys.run_epochs(10);
+        assert_eq!(sys.epochs_run(), 10);
+        assert_eq!(sys.faults_injected(), 0);
+    }
+
+    #[test]
+    fn inert_fault_plan_is_bit_identical_to_no_plan() {
+        let run = |plan: Option<FaultPlan>| {
+            let cfg = SystemConfig::small_test();
+            let mut b = SystemBuilder::new(cfg, RegulationMode::Pabst).class(1, stream_boxes(2));
+            if let Some(p) = plan {
+                b = b.fault_plan(p);
+            }
+            let mut sys = b.build().unwrap();
+            let cap = Cap::default();
+            sys.add_trace_sink(Box::new(cap.clone()));
+            sys.run_epochs(6);
+            let records = cap.0.borrow().clone();
+            (records, sys.faults_injected())
+        };
+        let mut inert = FaultPlan::new();
+        for kind in FaultKind::ALL {
+            inert.push(FaultSpec {
+                kind,
+                target: 0,
+                from_epoch: 0,
+                until_epoch: u64::MAX,
+                prob_ppm: 0,
+                magnitude: 3,
+                seed: 7,
+            });
+        }
+        assert!(inert.is_inert());
+        let (a, faults_a) = run(None);
+        let (b, faults_b) = run(Some(inert));
+        assert_eq!(a, b, "an inert plan must not perturb a single trace field");
+        assert_eq!((faults_a, faults_b), (0, 0));
+    }
+
+    #[test]
+    fn sat_drop_drives_the_governor_into_degraded_mode() {
+        let cfg = SystemConfig::small_test();
+        let mut plan = FaultPlan::new();
+        plan.push(always(FaultKind::SatDrop, 0, 0));
+        let mut sys = SystemBuilder::new(cfg, RegulationMode::Pabst)
+            .class(1, stream_boxes(2))
+            .fault_plan(plan)
+            .build()
+            .unwrap();
+        sys.run_epochs(12);
+        // Every epoch's broadcast was dropped; past the staleness window
+        // the fail-safe decay kicks in.
+        assert_eq!(sys.faults_injected(), 12);
+        assert!(sys.degraded_epochs() > 0, "governor must enter the degraded policy");
+        assert_eq!(sys.degraded_epochs(), 12 - u64::from(cfg.monitor.staleness_k));
+    }
+
+    #[test]
+    fn finite_mc_stall_window_recovers_without_deadlock() {
+        let mut cfg = SystemConfig::small_test();
+        cfg.watchdog_epochs = 5;
+        let mut plan = FaultPlan::new();
+        plan.push(FaultSpec {
+            kind: FaultKind::McStall,
+            target: 0,
+            from_epoch: 1,
+            until_epoch: 2,
+            prob_ppm: pabst_simkit::fault::PPM_SCALE,
+            magnitude: 0,
+            seed: 0,
+        });
+        let mut sys = SystemBuilder::new(cfg, RegulationMode::Pabst)
+            .class(1, stream_boxes(2))
+            .fault_plan(plan)
+            .build()
+            .unwrap();
+        sys.run_epochs(8);
+        assert_eq!(sys.epochs_run(), 8, "the sweep must outlive the stall window");
+        assert_eq!(sys.faults_injected(), 2, "epochs 1 and 2 stall");
+        assert!(sys.bytes_since_mark(0) > 0, "traffic must flow after recovery");
+    }
+
+    #[test]
+    fn skew_and_credit_leak_fire_per_tile() {
+        let cfg = SystemConfig::small_test();
+        let mut plan = FaultPlan::new();
+        plan.push(always(FaultKind::EpochSkew, 0, 0));
+        plan.push(always(FaultKind::CreditLeak, 1, 10_000));
+        let mut sys = SystemBuilder::new(cfg, RegulationMode::Pabst)
+            .class(1, stream_boxes(2))
+            .fault_plan(plan)
+            .build()
+            .unwrap();
+        sys.run_epochs(6);
+        // One skew (tile 0) and one leak (tile 1) per boundary.
+        assert_eq!(sys.faults_injected(), 12);
     }
 
     #[test]

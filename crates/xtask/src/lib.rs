@@ -23,6 +23,9 @@
 //! * `thread` — no `std::thread` outside `bench::harness`; the sweep
 //!   executor is the single place parallelism is allowed, because its
 //!   submission-order merge is what keeps parallel runs byte-identical.
+//! * `fault-rng` — no direct `SimRng`/`gen_bool`/`gen_range` in mechanism
+//!   crates; randomized perturbations must route through `simkit::fault`
+//!   so every injection decision is plan-seeded and replayable.
 //!
 //! Suppression: `// simlint: allow(<rule>): <justification>` on the same
 //! line silences that line; on its own line it silences the item that
@@ -46,12 +49,21 @@ pub const RULE_UNWRAP: &str = "unwrap";
 pub const RULE_MISSING_DOCS: &str = "missing-docs";
 /// `std::thread` outside the sweep executor.
 pub const RULE_THREAD: &str = "thread";
+/// Direct RNG draws in mechanism crates instead of `simkit::fault`.
+pub const RULE_FAULT_RNG: &str = "fault-rng";
 /// Malformed suppression comments (missing justification, unknown rule).
 pub const RULE_SUPPRESSION: &str = "suppression";
 
 /// All real (suppressible) rule names.
-pub const ALL_RULES: [&str; 6] =
-    [RULE_HASH_MAP, RULE_NONDET, RULE_FLOAT_MATH, RULE_UNWRAP, RULE_MISSING_DOCS, RULE_THREAD];
+pub const ALL_RULES: [&str; 7] = [
+    RULE_HASH_MAP,
+    RULE_NONDET,
+    RULE_FLOAT_MATH,
+    RULE_UNWRAP,
+    RULE_MISSING_DOCS,
+    RULE_THREAD,
+    RULE_FAULT_RNG,
+];
 
 /// Crates whose simulation state must iterate deterministically (rule L1).
 const SIM_CRATES: [&str; 6] = ["simkit", "core", "cache", "cpu", "dram", "soc"];
@@ -68,6 +80,11 @@ const PANIC_FREE_CRATES: [&str; 2] = ["core", "simkit"];
 /// The one file allowed to touch `std::thread` (rule L6): the sweep
 /// executor whose submission-order merge makes parallelism deterministic.
 const THREAD_EXEMPT_FILES: [&str; 1] = ["crates/bench/src/harness.rs"];
+/// Crates whose non-test code may not draw from an RNG directly (rule L7).
+/// `simkit` hosts the RNG and the fault layer itself; `workloads` seeds
+/// access streams; everything else must take fault decisions from a
+/// `FaultPlan` so a run is a pure function of its plan and seeds.
+const RNG_CONFINED_CRATES: [&str; 5] = ["core", "cache", "cpu", "dram", "soc"];
 
 /// A single lint violation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -540,6 +557,7 @@ pub fn lint_source(spec: &FileSpec<'_>, source: &str) -> Vec<Diagnostic> {
     let panic_free = PANIC_FREE_CRATES.contains(&spec.crate_name);
     let wants_docs = spec.crate_name == "core";
     let thread_applies = !THREAD_EXEMPT_FILES.contains(&spec.rel_path);
+    let rng_confined = RNG_CONFINED_CRATES.contains(&spec.crate_name);
 
     // One diagnostic per (line, rule): a line with two banned tokens is one
     // problem to fix, not two.
@@ -681,6 +699,28 @@ pub fn lint_source(spec: &FileSpec<'_>, source: &str) -> Vec<Diagnostic> {
                      submission-order merge keeps output deterministic"
                         .into(),
                 );
+            }
+        }
+
+        // L7: mechanism crates must not draw randomness themselves. A
+        // stray `SimRng` in an arbiter or controller makes the run depend
+        // on draw order instead of the fault plan; every probabilistic
+        // decision belongs in `simkit::fault`, where it is a pure function
+        // of (seed, kind, target, epoch).
+        if rng_confined && !in_test {
+            for (_, w) in &toks {
+                if matches!(w.as_str(), "SimRng" | "gen_bool" | "gen_range") {
+                    push(
+                        &mut diags,
+                        ln,
+                        RULE_FAULT_RNG,
+                        format!(
+                            "{w} in a mechanism crate; route randomized \
+                                 decisions through simkit::fault (FaultPlan / \
+                                 FaultSpec::fires) so they replay bit-identically"
+                        ),
+                    );
+                }
             }
         }
 
@@ -984,6 +1024,30 @@ mod tests {
             FileSpec { crate_name: "soc", rel_path: "crates/soc/tests/t.rs", is_test: true };
         let diags = lint_source(&fixture, "fn f() { std::thread::sleep(d); }\n");
         assert_eq!(rules(&diags), [RULE_THREAD]);
+    }
+
+    #[test]
+    fn fault_rng_banned_in_mechanism_crates_only() {
+        let src = "use pabst_simkit::rng::SimRng;\nfn f(r: &mut SimRng) -> bool { r.gen_bool(500_000) }\n";
+        let diags = lint_source(&spec("soc", "crates/soc/src/x.rs"), src);
+        assert!(!diags.is_empty());
+        assert!(diags.iter().all(|d| d.rule == RULE_FAULT_RNG), "{diags:?}");
+        assert!(diags[0].message.contains("simkit::fault"), "{diags:?}");
+        // simkit hosts the RNG and the fault layer; workloads seed streams.
+        assert!(lint_source(&spec("simkit", "crates/simkit/src/fault.rs"), src).is_empty());
+        assert!(lint_source(&spec("workloads", "crates/workloads/src/x.rs"), src).is_empty());
+    }
+
+    #[test]
+    fn fault_rng_skips_test_code() {
+        let src =
+            "#[cfg(test)]\nmod tests {\n    fn f(r: &mut SimRng) -> u64 { r.gen_range(4) }\n}\n";
+        assert!(lint_source(&spec("core", "crates/core/src/x.rs"), src).is_empty());
+        let fixture =
+            FileSpec { crate_name: "dram", rel_path: "crates/dram/tests/t.rs", is_test: true };
+        assert!(
+            lint_source(&fixture, "fn f(r: &mut SimRng) -> u64 { r.gen_range(4) }\n").is_empty()
+        );
     }
 
     #[test]

@@ -125,6 +125,31 @@ fn thread_fixture_is_clean_in_the_harness_file() {
 }
 
 #[test]
+fn fault_rng_fixture_flags_direct_draws() {
+    let diags =
+        lint_fixture("soc", "crates/soc/src/fixture.rs", include_str!("fixtures/fault_rng.rs"));
+    assert!(diags.iter().all(|d| d.rule == xtask::RULE_FAULT_RNG), "{diags:?}");
+    // The `use`, both signatures naming SimRng, and both draw calls; the
+    // justified allow silences `sanctioned()` and `gen_bool_count` on the
+    // lookalike line never matches.
+    assert_eq!(lines_for(&diags, xtask::RULE_FAULT_RNG), vec![3, 5, 6, 9, 10]);
+}
+
+#[test]
+fn fault_rng_fixture_is_clean_in_simkit_and_workloads() {
+    for (krate, path) in [
+        ("simkit", "crates/simkit/src/fixture.rs"),
+        ("workloads", "crates/workloads/src/fixture.rs"),
+    ] {
+        let diags = lint_fixture(krate, path, include_str!("fixtures/fault_rng.rs"));
+        assert!(
+            !diags.iter().any(|d| d.rule == xtask::RULE_FAULT_RNG),
+            "{krate} hosts/seeds RNG legitimately: {diags:?}"
+        );
+    }
+}
+
+#[test]
 fn suppressed_fixture_is_fully_clean() {
     let diags =
         lint_fixture("core", "crates/core/src/pacer.rs", include_str!("fixtures/suppressed.rs"));

@@ -1,0 +1,22 @@
+//! Fixture: direct RNG draws in a mechanism crate (rule L7, `fault-rng`).
+
+use pabst_simkit::rng::SimRng;
+
+pub fn ad_hoc_drop(rng: &mut SimRng) -> bool {
+    rng.gen_bool(250_000)
+}
+
+pub fn ad_hoc_delay(rng: &mut SimRng) -> u64 {
+    rng.gen_range(8)
+}
+
+// A suppression with justification silences the item that follows.
+// simlint: allow(fault-rng): fixture demonstrating a sanctioned escape hatch
+pub fn sanctioned(rng: &mut SimRng) -> u64 {
+    rng.gen_range(2)
+}
+
+pub fn lookalikes_stay_clean() {
+    let gen_bool_count = 4;
+    let _ = gen_bool_count;
+}

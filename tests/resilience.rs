@@ -1,0 +1,136 @@
+//! The fault-injection contract, end to end: fault decisions are a pure
+//! function of the plan (so a faulted sweep is byte-identical at any
+//! `--jobs` count), plans round-trip through their JSONL schema, and a
+//! panicking grid cell degrades to a failure record — never a dead sweep
+//! or a truncated report.
+
+use pabst_bench::harness::{run_sweep, Experiment, ExperimentResult, Params, RunCtx, SweepOutput};
+use pabst_bench::registry;
+use pabst_simkit::fault::{FaultKind, FaultPlan, FaultSpec, PPM_SCALE};
+
+fn sweep(name: &str, jobs: usize) -> SweepOutput {
+    let exp = registry::find(name).expect("registered experiment");
+    run_sweep(exp, true, jobs, true)
+}
+
+#[test]
+fn faulted_sweep_is_byte_identical_across_jobs() {
+    // The resilience grid injects every fault kind (SAT drop/corrupt,
+    // epoch skew, credit leak, MC stall windows). Each injection decision
+    // is a stateless draw keyed by (seed, kind, target, epoch), so the
+    // worker schedule must not be able to change any outcome.
+    let serial = sweep("resilience", 1);
+    let parallel = sweep("resilience", 4);
+    assert_eq!(serial.rendered, parallel.rendered, "rendered table depends on --jobs");
+    assert_eq!(serial.trace, parallel.trace, "merged trace JSONL depends on --jobs");
+    assert_eq!(serial.reports, parallel.reports, "merged report JSON depends on --jobs");
+    assert!(serial.failures.is_empty(), "the resilience grid must survive its own faults");
+    assert!(serial.rendered.contains("sat-drop/0ppm"), "healthy reference row present");
+}
+
+#[test]
+fn fault_plans_round_trip_through_jsonl() {
+    let mut plan = FaultPlan::new();
+    for (i, kind) in FaultKind::ALL.iter().enumerate() {
+        plan.push(FaultSpec {
+            kind: *kind,
+            target: i as u64,
+            from_epoch: i as u64,
+            until_epoch: 40 + i as u64,
+            prob_ppm: (i as u64 + 1) * 1_000,
+            magnitude: i as u64 * 7,
+            seed: 0xFEED ^ i as u64,
+        });
+    }
+    let text = plan.to_jsonl();
+    let back = FaultPlan::parse(&text).expect("schema round-trips");
+    assert_eq!(back.specs(), plan.specs());
+    assert_eq!(back.to_jsonl(), text, "serialization is canonical");
+}
+
+// A deliberately flaky experiment: four cells, the third panics. Must be
+// a plain fn table (no closures) because `Experiment` holds fn pointers.
+fn flaky_grid(_quick: bool) -> Vec<Params> {
+    (0..4).map(|i| Params::new("flaky_it", format!("cell{i}"), i, 1)).collect()
+}
+
+fn flaky_run(p: &Params, ctx: RunCtx) -> ExperimentResult {
+    assert!(p.index != 2, "injected panic in cell {}", p.index);
+    ctx.finish(p, vec![("v", p.index as f64)], Vec::new())
+}
+
+fn flaky_render(results: &[ExperimentResult]) -> String {
+    let vs: Vec<String> = results.iter().map(|r| format!("{}", r.metric("v"))).collect();
+    format!("flaky_it: {}\n", vs.join(" "))
+}
+
+const FLAKY: Experiment = Experiment {
+    name: "flaky_it",
+    title: "integration fixture: one cell panics",
+    grid: flaky_grid,
+    run: flaky_run,
+    render: flaky_render,
+};
+
+#[test]
+fn panicking_cell_yields_failure_record_and_complete_report() {
+    for jobs in [1, 3] {
+        let out = run_sweep(&FLAKY, true, jobs, false);
+        assert_eq!(out.failures.len(), 1, "exactly the injected failure (jobs={jobs})");
+        let f = &out.failures[0];
+        assert_eq!(f.params.config, "cell2");
+        assert!(f.panic.contains("injected panic in cell 2"), "{}", f.panic);
+        assert!(f.repro("resilience").contains("--jobs 1"), "repro pins one worker");
+        // The surviving cells still render, and the failure is visible.
+        assert!(out.rendered.starts_with("flaky_it: 0 1 3\n"), "{}", out.rendered);
+        assert!(out.rendered.contains("FAILED flaky_it/cell2 (seed 0):"), "{}", out.rendered);
+        // The merged report carries a machine-readable failure line in the
+        // failed cell's submission-order slot.
+        let failed: Vec<&str> =
+            out.reports.lines().filter(|l| l.contains("\"failed\":true")).collect();
+        assert_eq!(failed.len(), 1, "{}", out.reports);
+        assert!(
+            failed[0].starts_with("{\"experiment\":\"flaky_it\",\"config\":\"cell2\",\"seed\":0,"),
+            "{}",
+            failed[0]
+        );
+    }
+}
+
+#[test]
+fn all_zero_probability_plan_never_fires() {
+    // The byte-identity acceptance criterion in miniature: a plan whose
+    // specs all carry probability zero makes no draws and fires nowhere.
+    let mut plan = FaultPlan::new();
+    for kind in FaultKind::ALL {
+        plan.push(FaultSpec {
+            kind,
+            target: 0,
+            from_epoch: 0,
+            until_epoch: u64::MAX,
+            prob_ppm: 0,
+            magnitude: 3,
+            seed: 9,
+        });
+    }
+    assert!(plan.is_inert());
+    for kind in FaultKind::ALL {
+        for epoch in 0..64 {
+            assert!(!plan.fires(kind, 0, epoch));
+            assert_eq!(plan.magnitude(kind, 0, epoch), None);
+        }
+    }
+    // And a certain spec (prob == PPM_SCALE) fires on every in-window epoch.
+    let certain = FaultSpec {
+        kind: FaultKind::McStall,
+        target: 1,
+        from_epoch: 2,
+        until_epoch: 5,
+        prob_ppm: PPM_SCALE,
+        magnitude: 0,
+        seed: 0,
+    };
+    for epoch in 0..8 {
+        assert_eq!(certain.fires(epoch), (2..=5).contains(&epoch));
+    }
+}
