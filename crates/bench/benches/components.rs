@@ -71,6 +71,7 @@ fn bench_dram() {
     let mut mc = MemController::new(DramConfig::default(), ArbiterMode::Edf, &shares, 128);
     let mut now = 0u64;
     let mut line = 0u64;
+    let mut done = Vec::new();
     bench("dram/mc_step_saturated", 100_000, || {
         while mc.can_accept() {
             if mc
@@ -87,7 +88,9 @@ fn bench_dram() {
             line += 1;
         }
         now += 1;
-        std::hint::black_box(mc.step(now).len());
+        done.clear();
+        mc.step_into(now, &mut done);
+        std::hint::black_box(done.len());
     });
 }
 

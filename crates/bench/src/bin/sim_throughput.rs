@@ -11,18 +11,29 @@
 use std::time::Instant;
 
 use pabst_bench::obs::CliArgs;
-use pabst_bench::scenarios::read_streamers;
+use pabst_bench::scenarios::{read_streamers, region_for};
 use pabst_bench::{harness, timing};
+use pabst_cpu::Workload;
 use pabst_soc::config::{RegulationMode, SystemConfig};
 use pabst_soc::system::{System, SystemBuilder};
+use pabst_workloads::ChaserGen;
 
-/// One profiled configuration.
+/// One profiled configuration, timed twice: with event-horizon
+/// fast-forward (the default execution strategy) and naive per-cycle
+/// stepping (`skip(false)`, the `PABST_NO_SKIP` baseline).
 struct Profile {
     name: &'static str,
     epoch_cycles: u64,
     epochs_timed: u64,
     elapsed_ns: u128,
     cycles_per_sec: u64,
+    noskip_elapsed_ns: u128,
+    noskip_cycles_per_sec: u64,
+    /// Cycles fast-forwarded during the timed window.
+    cycles_skipped: u64,
+    /// `cycles_skipped / cycles_timed` — the fraction of simulated time
+    /// the skip loop proved dead.
+    skip_rate: f64,
 }
 
 /// Serial vs parallel wall-clock for a batch of independent runs.
@@ -33,21 +44,44 @@ struct SweepProfile {
     parallel_ns: u128,
 }
 
-fn build(name: &str) -> System {
-    let (cfg, per_class) = match name {
-        "small" => (SystemConfig::small_test(), 2),
-        _ => (SystemConfig::baseline_32core(), 16),
-    };
-    SystemBuilder::new(cfg, RegulationMode::Pabst)
-        .class(3, read_streamers(0, per_class, 0))
-        .class(1, read_streamers(1, per_class, 0))
-        .build()
-        .expect("throughput configuration")
+/// Single-chain pointer chasers: each core walks one dependence chain,
+/// so it can never overlap its own misses — the latency-bound,
+/// memory-stall-heavy regime the event-horizon fast-forward targets.
+fn chasers_1chain(class: usize, n: usize, seed: u64) -> Vec<Box<dyn Workload>> {
+    (0..n)
+        .map(|i| {
+            Box::new(ChaserGen::new(region_for(class, i, 1 << 18), 1, seed + i as u64))
+                as Box<dyn Workload>
+        })
+        .collect()
 }
 
-fn profile(name: &'static str, epochs: u64) -> Profile {
-    let mut sys = build(name);
+fn build(name: &str, skip: bool) -> System {
+    let (mut cfg, per_class) = match name {
+        "baseline" => (SystemConfig::baseline_32core(), 16),
+        _ => (SystemConfig::small_test(), 2),
+    };
+    let b = if name == "chaser" {
+        // Quarter-speed DDR (the fig11 static-baseline knob) stretches
+        // every miss, so nearly all of simulated time is pure stall.
+        cfg.dram = cfg.dram.down_clocked(4);
+        SystemBuilder::new(cfg, RegulationMode::Pabst)
+            .class(3, chasers_1chain(0, per_class, 0))
+            .class(1, chasers_1chain(1, per_class, 0))
+    } else {
+        SystemBuilder::new(cfg, RegulationMode::Pabst)
+            .class(3, read_streamers(0, per_class, 0))
+            .class(1, read_streamers(1, per_class, 0))
+    };
+    b.skip(skip).build().expect("throughput configuration")
+}
+
+/// Times `epochs` epochs of `name` in one skip mode, returning the
+/// elapsed time, cycles/second, and cycles fast-forwarded in the window.
+fn time_run(name: &str, epochs: u64, skip: bool) -> (u128, u64, u64) {
+    let mut sys = build(name, skip);
     sys.run_epochs(1); // warm caches, queues, and the governor
+    let skipped_before = sys.cycles_skipped();
     let epoch_cycles = sys.metrics().bw_series.epoch_cycles();
     let start = Instant::now();
     sys.run_epochs(epochs as usize);
@@ -55,16 +89,31 @@ fn profile(name: &'static str, epochs: u64) -> Profile {
     let cycles = epochs * epoch_cycles;
     let secs = elapsed.as_secs_f64();
     let cps = if secs > 0.0 { (cycles as f64 / secs) as u64 } else { 0 };
+    (elapsed.as_nanos(), cps, sys.cycles_skipped() - skipped_before)
+}
+
+fn profile(name: &'static str, epochs: u64) -> Profile {
+    let epoch_cycles = build(name, true).metrics().bw_series.epoch_cycles();
+    let (elapsed_ns, cps, skipped) = time_run(name, epochs, true);
+    let (noskip_ns, noskip_cps, _) = time_run(name, epochs, false);
+    let cycles = epochs * epoch_cycles;
+    let rate = skipped as f64 / cycles as f64;
     println!(
-        "{name:<10} {epochs:>3} epochs x {epoch_cycles} cycles in {:>8.1} ms  ->  {cps} cycles/s",
-        secs * 1e3
+        "{name:<10} {epochs:>3} epochs x {epoch_cycles} cycles in {:>8.1} ms  ->  {cps} cycles/s \
+         (skip rate {:.1}%, naive {noskip_cps} cycles/s)",
+        elapsed_ns as f64 / 1e6,
+        rate * 100.0,
     );
     Profile {
         name,
         epoch_cycles,
         epochs_timed: epochs,
-        elapsed_ns: elapsed.as_nanos(),
+        elapsed_ns,
         cycles_per_sec: cps,
+        noskip_elapsed_ns: noskip_ns,
+        noskip_cycles_per_sec: noskip_cps,
+        cycles_skipped: skipped,
+        skip_rate: rate,
     }
 }
 
@@ -74,7 +123,7 @@ fn profile(name: &'static str, epochs: u64) -> Profile {
 fn profile_sweep(jobs: usize, runs: usize, epochs: usize) -> SweepProfile {
     let items: Vec<usize> = (0..runs).collect();
     let run_one = |_i: usize, _item: &usize| {
-        let mut sys = build("small");
+        let mut sys = build("small", true);
         sys.run_epochs(epochs);
     };
     let start = Instant::now();
@@ -102,8 +151,17 @@ fn to_json(profiles: &[Profile], sweep: &SweepProfile) -> String {
         let _ = write!(
             s,
             "{{\"name\":\"{}\",\"epoch_cycles\":{},\"epochs_timed\":{},\
-             \"elapsed_ns\":{},\"cycles_per_sec\":{}}}",
-            p.name, p.epoch_cycles, p.epochs_timed, p.elapsed_ns, p.cycles_per_sec
+             \"elapsed_ns\":{},\"cycles_per_sec\":{},\"noskip_elapsed_ns\":{},\
+             \"noskip_cycles_per_sec\":{},\"cycles_skipped\":{},\"skip_rate\":{:.4}}}",
+            p.name,
+            p.epoch_cycles,
+            p.epochs_timed,
+            p.elapsed_ns,
+            p.cycles_per_sec,
+            p.noskip_elapsed_ns,
+            p.noskip_cycles_per_sec,
+            p.cycles_skipped,
+            p.skip_rate
         );
     }
     let _ = writeln!(
@@ -120,7 +178,8 @@ fn main() {
     let epochs = if quick { 2 } else { 10 };
     println!("simulator throughput ({} mode)", if quick { "smoke" } else { "full" });
 
-    let profiles = vec![profile("small", epochs), profile("baseline", epochs)];
+    let profiles =
+        vec![profile("small", epochs), profile("baseline", epochs), profile("chaser", epochs)];
 
     // Per-epoch wall time through the micro-benchmark harness (median of
     // 9 samples, fresh warmed system per sample) — the step()-path number
@@ -129,7 +188,7 @@ fn main() {
         timing::bench_batched(
             "epoch(small_test, 4 streamers)",
             || {
-                let mut sys = build("small");
+                let mut sys = build("small", true);
                 sys.run_epochs(1);
                 sys
             },

@@ -7,8 +7,6 @@
 //! system backs up — the queuing-outside-the-target effect central to the
 //! paper's Fig. 1(b).
 
-use std::collections::BTreeMap;
-
 use crate::addr::LineAddr;
 
 /// Result of attempting to allocate an MSHR for a miss.
@@ -40,12 +38,17 @@ pub enum MshrOutcome {
 /// ```
 #[derive(Debug, Clone)]
 pub struct MshrTable<W> {
-    /// Keyed by line address in a BTreeMap so any future iteration over
-    /// in-flight entries is address-ordered, never hasher-ordered — a
-    /// simlint L1 requirement for simulation determinism.
-    entries: BTreeMap<LineAddr, Vec<W>>,
+    /// In-flight entries in a flat insertion-ordered table. The table is
+    /// small (hardware MSHR counts), so linear tag search beats a tree or
+    /// hash both in host-cache behavior and in allocation traffic; all
+    /// lookups are by exact line, so the ordering is never observable —
+    /// the determinism requirement (simlint L1) holds trivially.
+    entries: Vec<(LineAddr, Vec<W>)>,
     capacity: usize,
     peak: usize,
+    /// Recycled waiter lists: completing a miss returns its `Vec` here so
+    /// steady-state allocation/release performs no heap traffic.
+    pool: Vec<Vec<W>>,
 }
 
 impl<W> MshrTable<W> {
@@ -56,32 +59,47 @@ impl<W> MshrTable<W> {
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "MSHR capacity must be non-zero");
-        Self { entries: BTreeMap::new(), capacity, peak: 0 }
+        Self { entries: Vec::with_capacity(capacity), capacity, peak: 0, pool: Vec::new() }
     }
 
     /// Attempts to register a miss on `line` for `waiter`.
     pub fn alloc(&mut self, line: LineAddr, waiter: W) -> MshrOutcome {
-        if let Some(waiters) = self.entries.get_mut(&line) {
+        if let Some((_, waiters)) = self.entries.iter_mut().find(|(l, _)| *l == line) {
             waiters.push(waiter);
             return MshrOutcome::Secondary;
         }
         if self.entries.len() >= self.capacity {
             return MshrOutcome::Full;
         }
-        self.entries.insert(line, vec![waiter]);
+        let mut waiters = self.pool.pop().unwrap_or_default();
+        waiters.push(waiter);
+        self.entries.push((line, waiters));
         self.peak = self.peak.max(self.entries.len());
         MshrOutcome::Primary
     }
 
+    /// Completes the miss on `line`, appending all merged waiters to
+    /// `out` (none when no entry existed) and recycling the entry's
+    /// storage. The allocation-free form production fill paths use.
+    pub fn complete_into(&mut self, line: LineAddr, out: &mut Vec<W>) {
+        let Some(i) = self.entries.iter().position(|(l, _)| *l == line) else { return };
+        let (_, mut waiters) = self.entries.swap_remove(i);
+        out.append(&mut waiters);
+        self.pool.push(waiters);
+    }
+
     /// Completes the miss on `line`, releasing the entry and returning all
-    /// merged waiters (empty when no entry existed).
+    /// merged waiters (empty when no entry existed). Allocating
+    /// convenience wrapper over [`MshrTable::complete_into`].
     pub fn complete(&mut self, line: LineAddr) -> Vec<W> {
-        self.entries.remove(&line).unwrap_or_default()
+        let mut out = Vec::new();
+        self.complete_into(line, &mut out);
+        out
     }
 
     /// True when `line` has an in-flight entry.
     pub fn contains(&self, line: LineAddr) -> bool {
-        self.entries.contains_key(&line)
+        self.entries.iter().any(|(l, _)| *l == line)
     }
 
     /// Outstanding primary misses.

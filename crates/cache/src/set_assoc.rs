@@ -132,7 +132,10 @@ impl Way {
 #[derive(Debug, Clone)]
 pub struct SetAssocCache {
     cfg: CacheConfig,
-    sets: Vec<Vec<Way>>,
+    /// All ways of all sets in one flat allocation (`sets * ways` long,
+    /// set-major): one indirection per lookup instead of two, and
+    /// adjacent ways share cache lines of the *host* machine.
+    ways: Vec<Way>,
     masks: [WayMask; MAX_CLASSES],
     tick: u64,
     hits: u64,
@@ -146,12 +149,22 @@ impl SetAssocCache {
         assert!(cfg.ways > 0 && cfg.ways <= 64, "ways must be in 1..=64");
         Self {
             cfg,
-            sets: vec![vec![Way::empty(); cfg.ways]; cfg.sets],
+            ways: vec![Way::empty(); cfg.sets * cfg.ways],
             masks: [WayMask::all(cfg.ways); MAX_CLASSES],
             tick: 0,
             hits: 0,
             misses: 0,
         }
+    }
+
+    /// The ways of the set holding `line`, as one contiguous slice.
+    fn set(&self, si: usize) -> &[Way] {
+        &self.ways[si * self.cfg.ways..(si + 1) * self.cfg.ways]
+    }
+
+    /// Mutable form of [`SetAssocCache::set`].
+    fn set_mut(&mut self, si: usize) -> &mut [Way] {
+        &mut self.ways[si * self.cfg.ways..(si + 1) * self.cfg.ways]
     }
 
     /// The cache geometry.
@@ -184,7 +197,7 @@ impl SetAssocCache {
         self.tick += 1;
         let (si, tag) = (self.set_index(line), self.tag(line));
         let tick = self.tick;
-        if let Some(w) = self.sets[si].iter_mut().find(|w| w.valid && w.tag == tag) {
+        if let Some(w) = self.set_mut(si).iter_mut().find(|w| w.valid && w.tag == tag) {
             w.lru = tick;
             self.hits += 1;
             true
@@ -200,7 +213,7 @@ impl SetAssocCache {
         let hit = self.probe(line);
         if hit {
             let (si, tag) = (self.set_index(line), self.tag(line));
-            if let Some(w) = self.sets[si].iter_mut().find(|w| w.valid && w.tag == tag) {
+            if let Some(w) = self.set_mut(si).iter_mut().find(|w| w.valid && w.tag == tag) {
                 w.dirty = true;
             }
         }
@@ -210,7 +223,7 @@ impl SetAssocCache {
     /// True when `line` is present, without touching LRU or hit counters.
     pub fn contains(&self, line: LineAddr) -> bool {
         let (si, tag) = (self.set_index(line), self.tag(line));
-        self.sets[si].iter().any(|w| w.valid && w.tag == tag)
+        self.set(si).iter().any(|w| w.valid && w.tag == tag)
     }
 
     /// Installs `line` on behalf of `class` (write-allocate when `dirty`),
@@ -225,14 +238,15 @@ impl SetAssocCache {
         let tick = self.tick;
 
         // Already present (e.g. a racing fill): refresh, merge dirty.
-        if let Some(w) = self.sets[si].iter_mut().find(|w| w.valid && w.tag == tag) {
+        if let Some(w) = self.set_mut(si).iter_mut().find(|w| w.valid && w.tag == tag) {
             w.lru = tick;
             w.dirty |= dirty;
             return None;
         }
 
         let mask = self.masks[class.index()];
-        let set = &mut self.sets[si];
+        let shift = self.cfg.sets.trailing_zeros();
+        let set = self.set_mut(si);
 
         // Prefer an invalid way within the partition.
         let slot = set
@@ -254,7 +268,7 @@ impl SetAssocCache {
         let victim = &mut set[slot];
         let evicted = if victim.valid {
             Some(Evicted {
-                line: LineAddr::new((victim.tag << self.cfg.sets.trailing_zeros()) | si as u64),
+                line: LineAddr::new((victim.tag << shift) | si as u64),
                 owner: victim.owner,
                 dirty: victim.dirty,
             })
@@ -269,7 +283,7 @@ impl SetAssocCache {
     pub fn invalidate(&mut self, line: LineAddr) -> Option<Evicted> {
         let (si, tag) = (self.set_index(line), self.tag(line));
         let sets_shift = self.cfg.sets.trailing_zeros();
-        let w = self.sets[si].iter_mut().find(|w| w.valid && w.tag == tag)?;
+        let w = self.set_mut(si).iter_mut().find(|w| w.valid && w.tag == tag)?;
         w.valid = false;
         Some(Evicted {
             line: LineAddr::new((w.tag << sets_shift) | si as u64),
@@ -290,7 +304,7 @@ impl SetAssocCache {
 
     /// Valid lines currently held by `class` (occupancy monitoring, §II-B).
     pub fn occupancy(&self, class: QosId) -> usize {
-        self.sets.iter().flat_map(|s| s.iter()).filter(|w| w.valid && w.owner == class).count()
+        self.ways.iter().filter(|w| w.valid && w.owner == class).count()
     }
 }
 

@@ -149,6 +149,31 @@ impl Pacer {
         }
     }
 
+    /// The earliest cycle at which [`Pacer::try_issue`] can succeed: `0`
+    /// when unthrottled (period zero), otherwise `C_next`. A value less
+    /// than or equal to the current cycle means "right now". This is the
+    /// pacer's contribution to a fast-forward horizon: while the head of
+    /// a tile's injection queue is NACKed, nothing about the pacer
+    /// changes until this cycle except the per-cycle throttle counter,
+    /// which the skip path accrues via [`Pacer::note_throttled`].
+    pub fn next_issue_at(&self) -> Cycle {
+        if self.period == 0 {
+            0
+        } else {
+            self.c_next
+        }
+    }
+
+    /// Batch-accrues `n` throttle events without consulting the clock —
+    /// exactly what `n` consecutive NACKing [`Pacer::try_issue`] calls
+    /// would have recorded. Only valid over a window in which every one
+    /// of those calls would have NACKed (i.e. the window ends before
+    /// [`Pacer::next_issue_at`]); while throttled, the lazy credit clamp
+    /// is a no-op, so the counter is the pacer's only per-cycle state.
+    pub fn note_throttled(&mut self, n: u64) {
+        self.throttled += n;
+    }
+
     /// Requests issued (admitted) so far.
     pub fn issued(&self) -> u64 {
         self.issued
@@ -325,6 +350,33 @@ mod tests {
         }
         assert_eq!(p.throttled(), 49);
         assert_eq!(p.issued(), 1);
+    }
+
+    #[test]
+    fn batched_throttles_match_naive_nack_loop() {
+        // A throttled window stepped naively and one fast-forwarded with
+        // note_throttled must leave bit-identical pacers.
+        let mut naive = Pacer::new(50);
+        let mut skipped = Pacer::new(50);
+        assert!(naive.try_issue(0));
+        assert!(skipped.try_issue(0));
+        assert_eq!(skipped.next_issue_at(), 50);
+        for now in 1..50 {
+            assert!(!naive.try_issue(now));
+        }
+        skipped.note_throttled(49);
+        assert_eq!(naive, skipped);
+        assert!(naive.try_issue(50));
+        assert!(skipped.try_issue(50));
+        assert_eq!(naive, skipped);
+    }
+
+    #[test]
+    fn next_issue_at_is_zero_when_unthrottled() {
+        let mut p = Pacer::new(0);
+        assert_eq!(p.next_issue_at(), 0);
+        let _ = p.try_issue(100);
+        assert_eq!(p.next_issue_at(), 0);
     }
 
     #[test]

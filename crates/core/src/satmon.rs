@@ -44,6 +44,16 @@ impl SatMonitor {
         self.occupancy.sample(occupancy as u64);
     }
 
+    /// Records the same occupancy for `cycles` consecutive cycles in one
+    /// call — equivalent to `cycles` calls of [`SatMonitor::sample`].
+    /// Used when the simulation fast-forwards over a quiescent window:
+    /// the queue depth cannot have changed while nothing stepped, so the
+    /// per-cycle samples naive stepping would have taken are all equal.
+    pub fn sample_n(&mut self, occupancy: usize, cycles: u64) {
+        debug_assert!(occupancy <= self.capacity, "occupancy above capacity");
+        self.occupancy.sample_n(occupancy as u64, cycles);
+    }
+
     /// Computes the SAT bit for the epoch that just ended (mean occupancy
     /// strictly greater than half capacity) and resets for the next epoch.
     ///
@@ -91,6 +101,19 @@ mod tests {
             m.sample(0);
         }
         assert!(!m.take_epoch_sat());
+    }
+
+    #[test]
+    fn sample_n_is_equivalent_to_repeated_samples() {
+        let mut batched = SatMonitor::new(32);
+        let mut looped = SatMonitor::new(32);
+        batched.sample(20);
+        batched.sample_n(17, 99);
+        looped.sample(20);
+        for _ in 0..99 {
+            looped.sample(17);
+        }
+        assert_eq!(batched.take_epoch_sat(), looped.take_epoch_sat());
     }
 
     #[test]

@@ -211,6 +211,122 @@ impl OooCore {
         self.outstanding = self.outstanding.saturating_sub(1);
     }
 
+    /// Earliest cycle at which stepping this core could change observable
+    /// state, or `None` when the core is wedged on external input (an
+    /// outstanding miss that only [`OooCore::on_fill`] can resolve).
+    ///
+    /// The answer follows the horizon contract (`docs/PERFORMANCE.md`):
+    /// it may be conservative (report `now` when a step would in fact be
+    /// a no-op) but never optimistic. Each pipeline stage is inspected
+    /// with the same predicates [`OooCore::step`] uses:
+    ///
+    /// * dispatch acts every cycle unless a carried-over op still does
+    ///   not fit the ROB (and the blocked cycle itself is observable —
+    ///   see [`OooCore::accrue_skip`]);
+    /// * retire acts when the head is retirable now, and schedules a
+    ///   timed wake when the head load's data has a known arrival cycle;
+    /// * issue acts when any attention-list entry could issue or resolve
+    ///   a dependence now, with timed wakes for producers whose data
+    ///   arrival is already scheduled.
+    pub fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        use pabst_simkit::horizon::Horizon;
+
+        // Undrained markers: the SoC reads them every stepped cycle, so
+        // they must be handed over before any window is skipped.
+        if !self.markers.is_empty() {
+            return Some(now);
+        }
+        // Dispatch: with no carried-over op the next workload op is
+        // consumed (a mutation even if it then fails to fit); a carried
+        // op that fits dispatches immediately.
+        match &self.pending_op {
+            None => return Some(now),
+            Some(op) => {
+                if self.rob_insts + op.insts() <= self.cfg.rob {
+                    return Some(now);
+                }
+            }
+        }
+        let mut h = Horizon::new();
+        // Retire: only the head can block, and only a head load with a
+        // scheduled completion contributes a timed wake.
+        match self.rob.front() {
+            None | Some(Entry::Store { issued: false, .. }) => {}
+            Some(Entry::Insts { .. } | Entry::Marker { .. }) => return Some(now),
+            Some(Entry::Store { issued: true, .. }) => return Some(now),
+            Some(Entry::Load { state: LoadState::Done(at), .. }) => {
+                if *at <= now {
+                    return Some(now);
+                }
+                h.add(*at);
+            }
+            Some(Entry::Load { .. }) => {}
+        }
+        // Issue: mirror the issue stage's own early-exit — when loads
+        // are MLP-bound and no store is pending, the whole list is inert.
+        let mlp_bound = self.outstanding >= self.cfg.max_outstanding && self.attention_stores == 0;
+        if !self.attention.is_empty() && !mlp_bound {
+            for &seq in &self.attention {
+                let Some(idx) = seq.checked_sub(self.head_seq) else { return Some(now) };
+                let Some(entry) = self.rob.get(idx as usize) else { return Some(now) };
+                match entry {
+                    Entry::Load { state, .. } => match state {
+                        LoadState::WaitDep(dep) => match self.load_pos.get(dep) {
+                            // Producer already retired: resolving the
+                            // dependence is itself a state change.
+                            None => return Some(now),
+                            Some(&pseq) => {
+                                let pidx = (pseq - self.head_seq) as usize;
+                                match self.rob.get(pidx) {
+                                    Some(Entry::Load { state: LoadState::Done(at), .. }) => {
+                                        if *at <= now {
+                                            return Some(now);
+                                        }
+                                        h.add(*at);
+                                    }
+                                    // Producer still in flight: it (or
+                                    // the memory system) owns the wake.
+                                    Some(Entry::Load { .. }) => {}
+                                    _ => return Some(now),
+                                }
+                            }
+                        },
+                        LoadState::Ready => {
+                            if self.outstanding < self.cfg.max_outstanding {
+                                // The port access could hit, miss or
+                                // stall — all of them mutate something.
+                                return Some(now);
+                            }
+                        }
+                        // Issued/Done entries leave the attention list
+                        // when they transition; seeing one here means an
+                        // assumption broke — refuse to skip over it.
+                        LoadState::Issued | LoadState::Done(_) => return Some(now),
+                    },
+                    Entry::Store { issued, .. } => {
+                        if !*issued {
+                            return Some(now);
+                        }
+                    }
+                    _ => return Some(now),
+                }
+            }
+        }
+        h.get()
+    }
+
+    /// Accounts for `cycles` skipped quiescent cycles: a quiescent core
+    /// by construction has a carried-over op that does not fit the ROB
+    /// ([`OooCore::next_event`] returns `now` otherwise), and naive
+    /// stepping would have charged one `rob_full_cycles` per cycle.
+    pub fn accrue_skip(&mut self, cycles: u64) {
+        debug_assert!(
+            self.pending_op.is_some(),
+            "skip accrual on a core whose dispatch is not blocked"
+        );
+        self.stats.rob_full_cycles += cycles;
+    }
+
     fn entry_mut(&mut self, seq: u64) -> Option<&mut Entry> {
         let idx = seq.checked_sub(self.head_seq)? as usize;
         self.rob.get_mut(idx)
@@ -690,5 +806,101 @@ mod tests {
     #[should_panic(expected = "zero-sized core")]
     fn zero_config_panics() {
         let _ = OooCore::new(CoreConfig { rob: 0, ..CoreConfig::default() });
+    }
+
+    #[test]
+    fn next_event_is_now_when_dispatch_can_progress() {
+        // An idle core still consumes the workload every cycle.
+        let core = OooCore::new(CoreConfig::default());
+        assert_eq!(core.next_event(5), Some(5));
+    }
+
+    #[test]
+    fn wedged_core_reports_no_event_and_accrues_stall_cycles() {
+        // All-miss loads, never filled: the core wedges with a full ROB
+        // and only an external fill could wake it.
+        let mk = || {
+            (
+                OooCore::new(CoreConfig { rob: 32, ..CoreConfig::default() }),
+                MissMem::default(),
+                LoadEvery { gap: 1, next: 0, emitted_load: false },
+            )
+        };
+        let (mut skip, mut smem, mut swl) = mk();
+        let (mut naive, mut nmem, mut nwl) = mk();
+        for now in 0..200 {
+            skip.step(now, &mut swl, &mut smem);
+            naive.step(now, &mut nwl, &mut nmem);
+        }
+        assert_eq!(skip.next_event(200), None, "a wedged core schedules nothing");
+        // Naive steps the dead window cycle by cycle; the other core
+        // accrues the whole window in one call.
+        for now in 200..500 {
+            naive.step(now, &mut nwl, &mut nmem);
+        }
+        skip.accrue_skip(300);
+        assert_eq!(skip.stats().rob_full_cycles, naive.stats().rob_full_cycles);
+        assert_eq!(skip.stats().retired, naive.stats().retired);
+        assert_eq!(skip.stats().loads, naive.stats().loads);
+        assert_eq!(skip.outstanding(), naive.outstanding());
+    }
+
+    #[test]
+    fn next_event_wakes_exactly_at_head_load_completion() {
+        // A tiny ROB full of chained loads against a slow flat memory:
+        // after the head load issues (cycle 1, latency 50) nothing can
+        // happen until its data arrives at cycle 51.
+        let cfg = CoreConfig { rob: 4, width: 4, max_outstanding: 1 };
+        let mut skip = OooCore::new(cfg);
+        let mut naive = OooCore::new(cfg);
+        let (mut swl, mut nwl) = (Chain { next: 0 }, Chain { next: 0 });
+        let (mut smem, mut nmem) = (FlatMem(50), FlatMem(50));
+        for now in 0..3 {
+            skip.step(now, &mut swl, &mut smem);
+            naive.step(now, &mut nwl, &mut nmem);
+        }
+        assert_eq!(skip.next_event(3), Some(51));
+        for now in 3..51 {
+            naive.step(now, &mut nwl, &mut nmem);
+        }
+        skip.accrue_skip(51 - 3);
+        for now in 51..120 {
+            skip.step(now, &mut swl, &mut smem);
+            naive.step(now, &mut nwl, &mut nmem);
+        }
+        assert_eq!(skip.stats().retired, naive.stats().retired);
+        assert_eq!(skip.stats().rob_full_cycles, naive.stats().rob_full_cycles);
+        assert_eq!(skip.stats().loads, naive.stats().loads);
+    }
+
+    #[test]
+    fn undrained_markers_pin_the_horizon_to_now() {
+        struct Marked {
+            sent: bool,
+        }
+        impl Workload for Marked {
+            fn next_op(&mut self) -> Op {
+                if !self.sent {
+                    self.sent = true;
+                    Op::Marker(7)
+                } else {
+                    Op::Load { addr: Addr::new(64), id: LoadId(1), dep: None }
+                }
+            }
+            fn name(&self) -> &str {
+                "marked"
+            }
+        }
+        let mut core = OooCore::new(CoreConfig { rob: 1, width: 1, max_outstanding: 1 });
+        let mut mem = MissMem::default();
+        let mut wl = Marked { sent: false };
+        for now in 0..5 {
+            core.step(now, &mut wl, &mut mem);
+        }
+        assert!(core.has_markers());
+        assert_eq!(core.next_event(5), Some(5), "markers must drain before a skip");
+        let _ = core.take_markers();
+        // With markers drained the core is wedged on its unfilled load.
+        assert_eq!(core.next_event(5), None);
     }
 }

@@ -102,6 +102,12 @@ struct QueuedReq {
     deadline: VirtualDeadline,
     seq: u64,
     enq_at: Cycle,
+    /// Bank index of `req.line`, decoded once at acceptance. The issue
+    /// stage and the horizon scan visit every queued entry per cycle, and
+    /// the address-decode divisions dominate that walk if recomputed.
+    bank: u32,
+    /// Row index of `req.line`, decoded once at acceptance.
+    row: u64,
 }
 
 #[derive(Debug)]
@@ -314,17 +320,20 @@ impl MemController {
         !self.ingress.is_full()
     }
 
-    /// Advances the controller one cycle, returning accesses whose data
-    /// burst completed this cycle.
-    pub fn step(&mut self, now: Cycle) -> Vec<Completion> {
+    /// Test-only convenience wrapper that allocates a fresh completion
+    /// vector per cycle. Production callers use
+    /// [`MemController::step_into`] with a reused buffer — the per-cycle
+    /// allocation measurably costs throughput at simulation scale, which
+    /// is why no public allocating form exists.
+    #[cfg(test)]
+    pub(crate) fn step_vec(&mut self, now: Cycle) -> Vec<Completion> {
         let mut out = Vec::new();
         self.step_into(now, &mut out);
         out
     }
 
     /// Advances the controller one cycle, appending accesses whose data
-    /// burst completed this cycle to `out`. The allocation-free form of
-    /// [`MemController::step`] for callers that step every cycle.
+    /// burst completed this cycle to `out`.
     pub fn step_into(&mut self, now: Cycle, out: &mut Vec<Completion>) {
         self.satmon.sample(self.read_q.len());
         if self.pending() == 0 {
@@ -343,6 +352,80 @@ impl MemController {
     /// resets the occupancy average (§III-C1).
     pub fn take_epoch_sat(&mut self) -> bool {
         self.satmon.take_epoch_sat()
+    }
+
+    /// Earliest cycle at which stepping this controller could change
+    /// observable state, or `None` when it holds no work at all.
+    ///
+    /// Follows the horizon contract (`docs/PERFORMANCE.md`): answers may
+    /// be conservative (a step at the reported cycle can turn out to be
+    /// a no-op, e.g. when write-drain mode picks a queue whose banks are
+    /// all busy) but never late. Each pipeline stage contributes the
+    /// cycle its own gating condition first opens:
+    ///
+    /// * ingress — a routable head is accepted the cycle it is stepped;
+    ///   a blocked head unblocks only after a front-end queue drains,
+    ///   which one of the bank/bus events below must precede;
+    /// * back end — a queued request can issue once its bank's timing
+    ///   holds (tRCD/tCAS/tRP) release, provided a data-buffer slot is
+    ///   free;
+    /// * bus — a burst can be booked once the booking window opens and
+    ///   its data is ready;
+    /// * completions — surface at their scheduled data-done cycle.
+    ///
+    /// The saturation monitor's per-cycle occupancy sample is *not* an
+    /// event (it never changes queue state); skipped cycles accrue it in
+    /// batch via [`MemController::accrue_skip`].
+    pub fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        use pabst_simkit::horizon::Horizon;
+
+        if self.pending() == 0 {
+            return None;
+        }
+        let mut h = Horizon::new();
+        if let Some(head) = self.ingress.peek() {
+            let target_full =
+                if head.is_write { self.write_q.is_full() } else { self.read_q.is_full() };
+            if !target_full {
+                return Some(now);
+            }
+        }
+        if self.awaiting_bus.len() < self.cfg.data_buf_cap {
+            // Both queues contribute regardless of the current drain
+            // mode: conservative, never late.
+            for e in self.read_q.iter().chain(self.write_q.iter()) {
+                let rdy = self.banks[e.bank as usize].rdy;
+                if rdy <= now {
+                    return Some(now);
+                }
+                h.add(rdy);
+            }
+        }
+        let t_burst = self.cfg.eff(self.cfg.t_burst);
+        let book = self.bus_free_at.saturating_sub(t_burst);
+        for p in &self.awaiting_bus {
+            let c = if p.ready_at <= self.bus_free_at { book } else { p.ready_at };
+            if c <= now {
+                return Some(now);
+            }
+            h.add(c);
+        }
+        for &(_, done_at) in &self.inflight {
+            if done_at <= now {
+                return Some(now);
+            }
+            h.add(done_at);
+        }
+        h.get()
+    }
+
+    /// Accounts for `cycles` skipped quiescent cycles: the saturation
+    /// monitor samples the read-queue occupancy every stepped cycle, and
+    /// the occupancy cannot have changed while the controller was not
+    /// stepped, so the samples naive stepping would have taken are all
+    /// equal to the current depth.
+    pub fn accrue_skip(&mut self, cycles: u64) {
+        self.satmon.sample_n(self.read_q.len(), cycles);
     }
 
     /// Controller statistics (mutable so callers can take epoch deltas).
@@ -412,10 +495,6 @@ impl MemController {
         }
     }
 
-    fn row_of(&self, line: LineAddr) -> u64 {
-        (line.get() / self.cfg.lines_per_row) / self.cfg.banks as u64
-    }
-
     fn accept_from_ingress(&mut self, now: Cycle) {
         // Head-of-line: stop at the first request that cannot be routed.
         // This is deliberate — it is how requests "queue elsewhere in the
@@ -435,7 +514,10 @@ impl MemController {
                 ArbiterMode::Fqm if !is_write => self.clocks.stamp_deferred(req.class),
                 _ => VirtualDeadline(self.seq),
             };
-            let q = QueuedReq { req, deadline, seq: self.seq, enq_at: now };
+            let cols = req.line.get() / self.cfg.lines_per_row;
+            let bank = (cols % self.cfg.banks as u64) as u32;
+            let row = cols / self.cfg.banks as u64;
+            let q = QueuedReq { req, deadline, seq: self.seq, enq_at: now, bank, row };
             let res = if is_write { self.write_q.push(q) } else { self.read_q.push(q) };
             debug_assert!(res.is_ok(), "fullness checked above");
         }
@@ -476,12 +558,15 @@ impl MemController {
         if q.is_empty() {
             return false;
         }
-        let cfg = self.cfg;
         let banks = &self.banks;
+        // Every queue entry whose bank is still timing-blocked is skipped
+        // below; when no bank can start a command at all, the whole scan
+        // is a guaranteed no-op, and checking the (few) banks is cheaper
+        // than walking the (many) queued requests.
+        if !banks.iter().any(|b| b.rdy <= now) {
+            return false;
+        }
         let mode = self.mode;
-        let bank_of =
-            |line: LineAddr| ((line.get() / cfg.lines_per_row) % cfg.banks as u64) as usize;
-        let row_of = |line: LineAddr| (line.get() / cfg.lines_per_row) / cfg.banks as u64;
         let prio_key = |e: &QueuedReq| match mode {
             ArbiterMode::Edf | ArbiterMode::Fqm => (e.deadline, e.seq),
             ArbiterMode::Fcfs => (VirtualDeadline(0), e.seq),
@@ -495,7 +580,7 @@ impl MemController {
         scratch.clear();
         scratch.resize(banks.len(), BankScratch::default());
         for (i, e) in q.iter().enumerate() {
-            let b = bank_of(e.req.line);
+            let b = e.bank as usize;
             let bank = &banks[b];
             if bank.rdy > now {
                 continue;
@@ -510,7 +595,7 @@ impl MemController {
             if sc.prio.is_none_or(|(_, k)| key < k) {
                 sc.prio = Some((i, key));
             }
-            if bank.open_row == Some(row_of(e.req.line)) && sc.fr.is_none_or(|(_, k)| key < k) {
+            if bank.open_row == Some(e.row) && sc.fr.is_none_or(|(_, k)| key < k) {
                 sc.fr = Some((i, key));
             }
         }
@@ -563,7 +648,7 @@ impl MemController {
     /// data burst is handed to the bus scheduler once the column access
     /// completes.
     fn issue_to_bank(&mut self, b: usize, e: QueuedReq, now: Cycle) {
-        let row = self.row_of(e.req.line);
+        let row = e.row;
         let bank = &mut self.banks[b];
         let (t_rcd, t_cl, t_rp, t_burst) = (
             self.cfg.eff(self.cfg.t_rcd),
@@ -705,7 +790,7 @@ mod tests {
                 }
                 line += 1;
             }
-            bytes += mc.step(now).len() as u64 * LINE_BYTES;
+            bytes += mc.step_vec(now).len() as u64 * LINE_BYTES;
         }
         bytes
     }
@@ -748,7 +833,7 @@ mod tests {
                 }
                 i += 1;
             }
-            bytes += cnf.step(now).len() as u64 * LINE_BYTES;
+            bytes += cnf.step_vec(now).len() as u64 * LINE_BYTES;
         }
         assert!(
             (bytes as f64) < 0.4 * seq_bytes as f64,
@@ -772,12 +857,12 @@ mod tests {
                 .unwrap();
                 pushed += 1;
             }
-            completed += m.step(now).len() as u64;
+            completed += m.step_vec(now).len() as u64;
         }
         // Drain fully.
         let mut now = 5_000u64;
         while m.pending() > 0 {
-            completed += m.step(now).len() as u64;
+            completed += m.step_vec(now).len() as u64;
             now += 1;
             assert!(now < 1_000_000, "controller failed to drain");
         }
@@ -808,7 +893,7 @@ mod tests {
                     to_issue[c] -= 1;
                 }
             }
-            for done in m.step(now) {
+            for done in m.step_vec(now) {
                 served[done.class.index()] += 1;
                 to_issue[done.class.index()] += 1;
             }
@@ -845,7 +930,7 @@ mod tests {
                     to_issue[c] -= 1;
                 }
             }
-            for done in m.step(now) {
+            for done in m.step_vec(now) {
                 served[done.class.index()] += 1;
                 to_issue[done.class.index()] += 1;
             }
@@ -907,7 +992,7 @@ mod tests {
                     }
                     stream_line += 1;
                 }
-                for done in m.step(now) {
+                for done in m.step_vec(now) {
                     if done.token == 777 {
                         lat_sum += now - issued_at.expect("chaser was outstanding");
                         lat_n += 1;
@@ -953,7 +1038,7 @@ mod tests {
                     token: 0,
                 });
             }
-            for c in m.step(now) {
+            for c in m.step_vec(now) {
                 served[c.class.index()] += 1;
             }
         }
@@ -966,7 +1051,7 @@ mod tests {
         let mut m = mc(ArbiterMode::Fcfs, &[1]);
         // Idle epoch: no saturation.
         for now in 0..2_000 {
-            m.step(now);
+            m.step_vec(now);
         }
         assert!(!m.take_epoch_sat());
         // Flooded epoch: saturated.
@@ -991,12 +1076,12 @@ mod tests {
             {
                 queued += 1;
             }
-            m.step(now);
+            m.step_vec(now);
             now += 1;
         }
         let mut writes_done = 0;
         for _ in 0..20_000 {
-            writes_done += m.step(now).iter().filter(|c| c.is_write).count();
+            writes_done += m.step_vec(now).iter().filter(|c| c.is_write).count();
             now += 1;
         }
         assert_eq!(writes_done, 30, "all writes must eventually drain");
@@ -1017,7 +1102,7 @@ mod tests {
         let mut first: Option<Completion> = None;
         let mut now = warm;
         while first.is_none() {
-            let done = m.step(now);
+            let done = m.step_vec(now);
             first = done.into_iter().next();
             now += 1;
             assert!(now < 10_000);
@@ -1068,7 +1153,7 @@ mod tests {
                     }
                     line += 1;
                 }
-                bytes += slow.step(now).len() as u64 * LINE_BYTES;
+                bytes += slow.step_vec(now).len() as u64 * LINE_BYTES;
             }
             bytes
         };
@@ -1089,7 +1174,7 @@ mod tests {
                     token: 0,
                 });
             }
-            total += m.step(now).len() as u64 * LINE_BYTES;
+            total += m.step_vec(now).len() as u64 * LINE_BYTES;
         }
         let s = m.stats();
         assert_eq!(s.bytes.iter().sum::<u64>(), total);
@@ -1103,6 +1188,70 @@ mod tests {
         assert!(first[0] > 0);
         let second = m.stats_mut().take_epoch_bytes();
         assert_eq!(second[0], 0, "delta must reset between epochs");
+    }
+
+    #[test]
+    fn next_event_is_none_only_when_empty() {
+        let mut m = mc(ArbiterMode::Edf, &[1]);
+        assert_eq!(m.next_event(0), None, "empty controller has no events");
+        m.push(MemReq { line: LineAddr::new(5), class: q(0), is_write: false, token: 1 }).unwrap();
+        assert_eq!(m.next_event(0), Some(0), "a routable ingress head acts immediately");
+    }
+
+    #[test]
+    fn next_event_equivalence_with_naive_stepping() {
+        // Twin controllers on the same bursty request schedule: one steps
+        // every cycle, the other only when its own horizon says the cycle
+        // could matter, accruing the skipped occupancy samples in batch.
+        // Every observable — completions (in order), stats, SAT bit,
+        // snapshot — must be identical at the end.
+        let mut naive = mc(ArbiterMode::Edf, &[3, 1]);
+        let mut skip = mc(ArbiterMode::Edf, &[3, 1]);
+        let mut out_n = Vec::new();
+        let mut out_s = Vec::new();
+        let (mut served_n, mut served_s) = (0u64, 0u64);
+        let mut skipped = 0u64;
+        for now in 0..40_000u64 {
+            // A burst of mixed requests every 512 cycles leaves long idle
+            // and long drain-tail windows between them.
+            if now % 512 == 0 {
+                for i in 0..6u64 {
+                    let req = MemReq {
+                        line: LineAddr::new((now + 1) * 131 + i * 3),
+                        class: q((i % 2) as u8),
+                        is_write: i % 5 == 0,
+                        token: now + i,
+                    };
+                    assert_eq!(naive.push(req).is_ok(), skip.push(req).is_ok());
+                }
+            }
+            out_n.clear();
+            naive.step_into(now, &mut out_n);
+            served_n += out_n.len() as u64;
+            match skip.next_event(now) {
+                Some(at) if at <= now => {
+                    out_s.clear();
+                    skip.step_into(now, &mut out_s);
+                    served_s += out_s.len() as u64;
+                    assert_eq!(out_s, out_n, "completions diverge at cycle {now}");
+                }
+                _ => {
+                    // The horizon called this cycle dead: naive stepping
+                    // must agree it produced nothing.
+                    skip.accrue_skip(1);
+                    skipped += 1;
+                    assert!(out_n.is_empty(), "horizon missed an event at cycle {now}");
+                }
+            }
+        }
+        assert!(served_n > 0, "workload must complete something");
+        assert!(skipped > 10_000, "bursty load must leave skippable gaps, got {skipped}");
+        assert_eq!(served_n, served_s);
+        assert_eq!(naive.take_epoch_sat(), skip.take_epoch_sat());
+        assert_eq!(naive.snapshot(), skip.snapshot());
+        assert_eq!(naive.stats().bytes, skip.stats().bytes);
+        assert_eq!(naive.stats().reads, skip.stats().reads);
+        assert_eq!(naive.stats().writes, skip.stats().writes);
     }
 
     #[test]
@@ -1137,7 +1286,7 @@ mod tests {
                 }
                 hit_line += 1;
             }
-            if m.step(now).iter().any(|c| c.token == 4242) {
+            if m.step_vec(now).iter().any(|c| c.token == 4242) {
                 completed_victim_at = Some(now);
                 break;
             }
@@ -1194,7 +1343,7 @@ mod fqm_tests {
                     to_issue[c] -= 1;
                 }
             }
-            for done in m.step(now) {
+            for done in m.step_vec(now) {
                 served[done.class.index()] += 1;
                 to_issue[done.class.index()] += 1;
             }
@@ -1246,7 +1395,7 @@ mod fqm_tests {
                     to_issue[c] -= 1;
                 }
             }
-            for done in m.step(now) {
+            for done in m.step_vec(now) {
                 served[done.class.index()] += 1;
                 to_issue[done.class.index()] += 1;
             }
@@ -1268,7 +1417,7 @@ mod latency_tests {
             .unwrap();
         let mut now = 0;
         while m.pending() > 0 {
-            m.step(now);
+            m.step_vec(now);
             now += 1;
             assert!(now < 10_000);
         }
@@ -1295,7 +1444,7 @@ mod latency_tests {
                     });
                     line += 1;
                 }
-                m.step(now);
+                m.step_vec(now);
             }
             m.stats().mean_read_latency(QosId::new(0)).unwrap_or(0.0)
         };
@@ -1315,7 +1464,7 @@ mod latency_tests {
                     line += 1;
                     outstanding = true;
                 }
-                if !m.step(now).is_empty() {
+                if !m.step_vec(now).is_empty() {
                     outstanding = false;
                 }
             }

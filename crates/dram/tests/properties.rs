@@ -22,6 +22,7 @@ fn drive(
     let mut it = reqs.iter();
     let mut now = 0u64;
     let mut pending_req: Option<MemReq> = None;
+    let mut done = Vec::new();
     loop {
         // Offer one request per cycle until the stream is exhausted.
         if pending_req.is_none() {
@@ -38,7 +39,9 @@ fn drive(
                 Err(r) => pending_req = Some(r),
             }
         }
-        completed += mc.step(now).len() as u64;
+        done.clear();
+        mc.step_into(now, &mut done);
+        completed += done.len() as u64;
         now += 1;
         if pending_req.is_none() && it.len() == 0 && mc.pending() == 0 {
             break;

@@ -25,6 +25,9 @@
 //! * [`trace`] — epoch-structured observability: typed per-epoch records,
 //!   pluggable sinks (in-memory ring, JSONL writer), and a dependency-free
 //!   integer-only serializer.
+//! * [`horizon::Horizon`] — min-combining of per-component `next_event`
+//!   answers, the primitive behind quiescence-aware cycle skipping
+//!   (docs/PERFORMANCE.md).
 //!
 //! # Examples
 //!
@@ -41,6 +44,7 @@
 #![warn(missing_docs)]
 
 pub mod fault;
+pub mod horizon;
 pub mod queue;
 pub mod rng;
 pub mod sanitizer;

@@ -192,6 +192,15 @@ impl<T> DelayQueue<T> {
     pub fn is_empty(&self) -> bool {
         self.items.is_empty()
     }
+
+    /// Cycle at which the oldest in-flight entry becomes visible, or
+    /// `None` when the queue is empty. Entries are pushed in program
+    /// order with a fixed latency, so ready times are non-decreasing and
+    /// the front entry is always the earliest — this is the queue's
+    /// contribution to a fast-forward horizon.
+    pub fn next_ready(&self) -> Option<Cycle> {
+        self.items.front().map(|(ready, _)| *ready)
+    }
 }
 
 #[cfg(test)]
@@ -274,6 +283,19 @@ mod tests {
         let mut q = DelayQueue::new(0);
         q.push(5, 1u8);
         assert_eq!(q.pop_ready(5), Some(1));
+    }
+
+    #[test]
+    fn delay_queue_next_ready_tracks_front_entry() {
+        let mut q = DelayQueue::new(4);
+        assert_eq!(q.next_ready(), None);
+        q.push(10, 'a');
+        q.push(12, 'b');
+        assert_eq!(q.next_ready(), Some(14));
+        assert_eq!(q.pop_ready(14), Some('a'));
+        assert_eq!(q.next_ready(), Some(16));
+        assert_eq!(q.pop_ready(16), Some('b'));
+        assert_eq!(q.next_ready(), None);
     }
 
     #[test]

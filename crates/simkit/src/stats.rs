@@ -79,6 +79,16 @@ impl EpochAverage {
         self.samples += 1;
     }
 
+    /// Records `n` samples of the same `value` in one call — exactly
+    /// equivalent to calling [`EpochAverage::sample`] `n` times. This is
+    /// the batch-accrual entry point for per-cycle accumulators during a
+    /// fast-forward skip, where the sampled quantity is constant by
+    /// construction (nothing changed state across the skipped window).
+    pub fn sample_n(&mut self, value: u64, n: u64) {
+        self.sum += value * n;
+        self.samples += n;
+    }
+
     /// Returns the mean of samples recorded so far this epoch, or 0.0 when
     /// no samples were recorded, then resets for the next epoch.
     pub fn take_mean(&mut self) -> f64 {
@@ -290,6 +300,20 @@ mod tests {
         assert_eq!(a.samples(), 2);
         assert_eq!(a.take_mean(), 3.0);
         assert_eq!(a.take_mean(), 0.0); // empty epoch
+    }
+
+    #[test]
+    fn epoch_average_sample_n_matches_repeated_sample() {
+        let mut batched = EpochAverage::new();
+        let mut looped = EpochAverage::new();
+        batched.sample(5);
+        batched.sample_n(3, 7);
+        looped.sample(5);
+        for _ in 0..7 {
+            looped.sample(3);
+        }
+        assert_eq!(batched.samples(), looped.samples());
+        assert_eq!(batched.take_mean(), looped.take_mean());
     }
 
     #[test]

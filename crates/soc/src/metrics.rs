@@ -27,6 +27,10 @@ pub struct Metrics {
     pub bytes_at_start: [u64; MAX_CLASSES],
     /// Last marker retirement cycle per core (service-time deltas).
     pub last_marker: Vec<Option<Cycle>>,
+    /// Cycles the event-horizon fast-forward elided (see
+    /// `docs/PERFORMANCE.md`). Purely diagnostic: never reported in traces
+    /// or experiment JSON, so skip-on and skip-off runs stay byte-identical.
+    pub cycles_skipped: u64,
 }
 
 impl Metrics {
@@ -42,6 +46,7 @@ impl Metrics {
             bus_busy_at_start: 0,
             bytes_at_start: [0; MAX_CLASSES],
             last_marker: vec![None; cores],
+            cycles_skipped: 0,
         }
     }
 

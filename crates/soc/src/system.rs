@@ -95,8 +95,15 @@ pub struct System {
     monitors: Vec<SystemMonitor>,
     rategen: RateGenerator,
     metrics: Metrics,
-    /// Round-robin start index for tile injection fairness.
-    inject_rr: usize,
+    /// Event-horizon fast-forward active (the default; cleared by the
+    /// `PABST_NO_SKIP` environment variable or [`SystemBuilder::skip`]).
+    skip_enabled: bool,
+    /// Next cycle at which [`System::advance`] probes the horizon. Purely
+    /// a host-side pacing knob: simulated behavior never depends on it.
+    probe_at: Cycle,
+    /// Current probe backoff in cycles (doubles per failed probe, resets
+    /// to 1 on every successful skip).
+    probe_backoff: u64,
     epochs_run: usize,
     /// Per-epoch invariant checks; no-ops unless debug_assertions or the
     /// `sanitize` feature is on.
@@ -110,6 +117,8 @@ pub struct System {
     /// Recycled buffer for each cycle's memory-controller completions, so
     /// the hot loop does not allocate per cycle.
     completions_scratch: Vec<Completion>,
+    /// Recycled buffer for L3-MSHR waiters on the completion path.
+    l3_waiters_scratch: Vec<L3Waiter>,
     /// Active fault-injection plan. `None` (the default) is structurally
     /// inert: no RNG draws, no history upkeep, no behavioral change.
     fault_plan: Option<FaultPlan>,
@@ -132,6 +141,12 @@ pub struct System {
 const SAT_HISTORY_MAX: usize = 64;
 
 impl System {
+    /// Cap on the horizon probe backoff (see [`System::advance`]). Small
+    /// enough that the start of a quiescent window is never missed by
+    /// more than a handful of naive steps, large enough that a saturated
+    /// machine pays for at most one probe every eight cycles.
+    const MAX_PROBE_BACKOFF: u64 = 8;
+
     /// Current simulated cycle.
     pub fn now(&self) -> Cycle {
         self.now
@@ -161,6 +176,19 @@ impl System {
     /// invariants actually ran in debug/`sanitize` builds).
     pub fn sanitizer(&self) -> &Sanitizer {
         &self.sanitizer
+    }
+
+    /// Cycles elided by the event-horizon fast-forward (always zero when
+    /// skipping is disabled). Diagnostic only: deliberately absent from
+    /// trace records and experiment reports, so skip-on and skip-off runs
+    /// stay byte-identical. See `docs/PERFORMANCE.md`.
+    pub fn cycles_skipped(&self) -> u64 {
+        self.metrics.cycles_skipped
+    }
+
+    /// Whether quiescence-aware cycle skipping is active.
+    pub fn skip_enabled(&self) -> bool {
+        self.skip_enabled
     }
 
     /// Mutable metrics (service-time percentiles need `&mut`).
@@ -284,13 +312,138 @@ impl System {
     /// to cycle `until`, firing [`System::on_epoch_boundary`] at every
     /// multiple of `epoch_cycles` — one code path, so the two entry points
     /// cannot drift on when the governor heartbeat runs.
+    ///
+    /// With skipping enabled, each iteration first asks [`System::horizon`]
+    /// for the earliest cycle any component can change state. When that is
+    /// in the future, the loop jumps there in one [`System::apply_skip`]
+    /// call instead of stepping dead cycles. Jumps never cross an epoch
+    /// boundary (or `until`), so the heartbeat — SAT aggregation, governor
+    /// update, fault windows, watchdog, sanitizer — observes the exact
+    /// boundary sequence naive stepping would.
+    ///
+    /// Probe backoff: on a saturated machine the horizon is `now` nearly
+    /// every cycle, and probing it would be pure overhead. Each failed
+    /// probe doubles the distance to the next one (capped at
+    /// [`System::MAX_PROBE_BACKOFF`]); a successful skip resets it.
+    /// Un-probed cycles are stepped naively, which is always correct —
+    /// backoff trades a few missed skip opportunities at the start of a
+    /// quiescent window for near-zero probe cost in the busy regime, and
+    /// never affects simulated behavior.
     fn advance(&mut self, until: Cycle) {
         while self.now < until {
+            if self.skip_enabled && self.now >= self.probe_at {
+                let h = self.horizon();
+                if h != Some(self.now) {
+                    let e = self.cfg.epoch_cycles;
+                    let boundary = (self.now / e + 1) * e;
+                    let target = h.unwrap_or(boundary).min(boundary).min(until);
+                    self.apply_skip(target - self.now);
+                    self.probe_backoff = 1;
+                    self.probe_at = self.now;
+                    if self.now.is_multiple_of(e) {
+                        self.on_epoch_boundary();
+                    }
+                    continue;
+                }
+                self.probe_at = self.now + self.probe_backoff;
+                self.probe_backoff = (self.probe_backoff * 2).min(Self::MAX_PROBE_BACKOFF);
+            }
             self.step();
             if self.now.is_multiple_of(self.cfg.epoch_cycles) {
                 self.on_epoch_boundary();
             }
         }
+    }
+
+    /// The event horizon: the earliest cycle at which any component may
+    /// change state. `Some(now)` means something can act this cycle (the
+    /// loop must step naively); a later cycle means every component is
+    /// provably quiescent until then; `None` means no component holds any
+    /// self-scheduled event at all (fully idle — safe to jump straight to
+    /// the next epoch boundary).
+    ///
+    /// Soundness: the minimum over per-component `next_event` horizons is
+    /// a sound global horizon because a component with no event of its own
+    /// changes state only when another component acts on it — and that
+    /// component's own horizon already bounds the jump. A too-*early*
+    /// horizon merely costs speed; only a too-late one could diverge, so
+    /// every check below short-circuits to `now` on any doubt. Checks are
+    /// ordered cheapest-first.
+    fn horizon(&self) -> Option<Cycle> {
+        use pabst_simkit::horizon::Horizon;
+        let now = self.now;
+        let mut h = Horizon::new();
+        // In-flight responses and L3 inputs wake at their delivery cycle
+        // (both pipes are FIFO with a fixed latency, so the head is the
+        // earliest).
+        if let Some(at) = self.resp_net.next_ready() {
+            if at <= now {
+                return Some(now);
+            }
+            h.add(at);
+        }
+        if let Some(at) = self.l3_in.next_ready() {
+            if at <= now {
+                return Some(now);
+            }
+            h.add(at);
+        }
+        // An MSHR-refused miss whose retry can progress acts this cycle;
+        // one still blocked unblocks only via an MC completion, which the
+        // controller horizons below already bound.
+        if let Some(req) = self.mshr_wait.front() {
+            if self.l3_mshrs.contains(req.line) || !self.l3_mshrs.is_full() {
+                return Some(now);
+            }
+        }
+        // Staged requests drain toward MC ingress every cycle — even a
+        // refused push mutates the reject counter.
+        if self.mc_out_pending.iter().any(|&p| p > 0) {
+            return Some(now);
+        }
+        for (k, mc) in self.mcs.iter().enumerate() {
+            // A stalled controller (mc-stall fault window) is frozen until
+            // the next boundary: no events, no occupancy samples.
+            if self.mc_stalled[k] {
+                continue;
+            }
+            match mc.next_event(now) {
+                Some(at) if at <= now => return Some(now),
+                other => h.merge(other),
+            }
+        }
+        for tile in &self.tiles {
+            match tile.mem.next_inject_at(now) {
+                Some(at) if at <= now => return Some(now),
+                other => h.merge(other),
+            }
+            match tile.core.next_event(now) {
+                Some(at) if at <= now => return Some(now),
+                other => h.merge(other),
+            }
+        }
+        h.get()
+    }
+
+    /// Fast-forwards `cycles` provably-dead cycles in one jump, accruing
+    /// exactly the per-cycle bookkeeping naive stepping would have done:
+    /// SAT-monitor occupancy samples on every live controller, pacer
+    /// throttle NACKs on every backlogged tile, and ROB-full stall cycles
+    /// on every dispatch-blocked core. Nothing else changed during the
+    /// window — that is what [`System::horizon`] proved.
+    fn apply_skip(&mut self, cycles: Cycle) {
+        debug_assert!(cycles > 0, "a zero-length skip is a stepping bug");
+        for (k, mc) in self.mcs.iter_mut().enumerate() {
+            if !self.mc_stalled[k] {
+                mc.accrue_skip(cycles);
+            }
+        }
+        for tile in &mut self.tiles {
+            tile.mem.accrue_throttle_skip(cycles);
+            tile.core.accrue_skip(cycles);
+        }
+        self.now += cycles;
+        self.metrics.cycles_skipped += cycles;
     }
 
     /// One cycle of the whole machine.
@@ -346,8 +499,11 @@ impl System {
         }
 
         // 3. Shared L3: consume the network head (head-of-line blocking
-        //    when the miss path is backed up).
-        self.l3_service(now);
+        //    when the miss path is backed up). Provably a no-op when both
+        //    the retry queue and the input pipeline are empty.
+        if !self.mshr_wait.is_empty() || !self.l3_in.is_empty() {
+            self.l3_service(now);
+        }
 
         // 4. Responses reach tiles (skip the pop loop when provably empty).
         if !self.resp_net.is_empty() {
@@ -358,8 +514,18 @@ impl System {
 
         // 5. Tiles: inject paced L2 misses + L2 writebacks, then step cores.
         self.tile_injection(now);
+        let skip_enabled = self.skip_enabled;
         for (i, tile) in self.tiles.iter_mut().enumerate() {
-            tile.step_core(now);
+            // Per-tile quiescence: a core that provably cannot retire,
+            // issue, or dispatch this cycle would only bump its ROB-full
+            // stall counter — accrue that directly and skip the pipeline
+            // walk. Gated on skip mode so the naive A/B baseline stays a
+            // pure per-cycle interpreter.
+            if skip_enabled && tile.core.next_event(now).is_none_or(|at| at > now) {
+                tile.core.accrue_skip(1);
+            } else {
+                tile.step_core(now);
+            }
             if tile.core.has_markers() {
                 for (tag, at) in tile.core.take_markers() {
                     let _ = tag;
@@ -453,7 +619,9 @@ impl System {
             return;
         }
         let now = self.now;
-        let waiters = self.l3_mshrs.complete(c.line);
+        let mut waiters = std::mem::take(&mut self.l3_waiters_scratch);
+        waiters.clear();
+        self.l3_mshrs.complete_into(c.line, &mut waiters);
         let any_store = waiters.iter().any(|w| w.store);
         // Fill the L3 on behalf of the demanding class.
         let mut wb_flag = false;
@@ -468,12 +636,13 @@ impl System {
                 wb_flag = matches!(self.cfg.wb_accounting, WbAccounting::ChargeDemand);
             }
         }
-        for w in waiters {
+        for w in &waiters {
             self.resp_net
                 .push(now, TileResp { line: c.line, tile: w.tile, l3_hit: false, wb_flag });
             // Only one response should carry the charge.
             wb_flag = false;
         }
+        self.l3_waiters_scratch = waiters;
     }
 
     /// Queues a dirty-L3-eviction writeback to memory, attributed per the
@@ -495,7 +664,7 @@ impl System {
         let now = self.now;
         let tile = &mut self.tiles[resp.tile];
         let waiters = tile.mem.on_fill(resp.line);
-        for w in &waiters {
+        for w in waiters {
             if let Some(id) = w.load {
                 tile.core.on_fill(now, id);
                 tile.core.release_slot();
@@ -513,8 +682,13 @@ impl System {
     /// tiles for fairness.
     fn tile_injection(&mut self, now: Cycle) {
         let n = self.tiles.len();
+        // Fairness cursor: rotates one tile per cycle. Derived from the
+        // clock rather than a counter stepped once per `step` call, so a
+        // fast-forward jump lands on exactly the cursor naive stepping
+        // would have reached.
+        let start = (now % n as u64) as usize;
         for off in 0..n {
-            let i = (self.inject_rr + off) % n;
+            let i = (start + off) % n;
             // Idle tiles (nothing queued for injection) are skipped before
             // the pacer is consulted.
             if !self.tiles[i].mem.wants_inject() {
@@ -529,7 +703,6 @@ impl System {
                 );
             }
         }
-        self.inject_rr = (self.inject_rr + 1) % n;
     }
 
     /// Epoch heartbeat: SAT aggregation (through the fault layer when a
@@ -827,6 +1000,7 @@ pub struct SystemBuilder {
     workloads: Vec<Vec<Box<dyn Workload>>>,
     l3_ways: Vec<Option<(usize, usize)>>,
     fault_plan: Option<FaultPlan>,
+    skip: Option<bool>,
 }
 
 impl SystemBuilder {
@@ -840,7 +1014,18 @@ impl SystemBuilder {
             workloads: Vec::new(),
             l3_ways: Vec::new(),
             fault_plan: None,
+            skip: None,
         }
+    }
+
+    /// Overrides quiescence-aware cycle skipping for this system. The
+    /// default is on, unless the `PABST_NO_SKIP` environment variable is
+    /// set (non-empty) — the A/B switch the equivalence CI job flips.
+    /// Skipping is an execution strategy, not a model parameter: every
+    /// observable output is byte-identical either way.
+    pub fn skip(mut self, enabled: bool) -> Self {
+        self.skip = Some(enabled);
+        self
     }
 
     /// Attaches a deterministic fault-injection plan (see
@@ -944,6 +1129,9 @@ impl SystemBuilder {
             })
             .collect();
         let faults_injected = mc_stalled.iter().filter(|&&s| s).count() as u64;
+        let skip_enabled = self
+            .skip
+            .unwrap_or_else(|| std::env::var_os("PABST_NO_SKIP").is_none_or(|v| v.is_empty()));
         Ok(System {
             metrics: Metrics::new(cores, classes, self.cfg.epoch_cycles),
             l3,
@@ -964,12 +1152,15 @@ impl SystemBuilder {
             threads,
             shares,
             now: 0,
-            inject_rr: 0,
+            skip_enabled,
+            probe_at: 0,
+            probe_backoff: 1,
             epochs_run: 0,
             sanitizer: Sanitizer::new(),
             trace_sinks: Vec::new(),
             prev_throttles: vec![0; cores],
             completions_scratch: Vec::new(),
+            l3_waiters_scratch: Vec::new(),
             sat_history: vec![VecDeque::new(); n_monitors],
             mc_stalled,
             faults_injected,
@@ -1316,6 +1507,63 @@ mod tests {
         sys.run_epochs(6);
         // One skew (tile 0) and one leak (tile 1) per boundary.
         assert_eq!(sys.faults_injected(), 12);
+    }
+
+    #[test]
+    fn all_idle_step_performs_no_queue_operations() {
+        // Compute-only tiles never miss, so every memory-side structure
+        // must stay untouched no matter how long the system steps: the
+        // guarded paths in `step` (MC drain, L3 service, response pop,
+        // injection) all see empty queues and do no work.
+        let cfg = SystemConfig::small_test();
+        let mut sys =
+            SystemBuilder::new(cfg, RegulationMode::Pabst).class(1, idle_boxes(2)).build().unwrap();
+        for _ in 0..500 {
+            sys.step();
+        }
+        assert!(sys.l3_in.is_empty(), "nothing may enter the L3 pipeline");
+        assert!(sys.resp_net.is_empty(), "nothing may enter the response network");
+        assert!(sys.mshr_wait.is_empty());
+        assert_eq!(sys.l3_mshrs.len(), 0);
+        assert!(sys.mc_out_pending.iter().all(|&p| p == 0));
+        for mc in &sys.mcs {
+            assert_eq!(mc.accepted(), 0, "no request may reach a controller");
+            assert_eq!(mc.pending(), 0);
+        }
+        // Busy compute cores are never quiescent, so nothing was skipped.
+        assert_eq!(sys.cycles_skipped(), 0);
+        assert_eq!(sys.now(), 500);
+    }
+
+    #[test]
+    fn fast_forward_is_bit_identical_to_naive_stepping() {
+        // The tentpole contract in miniature (the full config × workload ×
+        // fault matrix lives in tests/skip_equiv.rs): same machine, same
+        // workloads, skip on vs off — every trace field, the clock, and
+        // every core's retirement count must match exactly.
+        let run = |skip: bool| {
+            let cfg = SystemConfig::small_test();
+            let mut sys = SystemBuilder::new(cfg, RegulationMode::Pabst)
+                .class(3, stream_boxes(2))
+                .class(1, stream_boxes(2))
+                .skip(skip)
+                .build()
+                .unwrap();
+            assert_eq!(sys.skip_enabled(), skip);
+            let cap = Cap::default();
+            sys.add_trace_sink(Box::new(cap.clone()));
+            sys.run_epochs(8);
+            let records = cap.0.borrow().clone();
+            let retired: Vec<u64> = sys.tiles().iter().map(|t| t.core.stats().retired).collect();
+            (records, sys.now(), retired, sys.cycles_skipped())
+        };
+        let (rec_skip, now_skip, ret_skip, skipped) = run(true);
+        let (rec_naive, now_naive, ret_naive, skipped_naive) = run(false);
+        assert_eq!(rec_skip, rec_naive, "trace records must be byte-identical");
+        assert_eq!(now_skip, now_naive);
+        assert_eq!(ret_skip, ret_naive);
+        assert_eq!(skipped_naive, 0, "naive mode must never skip");
+        assert!(skipped > 0, "saturating streams must leave skippable gaps, got 0");
     }
 
     #[test]

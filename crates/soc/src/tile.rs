@@ -6,7 +6,7 @@
 //! gates injections into the SoC network — the paper's source-regulation
 //! point (§III-B3).
 
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::VecDeque;
 
 use pabst_cache::{LineAddr, MshrOutcome, MshrTable, SetAssocCache};
 use pabst_core::pacer::Pacer;
@@ -53,12 +53,17 @@ pub struct TileMem {
     mcs: usize,
     /// Period charged when each in-flight line issued, keyed by line: the
     /// settlement refund/extra-charge must use the issue-time amount, not
-    /// whatever period an epoch boundary has since programmed.
-    charged: BTreeMap<LineAddr, Cycle>,
+    /// whatever period an epoch boundary has since programmed. A flat
+    /// table: at most one entry per in-flight primary miss (MSHR-bounded),
+    /// so linear search beats a tree and never allocates at steady state.
+    charged: Vec<(LineAddr, Cycle)>,
     l1_lat: u64,
     l2_lat: u64,
     /// Dirty L2 victims waiting to be written back into the L3.
     pub(crate) l2_wb_q: VecDeque<LineAddr>,
+    /// Recycled waiter buffer for [`TileMem::on_fill`] (no per-fill
+    /// allocation on the response hot path).
+    fill_scratch: Vec<L2Waiter>,
 }
 
 impl TileMem {
@@ -87,10 +92,11 @@ impl TileMem {
             inject_q: VecDeque::new(),
             pacers,
             mcs,
-            charged: BTreeMap::new(),
+            charged: Vec::new(),
             l1_lat,
             l2_lat,
             l2_wb_q: VecDeque::new(),
+            fill_scratch: Vec::new(),
         }
     }
 
@@ -109,9 +115,12 @@ impl TileMem {
 
     /// Handles a fill returning from the L3/memory: fills L2 (and L1),
     /// releases the MSHR, and returns the waiters plus any dirty L2 victim
-    /// that must be written back to the L3.
-    pub fn on_fill(&mut self, line: LineAddr) -> Vec<L2Waiter> {
-        let waiters = self.mshrs.complete(line);
+    /// that must be written back to the L3. The returned slice borrows an
+    /// internal buffer that the next `on_fill` call reuses.
+    pub fn on_fill(&mut self, line: LineAddr) -> &[L2Waiter] {
+        let mut waiters = std::mem::take(&mut self.fill_scratch);
+        waiters.clear();
+        self.mshrs.complete_into(line, &mut waiters);
         let dirty = waiters.iter().any(|w| w.store);
         if let Some(ev) = self.l2.fill(line, self.class, dirty) {
             if ev.dirty {
@@ -125,7 +134,8 @@ impl TileMem {
                 self.l2.probe_write(ev.line);
             }
         }
-        waiters
+        self.fill_scratch = waiters;
+        &self.fill_scratch
     }
 
     /// All pacers (empty when source regulation is off).
@@ -143,7 +153,10 @@ impl TileMem {
     /// Both use the period recorded when the request issued — an epoch
     /// boundary may have reprogrammed the pacer while it was in flight.
     pub fn settle_response(&mut self, line: LineAddr, l3_hit: bool, wb_flag: bool, now: Cycle) {
-        let charged = self.charged.remove(&line).unwrap_or(0);
+        let charged = match self.charged.iter().position(|(l, _)| *l == line) {
+            Some(i) => self.charged.swap_remove(i).1,
+            None => 0,
+        };
         if let Some(p) = self.pacer_for(line) {
             if l3_hit {
                 p.on_shared_hit(charged, now);
@@ -175,10 +188,51 @@ impl TileMem {
             None => None,
         };
         if let Some(c) = charged {
-            self.charged.insert(head.line, c);
+            // Insert-or-overwrite, matching map semantics (at most one
+            // entry per line).
+            match self.charged.iter_mut().find(|(l, _)| *l == head.line) {
+                Some((_, v)) => *v = c,
+                None => self.charged.push((head.line, c)),
+            }
         }
         self.inject_q.pop_front();
         Some(head)
+    }
+
+    /// Read-only variant of [`TileMem::pacer_for`], for horizon queries.
+    fn pacer_ref_for(&self, line: LineAddr) -> Option<&Pacer> {
+        match self.pacers.len() {
+            0 => None,
+            1 => self.pacers.first(),
+            _ => self.pacers.get(line.interleave(self.mcs)),
+        }
+    }
+
+    /// The earliest cycle a [`TileMem::try_inject`] call can change state:
+    /// `None` when nothing is queued, `Some(now)` when the head request
+    /// could issue this cycle (no pacer, unthrottled, or period already
+    /// elapsed), otherwise the head pacer's `C_next`. While the head is
+    /// NACKed, the only per-cycle mutation naive stepping performs is the
+    /// pacer's throttle counter, which the skip path accrues through
+    /// [`TileMem::accrue_throttle_skip`].
+    pub fn next_inject_at(&self, now: Cycle) -> Option<Cycle> {
+        let head = self.inject_q.front()?;
+        match self.pacer_ref_for(head.line) {
+            None => Some(now),
+            Some(p) => Some(p.next_issue_at().max(now)),
+        }
+    }
+
+    /// Batch-accrues the throttle NACKs that `cycles` naive
+    /// [`TileMem::try_inject`] calls would have recorded on the head
+    /// request's pacer. Only valid over a window in which every such call
+    /// would have NACKed — i.e. the window ends before
+    /// [`TileMem::next_inject_at`]. A tile with nothing queued is a no-op.
+    pub fn accrue_throttle_skip(&mut self, cycles: u64) {
+        let Some(head) = self.inject_q.front().copied() else { return };
+        if let Some(p) = self.pacer_for(head.line) {
+            p.note_throttled(cycles);
+        }
     }
 
     /// Pending L2 writebacks to the L3.
@@ -345,6 +399,45 @@ mod tests {
         assert!(m.try_inject(0).is_some(), "first injection rides initial credit");
         assert!(m.try_inject(1).is_none(), "second is paced");
         assert!(m.try_inject(1000).is_some(), "period elapsed");
+    }
+
+    #[test]
+    fn next_inject_at_tracks_the_head_pacer() {
+        let mut m = mem(vec![Pacer::with_burst(1000, 1)]);
+        assert_eq!(m.next_inject_at(5), None, "empty queue has no horizon");
+        let _ = m.access(0, line(1), false, LoadId(1));
+        let _ = m.access(0, line(2), false, LoadId(2));
+        assert_eq!(m.next_inject_at(0), Some(0), "initial credit issues now");
+        assert!(m.try_inject(0).is_some());
+        assert_eq!(m.next_inject_at(1), Some(1000), "head NACKed until the period elapses");
+
+        // Unpaced tiles can always inject.
+        let mut free = mem(Vec::new());
+        let _ = free.access(0, line(3), false, LoadId(3));
+        assert_eq!(free.next_inject_at(7), Some(7));
+    }
+
+    #[test]
+    fn accrued_throttle_skip_matches_naive_nack_loop() {
+        let mut naive = mem(vec![Pacer::with_burst(100, 1)]);
+        let mut skipped = mem(vec![Pacer::with_burst(100, 1)]);
+        for m in [&mut naive, &mut skipped] {
+            let _ = m.access(0, line(1), false, LoadId(1));
+            let _ = m.access(0, line(2), false, LoadId(2));
+            assert!(m.try_inject(0).is_some());
+        }
+        for now in 1..100 {
+            assert!(naive.try_inject(now).is_none());
+        }
+        skipped.accrue_throttle_skip(99);
+        assert_eq!(naive.pacers(), skipped.pacers());
+        assert!(naive.try_inject(100).is_some());
+        assert!(skipped.try_inject(100).is_some());
+        assert_eq!(naive.pacers(), skipped.pacers());
+        // An idle tile accrues nothing.
+        let mut idle = mem(vec![Pacer::new(100)]);
+        idle.accrue_throttle_skip(50);
+        assert_eq!(idle.pacers()[0].throttled(), 0);
     }
 
     #[test]

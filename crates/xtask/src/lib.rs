@@ -26,6 +26,11 @@
 //! * `fault-rng` — no direct `SimRng`/`gen_bool`/`gen_range` in mechanism
 //!   crates; randomized perturbations must route through `simkit::fault`
 //!   so every injection decision is plan-seeded and replayable.
+//! * `horizon` — no per-cycle stepping or accounting (`now += 1` loops,
+//!   per-cycle `.sample()` calls, per-cycle stall counters) in simulation
+//!   crates outside the audited event-horizon set; cycle-skipping only
+//!   stays byte-identical if every such site batches over skipped windows
+//!   and reports a `next_event` (see `docs/PERFORMANCE.md`).
 //!
 //! Suppression: `// simlint: allow(<rule>): <justification>` on the same
 //! line silences that line; on its own line it silences the item that
@@ -51,11 +56,13 @@ pub const RULE_MISSING_DOCS: &str = "missing-docs";
 pub const RULE_THREAD: &str = "thread";
 /// Direct RNG draws in mechanism crates instead of `simkit::fault`.
 pub const RULE_FAULT_RNG: &str = "fault-rng";
+/// Per-cycle stepping/accounting outside the horizon-audited file set.
+pub const RULE_HORIZON: &str = "horizon";
 /// Malformed suppression comments (missing justification, unknown rule).
 pub const RULE_SUPPRESSION: &str = "suppression";
 
 /// All real (suppressible) rule names.
-pub const ALL_RULES: [&str; 7] = [
+pub const ALL_RULES: [&str; 8] = [
     RULE_HASH_MAP,
     RULE_NONDET,
     RULE_FLOAT_MATH,
@@ -63,6 +70,7 @@ pub const ALL_RULES: [&str; 7] = [
     RULE_MISSING_DOCS,
     RULE_THREAD,
     RULE_FAULT_RNG,
+    RULE_HORIZON,
 ];
 
 /// Crates whose simulation state must iterate deterministically (rule L1).
@@ -85,6 +93,21 @@ const THREAD_EXEMPT_FILES: [&str; 1] = ["crates/bench/src/harness.rs"];
 /// access streams; everything else must take fault decisions from a
 /// `FaultPlan` so a run is a pure function of its plan and seeds.
 const RNG_CONFINED_CRATES: [&str; 5] = ["core", "cache", "cpu", "dram", "soc"];
+/// Files audited for the event-horizon contract (rule L8): each of these
+/// either drives the clock (`System::advance`), owns a `next_event`
+/// implementation, or hosts the batch-sampling primitives themselves.
+/// Per-cycle state anywhere else silently breaks the byte-identical
+/// cycle-skipping guarantee — a skipped window would under-count it — so
+/// new per-cycle sites must batch over windows, report a `next_event`,
+/// and then be added here (process in `docs/PERFORMANCE.md`).
+const HORIZON_AUDITED_FILES: [&str; 6] = [
+    "crates/soc/src/system.rs",
+    "crates/core/src/pacer.rs",
+    "crates/core/src/satmon.rs",
+    "crates/cpu/src/core_model.rs",
+    "crates/dram/src/controller.rs",
+    "crates/simkit/src/stats.rs",
+];
 
 /// A single lint violation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -558,6 +581,7 @@ pub fn lint_source(spec: &FileSpec<'_>, source: &str) -> Vec<Diagnostic> {
     let wants_docs = spec.crate_name == "core";
     let thread_applies = !THREAD_EXEMPT_FILES.contains(&spec.rel_path);
     let rng_confined = RNG_CONFINED_CRATES.contains(&spec.crate_name);
+    let horizon_applies = in_sim_crate && !HORIZON_AUDITED_FILES.contains(&spec.rel_path);
 
     // One diagnostic per (line, rule): a line with two banned tokens is one
     // problem to fix, not two.
@@ -718,6 +742,46 @@ pub fn lint_source(spec: &FileSpec<'_>, source: &str) -> Vec<Diagnostic> {
                             "{w} in a mechanism crate; route randomized \
                                  decisions through simkit::fault (FaultPlan / \
                                  FaultSpec::fires) so they replay bit-identically"
+                        ),
+                    );
+                }
+            }
+        }
+
+        // L8: per-cycle state must stay inside the audited horizon set.
+        // `System::advance` fast-forwards over provably dead windows; any
+        // counter bumped or monitor sampled once per cycle outside the
+        // audited files would silently under-count across a skip and break
+        // the byte-identical A/B guarantee the tentpole rests on.
+        if horizon_applies && !in_test {
+            let text: String = line.iter().collect();
+            let counter = ["now += 1", "throttled +=", "rob_full_cycles +="]
+                .iter()
+                .find(|p| text.contains(*p));
+            if let Some(p) = counter {
+                push(
+                    &mut diags,
+                    ln,
+                    RULE_HORIZON,
+                    format!(
+                        "per-cycle accounting (`{p}`) outside the \
+                             horizon-audited set; batch over skipped windows \
+                             and report a next_event, then add the file to \
+                             HORIZON_AUDITED_FILES (docs/PERFORMANCE.md)"
+                    ),
+                );
+            }
+            for (col, w) in &toks {
+                if (w == "sample" || w == "sample_n") && is_method_call(line, *col, w) {
+                    push(
+                        &mut diags,
+                        ln,
+                        RULE_HORIZON,
+                        format!(
+                            ".{w}() outside the horizon-audited set; \
+                                 per-cycle sampling under-counts across \
+                                 skipped windows — use the batched form and \
+                                 audit the call site (docs/PERFORMANCE.md)"
                         ),
                     );
                 }
@@ -1048,6 +1112,23 @@ mod tests {
         assert!(
             lint_source(&fixture, "fn f(r: &mut SimRng) -> u64 { r.gen_range(4) }\n").is_empty()
         );
+    }
+
+    #[test]
+    fn horizon_flags_per_cycle_state_outside_audited_files() {
+        let src = "fn run(mut now: u64, m: &mut Mon) { now += 1; m.sample(3); }\n";
+        let diags = lint_source(&spec("soc", "crates/soc/src/x.rs"), src);
+        assert_eq!(rules(&diags), [RULE_HORIZON], "{diags:?}");
+        // Audited files step per cycle by design; harness crates are out of
+        // scope entirely.
+        assert!(lint_source(&spec("soc", "crates/soc/src/system.rs"), src).is_empty());
+        assert!(lint_source(&spec("bench", "crates/bench/src/x.rs"), src).is_empty());
+    }
+
+    #[test]
+    fn horizon_ignores_lookalike_identifiers() {
+        let src = "fn f(now: u64) -> u64 { let sample_rate = now + 1; sample_rate }\n";
+        assert!(lint_source(&spec("soc", "crates/soc/src/x.rs"), src).is_empty());
     }
 
     #[test]

@@ -150,6 +150,27 @@ fn fault_rng_fixture_is_clean_in_simkit_and_workloads() {
 }
 
 #[test]
+fn horizon_fixture_flags_per_cycle_state() {
+    let diags =
+        lint_fixture("soc", "crates/soc/src/fixture.rs", include_str!("fixtures/horizon.rs"));
+    assert!(diags.iter().all(|d| d.rule == xtask::RULE_HORIZON), "{diags:?}");
+    // The naive `now += 1` loop, both per-cycle sample calls, and both
+    // per-cycle counters; the justified allow silences `audited()` and
+    // identifiers merely containing "sample" never match.
+    assert_eq!(lines_for(&diags, xtask::RULE_HORIZON), vec![7, 12, 13, 17, 18]);
+}
+
+#[test]
+fn horizon_fixture_is_clean_in_audited_files_and_harness_crates() {
+    let diags =
+        lint_fixture("dram", "crates/dram/src/controller.rs", include_str!("fixtures/horizon.rs"));
+    assert!(diags.is_empty(), "audited files step per cycle by design: {diags:?}");
+    let diags =
+        lint_fixture("bench", "crates/bench/src/fixture.rs", include_str!("fixtures/horizon.rs"));
+    assert!(diags.is_empty(), "horizon is scoped to simulation crates: {diags:?}");
+}
+
+#[test]
 fn suppressed_fixture_is_fully_clean() {
     let diags =
         lint_fixture("core", "crates/core/src/pacer.rs", include_str!("fixtures/suppressed.rs"));

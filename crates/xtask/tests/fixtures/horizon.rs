@@ -1,0 +1,31 @@
+//! Fixture: per-cycle stepping and accounting outside the audited
+//! event-horizon set (rule L8, `horizon`).
+
+pub fn naive_loop(until: u64) {
+    let mut now = 0;
+    while now < until {
+        now += 1;
+    }
+}
+
+pub fn per_cycle_sampling(mon: &mut Satmon, q: usize) {
+    mon.sample(q as u64);
+    mon.sample_n(q as u64, 4);
+}
+
+pub fn per_cycle_counters(stats: &mut Stats) {
+    stats.throttled += 1;
+    stats.rob_full_cycles += 1;
+}
+
+// A suppression with justification silences the item that follows.
+// simlint: allow(horizon): fixture demonstrating an audited escape hatch
+pub fn audited(now: &mut u64) {
+    *now += 1;
+}
+
+pub fn lookalikes_stay_clean(now: u64) -> u64 {
+    let subsample = now + 1;
+    let sample_rate = subsample;
+    sample_rate
+}
