@@ -224,6 +224,16 @@ pub struct Experiment {
     pub render: fn(&[ExperimentResult]) -> String,
 }
 
+impl Experiment {
+    /// Runs one grid cell through the experiment's cell runner. The
+    /// canonical dispatch point for every sweep: simlint roots its
+    /// determinism taint analysis here (entropy and hasher-iteration
+    /// sinks must be unreachable from any registered runner).
+    pub fn run(&self, p: &Params, ctx: RunCtx) -> ExperimentResult {
+        (self.run)(p, ctx)
+    }
+}
+
 /// Resolves the worker count for a sweep of `cells` runnable cells.
 ///
 /// `None` or `Some(0)` take the size from
@@ -377,7 +387,7 @@ pub fn run_sweep(exp: &Experiment, quick: bool, jobs: usize, tracing: bool) -> S
     use std::panic::{catch_unwind, AssertUnwindSafe};
     let cells = (exp.grid)(quick);
     let outcomes: Vec<Result<ExperimentResult, CellFailure>> = run_indexed(jobs, &cells, |_, p| {
-        catch_unwind(AssertUnwindSafe(|| (exp.run)(p, RunCtx::new(p, tracing))))
+        catch_unwind(AssertUnwindSafe(|| exp.run(p, RunCtx::new(p, tracing))))
             .map_err(|payload| CellFailure { params: p.clone(), panic: panic_message(payload) })
     });
     let successes: Vec<ExperimentResult> =

@@ -168,8 +168,8 @@ impl std::error::Error for ShareError {}
 /// use pabst_core::qos::{QosId, ShareTable};
 ///
 /// let t = ShareTable::from_weights(&[3, 1])?;
-/// // Shares follow Eq. 1: weight_i / sum(weights).
-/// assert!((t.share(QosId::new(0)) - 0.75).abs() < 1e-12);
+/// // Shares follow Eq. 1 (weight_i / sum(weights)): class 0 gets 3/4.
+/// assert_eq!(t.weight(QosId::new(0)).get(), 3);
 /// // Strides are inversely proportional to weights (Eq. 2).
 /// assert_eq!(t.stride(QosId::new(0)).get() * 3, t.stride(QosId::new(1)).get());
 /// # Ok::<(), pabst_core::qos::ShareError>(())
@@ -228,16 +228,6 @@ impl ShareTable {
     /// Panics if `id` is not in the table.
     pub fn stride(&self, id: QosId) -> Stride {
         self.strides[id.index()]
-    }
-
-    /// The proportional share of `id` per Eq. 1: `weight_i / Σ weight_j`.
-    ///
-    /// Reporting-only: the regulation datapath works in integer strides;
-    /// this fraction exists for figures and assertions.
-    // simlint: allow(float-math): reporting-only Eq. 1 share fraction; never feeds the integer credit/stride datapath
-    pub fn share(&self, id: QosId) -> f64 {
-        let total: u64 = self.weights.iter().map(|w| u64::from(w.get())).sum();
-        f64::from(self.weight(id).get()) / total as f64
     }
 
     /// Iterates over `(QosId, Stride)` pairs.
@@ -315,17 +305,17 @@ mod tests {
     }
 
     #[test]
-    fn shares_sum_to_one() {
-        let t = ShareTable::from_weights(&[7, 3, 5]).unwrap();
-        let sum: f64 = (0..3).map(|i| t.share(QosId::new(i))).sum();
-        assert!((sum - 1.0).abs() < 1e-12);
-    }
-
-    #[test]
     fn shares_match_eq1() {
+        // Eq. 1 shares are weight_i / Σ weight_j; the table stores the
+        // integer weights and reporting derives the fraction on demand
+        // (the way `SystemReport::collect` does).
         let t = ShareTable::from_weights(&[7, 3]).unwrap();
-        assert!((t.share(QosId::new(0)) - 0.7).abs() < 1e-12);
-        assert!((t.share(QosId::new(1)) - 0.3).abs() < 1e-12);
+        let total: u64 = (0..2).map(|i| u64::from(t.weight(QosId::new(i)).get())).sum();
+        assert_eq!(total, 10);
+        let share0 = f64::from(t.weight(QosId::new(0)).get()) / total as f64;
+        let share1 = f64::from(t.weight(QosId::new(1)).get()) / total as f64;
+        assert!((share0 - 0.7).abs() < 1e-12);
+        assert!((share0 + share1 - 1.0).abs() < 1e-12);
     }
 
     #[test]

@@ -59,7 +59,11 @@ impl SatMonitor {
     ///
     /// An epoch with no samples reports unsaturated.
     pub fn take_epoch_sat(&mut self) -> bool {
-        self.occupancy.take_mean() > self.capacity as f64 / 2.0
+        // `mean > capacity/2` tested exactly in the integer domain:
+        // `2·sum > capacity·samples`. Widening to u128 wards off overflow
+        // for arbitrarily long epochs.
+        let (sum, samples) = self.occupancy.take_raw();
+        2 * u128::from(sum) > self.capacity as u128 * u128::from(samples)
     }
 
     /// The monitored queue's capacity.

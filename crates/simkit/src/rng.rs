@@ -70,6 +70,7 @@ impl SimRng {
     /// `p` is clamped to `[0, 1]`; the comparison uses the top 53 bits of
     /// one output word, so a given seed yields the same decisions on every
     /// platform.
+    // simlint: allow(taint-float): IEEE-754 compare of exact dyadic rationals — one multiply and one `<` on values with ≤53 significant bits is bit-reproducible on every platform
     pub fn gen_bool(&mut self, p: f64) -> bool {
         let p = p.clamp(0.0, 1.0);
         // 53 uniformly distributed mantissa bits in [0, 1).

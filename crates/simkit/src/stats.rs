@@ -89,13 +89,28 @@ impl EpochAverage {
         self.samples += n;
     }
 
-    /// Returns the mean of samples recorded so far this epoch, or 0.0 when
-    /// no samples were recorded, then resets for the next epoch.
-    pub fn take_mean(&mut self) -> f64 {
-        let mean = if self.samples == 0 { 0.0 } else { self.sum as f64 / self.samples as f64 };
+    /// Returns `(sum, samples)` recorded so far this epoch and resets for
+    /// the next epoch. This is the integer form of
+    /// [`EpochAverage::take_mean`], for decisions that must stay in the
+    /// integer domain: a threshold test `mean > t` is exactly
+    /// `sum > t * samples` with no float rounding in the loop.
+    pub fn take_raw(&mut self) -> (u64, u64) {
+        let raw = (self.sum, self.samples);
         self.sum = 0;
         self.samples = 0;
-        mean
+        raw
+    }
+
+    /// Returns the mean of samples recorded so far this epoch, or 0.0 when
+    /// no samples were recorded, then resets for the next epoch.
+    /// Reporting-only; mechanism decisions use [`EpochAverage::take_raw`].
+    pub fn take_mean(&mut self) -> f64 {
+        let (sum, samples) = self.take_raw();
+        if samples == 0 {
+            0.0
+        } else {
+            sum as f64 / samples as f64
+        }
     }
 
     /// Number of samples recorded this epoch so far.
@@ -199,6 +214,7 @@ impl ClassSeries {
     /// # Panics
     ///
     /// Panics if `values.len()` differs from the class count.
+    // simlint: allow(taint-float): figure-series storage; values are stored verbatim and never read back by the mechanism
     pub fn push_epoch(&mut self, values: &[f64]) {
         assert_eq!(values.len(), self.classes, "one value per class required");
         self.points.push(values.to_vec());
@@ -220,6 +236,7 @@ impl ClassSeries {
     }
 
     /// Values for epoch `e` (one per class).
+    // simlint: allow(taint-float): read-only figure-series access; plots and sanitizer assertions only
     pub fn epoch(&self, e: usize) -> &[f64] {
         &self.points[e]
     }

@@ -42,10 +42,14 @@ pub struct SystemReport {
 impl SystemReport {
     /// Builds the report from a system that has run past
     /// [`System::mark_measurement`].
+    // simlint: allow(taint-float): end-of-epoch reporting; the shares/IPC fractions here feed figures only, never the integer regulation datapath
     pub fn collect(sys: &System) -> Self {
         let window = sys.now() - sys.metrics().measure_from;
         let n_classes = sys.shares().classes();
         let total_bytes: u64 = (0..n_classes).map(|c| sys.bytes_since_mark(c)).sum();
+        let total_weight: u64 = (0..n_classes)
+            .map(|c| u64::from(sys.shares().weight(pabst_core::qos::QosId::new(c as u8)).get()))
+            .sum();
         let mut classes = Vec::with_capacity(n_classes);
         for c in 0..n_classes {
             let id = pabst_core::qos::QosId::new(c as u8);
@@ -60,7 +64,8 @@ impl SystemReport {
             classes.push(ClassReport {
                 class: c,
                 weight: sys.shares().weight(id).get(),
-                target_share: sys.shares().share(id),
+                // Eq. 1 on demand: weight_i / Σ weight_j.
+                target_share: f64::from(sys.shares().weight(id).get()) / total_weight as f64,
                 observed_share: if total_bytes == 0 {
                     0.0
                 } else {
@@ -171,6 +176,7 @@ fn json_escape(s: &str) -> String {
 
 /// A float as a JSON number, or `null` when not finite (JSON has no
 /// NaN/Infinity literals).
+// simlint: allow(taint-float): serializes already-computed report figures; output formatting cannot perturb simulated state
 fn json_f64(v: f64) -> String {
     if v.is_finite() {
         format!("{v}")

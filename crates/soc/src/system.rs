@@ -224,6 +224,7 @@ impl System {
     }
 
     /// IPC of core `i` over the measurement window.
+    // simlint: allow(taint-float): report-time ratio over final counters; nothing in the stepping path consumes it
     pub fn ipc_since_mark(&self, i: usize) -> f64 {
         let cycles = self.now - self.metrics.measure_from;
         if cycles == 0 {
@@ -235,6 +236,7 @@ impl System {
 
     /// Aggregate data-bus utilization across MCs over the measurement
     /// window (the paper's memory-efficiency metric, Fig. 12).
+    // simlint: allow(taint-float): report-time ratio over final counters; nothing in the stepping path consumes it
     pub fn bus_utilization_since_mark(&self) -> f64 {
         let busy: u64 = self.mcs.iter().map(|m| m.stats().bus_busy).sum();
         let window = (self.now - self.metrics.measure_from) * self.cfg.mcs as u64;
@@ -413,11 +415,7 @@ impl System {
             }
         }
         for tile in &self.tiles {
-            match tile.mem.next_inject_at(now) {
-                Some(at) if at <= now => return Some(now),
-                other => h.merge(other),
-            }
-            match tile.core.next_event(now) {
+            match tile.next_event(now) {
                 Some(at) if at <= now => return Some(now),
                 other => h.merge(other),
             }
@@ -780,8 +778,7 @@ impl System {
             }
         }
         let epoch_bytes: u64 = bytes_u64.iter().sum();
-        let bytes: Vec<f64> = bytes_u64.iter().map(|&b| b as f64).collect();
-        self.metrics.bw_series.push_epoch(&bytes);
+        self.push_epoch_figures(&bytes_u64);
         if !self.trace_sinks.is_empty() {
             let sat = or_sat(sats.iter().copied());
             self.emit_trace_record(now, sat, bytes_u64);
@@ -803,6 +800,15 @@ impl System {
         }
         self.check_forward_progress(now, epoch_bytes);
         self.sanitize_epoch(now);
+    }
+
+    /// Pushes this epoch's per-class delivered bytes into the bandwidth
+    /// figure series. The conversion to `f64` lives here, fenced off from
+    /// the governor arithmetic in the heartbeat proper.
+    // simlint: allow(taint-float): figure-series conversion of already-final epoch byte counts; feeds plots, never the regulation datapath
+    fn push_epoch_figures(&mut self, bytes_u64: &[u64]) {
+        let bytes: Vec<f64> = bytes_u64.iter().map(|&b| b as f64).collect();
+        self.metrics.bw_series.push_epoch(&bytes);
     }
 
     /// Applies the SAT-broadcast fault kinds to one monitor's raw sample

@@ -305,6 +305,18 @@ impl Tile {
     pub fn step_core(&mut self, now: Cycle) {
         self.core.step(now, self.workload.as_mut(), &mut self.mem);
     }
+
+    /// The earliest cycle this tile can change state on its own: the min
+    /// of the injection-queue horizon ([`TileMem::next_inject_at`]) and
+    /// the core's self-scheduled horizon. [`crate::system::System`]'s
+    /// quiescence skipping min-combines this across tiles; a too-early
+    /// answer costs speed only, never correctness.
+    pub fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        let mut h = pabst_simkit::horizon::Horizon::new();
+        h.merge(self.mem.next_inject_at(now));
+        h.merge(self.core.next_event(now));
+        h.get()
+    }
 }
 
 #[cfg(test)]

@@ -79,6 +79,7 @@ impl SpecWorkload {
     }
 
     /// The proxy's behavioural parameters (see module docs).
+    // simlint: allow(taint-float): compile-time behavioural constants; every fraction is consumed through SimRng::gen_bool's bit-reproducible compare
     pub fn params(self) -> SpecParams {
         // wset_lines: 1 MiB = 16384 lines. All exceed a 1-2 MiB L3
         // partition so they generate steady DRAM traffic.

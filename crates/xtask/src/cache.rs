@@ -1,0 +1,331 @@
+//! The content-hash lint cache (`target/simlint-cache.json`).
+//!
+//! The file pass — lexing, indexing, and the file-scoped rules — depends
+//! only on a file's bytes and its `FileSpec`, so its results are cached
+//! keyed on an FNV-1a hash of the source. The cross pass (taint,
+//! horizon-contract, unused-suppression) is whole-workspace and always
+//! runs fresh over the cached indexes; it is cheap next to re-lexing.
+//!
+//! Any load failure — missing file, corrupt JSON, schema mismatch —
+//! degrades to an empty cache. A stale or damaged cache can cost time,
+//! never correctness.
+
+use crate::index::{FileIndex, FnInfo, Sink, SinkClass, TypeDef};
+use crate::json::{parse, Json};
+use crate::rules::{FilePass, Suppression};
+use crate::Diagnostic;
+use std::collections::BTreeMap;
+use std::path::Path;
+
+const SCHEMA: &str = "simlint-cache-v1";
+
+/// 64-bit FNV-1a over the file bytes: deterministic, dependency-free, and
+/// plenty for change detection (this is a cache key, not a security hash).
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// One cached file-pass result.
+#[derive(Debug, Clone)]
+pub struct Entry {
+    /// FNV-1a of the source bytes the entry was computed from.
+    pub hash: u64,
+    /// The file's index (feeds the always-fresh cross pass).
+    pub index: FileIndex,
+    /// File-scoped diagnostics, post-suppression.
+    pub diags: Vec<Diagnostic>,
+    /// Suppression table with file-pass usage marks (cross-pass marks are
+    /// recomputed each run).
+    pub sups: Vec<Suppression>,
+}
+
+/// The cache: workspace-relative path → entry.
+#[derive(Debug, Clone, Default)]
+pub struct Cache {
+    /// See [`Cache`].
+    pub entries: BTreeMap<String, Entry>,
+}
+
+impl Cache {
+    /// Loads a cache file; empty on any error or schema mismatch.
+    pub fn load(path: &Path) -> Cache {
+        let Ok(text) = std::fs::read_to_string(path) else { return Cache::default() };
+        from_json(&text).unwrap_or_default()
+    }
+
+    /// Looks up a still-valid entry for `rel_path`.
+    pub fn get(&self, rel_path: &str, hash: u64) -> Option<&Entry> {
+        self.entries.get(rel_path).filter(|e| e.hash == hash)
+    }
+
+    /// Writes the cache. Failure is ignored (e.g. read-only target dir):
+    /// see the module docs on degradation.
+    pub fn save(&self, path: &Path) {
+        if let Some(dir) = path.parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        let _ = std::fs::write(path, to_json(self).to_compact());
+    }
+}
+
+fn str_arr(items: &[String]) -> Json {
+    Json::Arr(items.iter().map(|s| Json::Str(s.clone())).collect())
+}
+
+fn to_json(cache: &Cache) -> Json {
+    let files = cache
+        .entries
+        .iter()
+        .map(|(path, e)| {
+            Json::Obj(vec![
+                ("path".into(), Json::Str(path.clone())),
+                ("hash".into(), Json::Str(format!("{:016x}", e.hash))),
+                ("index".into(), index_to_json(&e.index)),
+                ("diags".into(), Json::Arr(e.diags.iter().map(diag_to_json).collect())),
+                ("sups".into(), Json::Arr(e.sups.iter().map(sup_to_json).collect())),
+            ])
+        })
+        .collect();
+    Json::Obj(vec![("schema".into(), Json::Str(SCHEMA.into())), ("files".into(), Json::Arr(files))])
+}
+
+fn index_to_json(idx: &FileIndex) -> Json {
+    let fns = idx
+        .fns
+        .iter()
+        .map(|f| {
+            let sinks = f
+                .sinks
+                .iter()
+                .map(|s| {
+                    Json::Obj(vec![
+                        ("class".into(), Json::Str(s.class.as_str().into())),
+                        ("line".into(), Json::Num(s.line as i64)),
+                        ("what".into(), Json::Str(s.what.clone())),
+                    ])
+                })
+                .collect();
+            Json::Obj(vec![
+                ("name".into(), Json::Str(f.name.clone())),
+                ("owner".into(), f.owner.clone().map(Json::Str).unwrap_or(Json::Null)),
+                ("line".into(), Json::Num(f.line as i64)),
+                ("is_pub".into(), Json::Bool(f.is_pub)),
+                ("has_doc".into(), Json::Bool(f.has_doc)),
+                ("in_test".into(), Json::Bool(f.in_test)),
+                ("calls".into(), str_arr(&f.calls)),
+                ("refs".into(), str_arr(&f.refs)),
+                ("sinks".into(), Json::Arr(sinks)),
+            ])
+        })
+        .collect();
+    let types = idx
+        .types
+        .iter()
+        .map(|t| {
+            Json::Obj(vec![
+                ("name".into(), Json::Str(t.name.clone())),
+                ("line".into(), Json::Num(t.line as i64)),
+            ])
+        })
+        .collect();
+    let ranges = idx
+        .test_ranges
+        .iter()
+        .map(|&(a, b)| Json::Arr(vec![Json::Num(a as i64), Json::Num(b as i64)]))
+        .collect();
+    Json::Obj(vec![
+        ("crate".into(), Json::Str(idx.crate_name.clone())),
+        ("rel_path".into(), Json::Str(idx.rel_path.clone())),
+        ("is_test".into(), Json::Bool(idx.is_test)),
+        ("fns".into(), Json::Arr(fns)),
+        ("types".into(), Json::Arr(types)),
+        ("uses".into(), str_arr(&idx.uses)),
+        ("top_refs".into(), str_arr(&idx.top_refs)),
+        ("test_ranges".into(), Json::Arr(ranges)),
+    ])
+}
+
+fn diag_to_json(d: &Diagnostic) -> Json {
+    Json::Obj(vec![
+        ("file".into(), Json::Str(d.file.clone())),
+        ("line".into(), Json::Num(d.line as i64)),
+        ("rule".into(), Json::Str(d.rule.into())),
+        ("message".into(), Json::Str(d.message.clone())),
+    ])
+}
+
+fn sup_to_json(s: &Suppression) -> Json {
+    Json::Obj(vec![
+        ("rule".into(), Json::Str(s.rule.into())),
+        ("comment_line".into(), Json::Num(s.comment_line as i64)),
+        ("first_line".into(), Json::Num(s.first_line as i64)),
+        ("last_line".into(), Json::Num(s.last_line as i64)),
+        ("used".into(), Json::Bool(s.used)),
+    ])
+}
+
+fn get_str(v: &Json, key: &str) -> Option<String> {
+    v.get(key)?.as_str().map(String::from)
+}
+
+fn get_usize(v: &Json, key: &str) -> Option<usize> {
+    usize::try_from(v.get(key)?.as_i64()?).ok()
+}
+
+fn get_strs(v: &Json, key: &str) -> Option<Vec<String>> {
+    v.get(key)?.as_arr()?.iter().map(|s| s.as_str().map(String::from)).collect()
+}
+
+fn from_json(text: &str) -> Option<Cache> {
+    let root = parse(text)?;
+    if root.get("schema")?.as_str()? != SCHEMA {
+        return None;
+    }
+    let mut entries = BTreeMap::new();
+    for file in root.get("files")?.as_arr()? {
+        let path = get_str(file, "path")?;
+        let hash = u64::from_str_radix(file.get("hash")?.as_str()?, 16).ok()?;
+        let index = index_from_json(file.get("index")?)?;
+        let diags =
+            file.get("diags")?.as_arr()?.iter().map(diag_from_json).collect::<Option<Vec<_>>>()?;
+        let sups =
+            file.get("sups")?.as_arr()?.iter().map(sup_from_json).collect::<Option<Vec<_>>>()?;
+        entries.insert(path, Entry { hash, index, diags, sups });
+    }
+    Some(Cache { entries })
+}
+
+fn index_from_json(v: &Json) -> Option<FileIndex> {
+    let mut fns = Vec::new();
+    for f in v.get("fns")?.as_arr()? {
+        let mut sinks = Vec::new();
+        for s in f.get("sinks")?.as_arr()? {
+            sinks.push(Sink {
+                class: SinkClass::parse(s.get("class")?.as_str()?)?,
+                line: get_usize(s, "line")?,
+                what: get_str(s, "what")?,
+            });
+        }
+        fns.push(FnInfo {
+            name: get_str(f, "name")?,
+            owner: match f.get("owner")? {
+                Json::Null => None,
+                other => Some(other.as_str()?.to_string()),
+            },
+            line: get_usize(f, "line")?,
+            is_pub: f.get("is_pub")?.as_bool()?,
+            has_doc: f.get("has_doc")?.as_bool()?,
+            in_test: f.get("in_test")?.as_bool()?,
+            calls: get_strs(f, "calls")?,
+            refs: get_strs(f, "refs")?,
+            sinks,
+        });
+    }
+    let mut types = Vec::new();
+    for t in v.get("types")?.as_arr()? {
+        types.push(TypeDef { name: get_str(t, "name")?, line: get_usize(t, "line")? });
+    }
+    let mut test_ranges = Vec::new();
+    for r in v.get("test_ranges")?.as_arr()? {
+        let pair = r.as_arr()?;
+        if pair.len() != 2 {
+            return None;
+        }
+        test_ranges.push((
+            usize::try_from(pair[0].as_i64()?).ok()?,
+            usize::try_from(pair[1].as_i64()?).ok()?,
+        ));
+    }
+    Some(FileIndex {
+        crate_name: get_str(v, "crate")?,
+        rel_path: get_str(v, "rel_path")?,
+        is_test: v.get("is_test")?.as_bool()?,
+        fns,
+        types,
+        uses: get_strs(v, "uses")?,
+        top_refs: get_strs(v, "top_refs")?,
+        test_ranges,
+    })
+}
+
+fn diag_from_json(v: &Json) -> Option<Diagnostic> {
+    Some(Diagnostic {
+        file: get_str(v, "file")?,
+        line: get_usize(v, "line")?,
+        rule: crate::rule_id(v.get("rule")?.as_str()?)?,
+        message: get_str(v, "message")?,
+    })
+}
+
+fn sup_from_json(v: &Json) -> Option<Suppression> {
+    Some(Suppression {
+        rule: crate::rule_id(v.get("rule")?.as_str()?)?,
+        comment_line: get_usize(v, "comment_line")?,
+        first_line: get_usize(v, "first_line")?,
+        last_line: get_usize(v, "last_line")?,
+        used: v.get("used")?.as_bool()?,
+    })
+}
+
+/// Converts a cache entry back into the `(FileIndex, FilePass)` pair the
+/// pipeline consumes.
+pub fn entry_to_pass(e: &Entry) -> (FileIndex, FilePass) {
+    (e.index.clone(), FilePass { diags: e.diags.clone(), sups: e.sups.clone() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        // Published FNV-1a 64 test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn cache_round_trips_through_json() {
+        let src = "impl Pacer { pub fn step(&mut self) { self.now += 1.5; } }\n";
+        let lx = crate::lexer::lex(src);
+        let index = crate::index::index_file("core", "crates/core/src/pacer.rs", false, src, &lx);
+        let spec = crate::FileSpec {
+            crate_name: "core",
+            rel_path: "crates/core/src/pacer.rs",
+            is_test: false,
+        };
+        let pass = crate::rules::file_pass(&spec, &lx, &index);
+        let mut cache = Cache::default();
+        cache.entries.insert(
+            spec.rel_path.to_string(),
+            Entry {
+                hash: fnv1a(src.as_bytes()),
+                index,
+                diags: pass.diags.clone(),
+                sups: pass.sups.clone(),
+            },
+        );
+        let text = to_json(&cache).to_compact();
+        let back = from_json(&text).expect("parse");
+        let e = back.get(spec.rel_path, fnv1a(src.as_bytes())).expect("hit");
+        assert_eq!(e.diags.len(), pass.diags.len());
+        assert_eq!(e.diags[0].rule, pass.diags[0].rule);
+        assert_eq!(e.index.fns.len(), 1);
+        assert_eq!(e.index.fns[0].name, "step");
+        assert!(back.get(spec.rel_path, 0xdead_beef).is_none(), "hash mismatch must miss");
+    }
+
+    #[test]
+    fn corrupt_or_mismatched_cache_is_empty() {
+        assert!(from_json("not json").is_none());
+        assert!(from_json("{\"schema\": \"other\", \"files\": []}").is_none());
+        let missing = Path::new("/nonexistent/simlint-cache.json");
+        assert!(Cache::load(missing).entries.is_empty());
+    }
+}

@@ -1,0 +1,221 @@
+//! Layer 2 of the simlint engine: the workspace call-graph approximation.
+//!
+//! Nodes are the non-test functions of every crate except `xtask` itself
+//! (the linter names the banned tokens). Edges are name-based: a call or
+//! bare reference to `step` links to *every* workspace function named
+//! `step`, class-hierarchy-analysis style. No type resolution means the
+//! graph over-approximates — a reachability-scoped rule can report a
+//! conservative path but never misses a real one through a resolved call.
+//!
+//! Dynamic dispatch through fn-pointer tables (the bench registry's
+//! `static EXPERIMENTS: [Experiment; N] = [...]`) is covered by seeding
+//! roots with every top-level initializer reference (`FileIndex::top_refs`).
+
+use crate::index::FileIndex;
+use std::collections::BTreeMap;
+
+/// A node: `(file index, fn index within that file)`.
+pub type NodeId = (usize, usize);
+
+/// The workspace call graph over a set of file indexes.
+pub struct Graph<'a> {
+    files: &'a [FileIndex],
+    /// fn name → nodes bearing that name, in deterministic file order.
+    /// Each owned fn is indexed twice: bare (`step`) for method-call and
+    /// bare-reference edges, and qualified (`Tile::step`) for
+    /// owner-resolved path calls.
+    by_name: BTreeMap<String, Vec<NodeId>>,
+}
+
+impl<'a> Graph<'a> {
+    /// Builds the graph. `files` order defines node order, so results are
+    /// deterministic for a deterministic file walk.
+    pub fn build(files: &'a [FileIndex]) -> Self {
+        let mut by_name: BTreeMap<String, Vec<NodeId>> = BTreeMap::new();
+        for (fi, file) in files.iter().enumerate() {
+            if file.crate_name == "xtask" {
+                continue;
+            }
+            for (ni, f) in file.fns.iter().enumerate() {
+                if f.in_test {
+                    continue;
+                }
+                by_name.entry(f.name.clone()).or_default().push((fi, ni));
+                if let Some(owner) = &f.owner {
+                    by_name.entry(format!("{owner}::{}", f.name)).or_default().push((fi, ni));
+                }
+            }
+        }
+        Graph { files, by_name }
+    }
+
+    /// Finds the unique node for `owner::name`, if indexed.
+    pub fn find(&self, owner: &str, name: &str) -> Option<NodeId> {
+        self.by_name.get(&format!("{owner}::{name}")).and_then(|v| v.first().copied())
+    }
+
+    /// All nodes named `name`.
+    pub fn named(&self, name: &str) -> &[NodeId] {
+        self.by_name.get(name).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// BFS over call ∪ ref edges from `roots` (plus `seeds`, attributed to
+    /// the first root for path rendering). Returns `node → parent`; roots
+    /// map to themselves.
+    pub fn reachable(&self, roots: &[NodeId], seeds: &[NodeId]) -> BTreeMap<NodeId, NodeId> {
+        let mut parent: BTreeMap<NodeId, NodeId> = BTreeMap::new();
+        let mut queue: Vec<NodeId> = Vec::new();
+        for &r in roots {
+            if parent.insert(r, r).is_none() {
+                queue.push(r);
+            }
+        }
+        for &s in seeds {
+            if let Some(&r) = roots.first() {
+                if parent.insert(s, r).is_none() {
+                    queue.push(s);
+                }
+            }
+        }
+        let mut head = 0usize;
+        while head < queue.len() {
+            let node = queue[head];
+            head += 1;
+            let f = &self.files[node.0].fns[node.1];
+            for name in f.calls.iter().chain(f.refs.iter()) {
+                for &next in self.named(name) {
+                    if let std::collections::btree_map::Entry::Vacant(e) = parent.entry(next) {
+                        e.insert(node);
+                        queue.push(next);
+                    }
+                }
+            }
+        }
+        parent
+    }
+
+    /// Renders the call chain root → … → `node` as `a → b → c` using the
+    /// parent map from [`Graph::reachable`].
+    pub fn path(&self, parent: &BTreeMap<NodeId, NodeId>, node: NodeId) -> String {
+        let mut chain = vec![node];
+        let mut cur = node;
+        while let Some(&p) = parent.get(&cur) {
+            if p == cur {
+                break;
+            }
+            chain.push(p);
+            cur = p;
+        }
+        chain.reverse();
+        chain
+            .iter()
+            .map(|&(fi, ni)| self.files[fi].fns[ni].display())
+            .collect::<Vec<_>>()
+            .join(" → ")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::index_file;
+    use crate::lexer::lex;
+
+    fn idx(crate_name: &str, rel_path: &str, src: &str) -> FileIndex {
+        index_file(crate_name, rel_path, false, src, &lex(src))
+    }
+
+    #[test]
+    fn reachability_crosses_files_by_name() {
+        let a = idx(
+            "soc",
+            "crates/soc/src/system.rs",
+            "impl System { pub fn advance(&mut self) { helper(1); } }\n",
+        );
+        let b = idx(
+            "bench",
+            "crates/bench/src/util.rs",
+            "pub fn helper(x: u64) { deeper(x); }\nfn deeper(_x: u64) {}\nfn unrelated() {}\n",
+        );
+        let files = [a, b];
+        let g = Graph::build(&files);
+        let root = g.find("System", "advance").expect("root");
+        let reach = g.reachable(&[root], &[]);
+        let names: Vec<&str> =
+            reach.keys().map(|&(fi, ni)| files[fi].fns[ni].name.as_str()).collect();
+        assert!(names.contains(&"helper") && names.contains(&"deeper"));
+        assert!(!names.contains(&"unrelated"));
+        let deeper = g.named("deeper")[0];
+        assert_eq!(g.path(&reach, deeper), "System::advance → helper → deeper");
+    }
+
+    #[test]
+    fn test_fns_and_xtask_are_outside_the_graph() {
+        let a = idx(
+            "soc",
+            "crates/soc/src/x.rs",
+            "#[cfg(test)]\nmod tests {\n    fn hidden() {}\n}\npub fn live() {}\n",
+        );
+        let b = idx("xtask", "crates/xtask/src/lib.rs", "pub fn lint_workspace() {}\n");
+        let files = [a, b];
+        let g = Graph::build(&files);
+        assert!(g.named("hidden").is_empty());
+        assert!(g.named("lint_workspace").is_empty());
+        assert_eq!(g.named("live").len(), 1);
+    }
+
+    #[test]
+    fn qualified_calls_resolve_by_owner_only() {
+        let caller = idx(
+            "soc",
+            "crates/soc/src/system.rs",
+            "impl System { pub fn advance(&mut self) { RunCtx::new(); } }\n",
+        );
+        let a = idx("bench", "crates/bench/src/ctx.rs", "impl RunCtx { pub fn new() {} }\n");
+        let b = idx(
+            "cache",
+            "crates/cache/src/sets.rs",
+            "impl SetModel { pub fn new() { leak(); } }\nfn leak() {}\n",
+        );
+        let files = [caller, a, b];
+        let g = Graph::build(&files);
+        let root = g.find("System", "advance").expect("root");
+        let reach = g.reachable(&[root], &[]);
+        let names: Vec<String> =
+            reach.keys().map(|&(fi, ni)| files[fi].fns[ni].display()).collect();
+        assert!(names.contains(&"RunCtx::new".to_string()), "{names:?}");
+        assert!(
+            !names.contains(&"SetModel::new".to_string()),
+            "qualified call must not fan out: {names:?}"
+        );
+        assert!(!names.contains(&"leak".to_string()), "{names:?}");
+    }
+
+    #[test]
+    fn seeds_model_fn_pointer_dispatch() {
+        let reg = idx(
+            "bench",
+            "crates/bench/src/registry.rs",
+            "pub static TABLE: [Experiment; 1] = [Experiment { run: table_run }];\n\
+             fn table_run() { sinkhole(); }\nfn sinkhole() {}\n",
+        );
+        let root_file = idx(
+            "bench",
+            "crates/bench/src/harness.rs",
+            "impl Experiment { pub fn run(&self) {} }\n",
+        );
+        let files = [reg, root_file];
+        let g = Graph::build(&files);
+        let root = g.find("Experiment", "run").expect("root");
+        let seeds: Vec<NodeId> = files
+            .iter()
+            .flat_map(|f| f.top_refs.iter())
+            .flat_map(|n| g.named(n))
+            .copied()
+            .collect();
+        let reach = g.reachable(&[root], &seeds);
+        let names: Vec<&str> =
+            reach.keys().map(|&(fi, ni)| files[fi].fns[ni].name.as_str()).collect();
+        assert!(names.contains(&"table_run") && names.contains(&"sinkhole"), "{names:?}");
+    }
+}

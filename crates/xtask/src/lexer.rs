@@ -1,0 +1,429 @@
+//! Layer 1 of the simlint engine: a hand-rolled Rust lexer.
+//!
+//! Produces a comment/string-correct token stream: string, char and byte
+//! literals are consumed (never tokenized), comments are collected into a
+//! side list for suppression parsing, and every remaining token carries its
+//! 0-based source line. Everything downstream — the per-line file rules,
+//! the item index, and the workspace call graph — works on this stream, so
+//! a banned identifier inside a string or a doc comment can never produce
+//! a false diagnostic.
+//!
+//! The lexer is deliberately not a full Rust grammar: it recognizes exactly
+//! the shapes the rules need (identifiers, raw identifiers, lifetimes,
+//! integer vs. float literals, and a small set of compound operators) and
+//! treats everything else as single-character punctuation.
+
+/// Token classification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword (`fn`, `HashMap`, `sample_n`, ...).
+    Ident,
+    /// An integer literal (`42`, `0xFF`, `1_000`, `1e9` without a dot).
+    Int,
+    /// A floating-point literal — digits on both sides of a `.`
+    /// (`1.0`, `2.5e3`). Tuple indices (`pair.0`), ranges (`0..10`) and
+    /// integer method calls (`1.max(x)`) lex as `Int` + punctuation.
+    Float,
+    /// A lifetime (`'a`, `'static`).
+    Lifetime,
+    /// Punctuation; compound operators (`::`, `+=`, `..`, `->`, ...) are
+    /// single tokens.
+    Punct,
+}
+
+/// One lexed token.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// Classification.
+    pub kind: TokKind,
+    /// Raw token text (raw identifiers keep their `r#` prefix stripped).
+    pub text: String,
+    /// 0-based line the token starts on.
+    pub line: usize,
+}
+
+/// A comment, kept out of the token stream for suppression parsing.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// 0-based line the comment starts on.
+    pub line: usize,
+    /// Raw comment text including the `//` / `/*` introducer.
+    pub text: String,
+    /// True when code precedes the comment on its start line.
+    pub trailing: bool,
+}
+
+/// The full lexed form of one source file.
+#[derive(Debug)]
+pub struct Lexed {
+    /// Token stream in source order (comments and literals excluded).
+    pub toks: Vec<Tok>,
+    /// Comments in source order.
+    pub comments: Vec<Comment>,
+    /// Number of source lines.
+    pub line_count: usize,
+}
+
+/// Compound operators lexed as single punctuation tokens, longest first.
+/// `<<`/`>>`/`<=`/`>=` are deliberately absent: keeping `<` and `>` single
+/// tokens lets the item index count angle-bracket depth through nested
+/// generics like `Vec<Vec<u8>>`.
+const MULTI_PUNCT: [&str; 15] =
+    ["..=", "::", "..", "->", "=>", "+=", "-=", "*=", "/=", "%=", "^=", "&=", "|=", "==", "!="];
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+/// True for identifier-continue characters.
+pub fn is_ident_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Lexes `source` into tokens plus a comment side list.
+pub fn lex(source: &str) -> Lexed {
+    let src: Vec<char> = source.chars().collect();
+    let n = src.len();
+    let mut toks: Vec<Tok> = Vec::new();
+    let mut comments: Vec<Comment> = Vec::new();
+
+    let mut i = 0usize;
+    let mut line = 0usize;
+    let mut line_has_code = false;
+
+    while i < n {
+        let c = src[i];
+        match c {
+            '\n' => {
+                line += 1;
+                line_has_code = false;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if i + 1 < n && src[i + 1] == '/' => {
+                let start = i;
+                while i < n && src[i] != '\n' {
+                    i += 1;
+                }
+                comments.push(Comment {
+                    line,
+                    text: src[start..i].iter().collect(),
+                    trailing: line_has_code,
+                });
+            }
+            '/' if i + 1 < n && src[i + 1] == '*' => {
+                // Rust block comments nest.
+                let (start, start_line, trailing) = (i, line, line_has_code);
+                let mut depth = 1usize;
+                i += 2;
+                while i < n && depth > 0 {
+                    if src[i] == '\n' {
+                        line += 1;
+                        i += 1;
+                    } else if src[i] == '/' && i + 1 < n && src[i + 1] == '*' {
+                        depth += 1;
+                        i += 2;
+                    } else if src[i] == '*' && i + 1 < n && src[i + 1] == '/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                comments.push(Comment {
+                    line: start_line,
+                    text: src[start..i.min(n)].iter().collect(),
+                    trailing,
+                });
+            }
+            '"' => {
+                line_has_code = true;
+                i = skip_string(&src, i + 1, &mut line);
+            }
+            '\'' => {
+                line_has_code = true;
+                i = lex_quote(&src, i, line, &mut toks);
+            }
+            c if c.is_ascii_digit() => {
+                line_has_code = true;
+                i = lex_number(&src, i, line, &mut toks);
+            }
+            c if is_ident_start(c) => {
+                line_has_code = true;
+                i = lex_ident(&src, i, &mut line, &mut toks);
+            }
+            _ => {
+                line_has_code = true;
+                let rest: String = src[i..(i + 3).min(n)].iter().collect();
+                let mp = MULTI_PUNCT.iter().find(|p| rest.starts_with(**p));
+                match mp {
+                    Some(p) => {
+                        toks.push(Tok { kind: TokKind::Punct, text: (*p).to_string(), line });
+                        i += p.chars().count();
+                    }
+                    None => {
+                        toks.push(Tok { kind: TokKind::Punct, text: c.to_string(), line });
+                        i += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    let line_count = source.lines().count().max(1);
+    Lexed { toks, comments, line_count }
+}
+
+/// Consumes a `"`-delimited string body starting at `i` (past the opening
+/// quote); returns the index past the closing quote.
+fn skip_string(src: &[char], mut i: usize, line: &mut usize) -> usize {
+    let n = src.len();
+    while i < n {
+        match src[i] {
+            '\\' => {
+                // A line-continuation escape (`\` before a newline) still
+                // advances the line counter.
+                if i + 1 < n && src[i + 1] == '\n' {
+                    *line += 1;
+                }
+                i += 2;
+            }
+            '"' => return i + 1,
+            '\n' => {
+                *line += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Consumes a raw string `r"..."` / `r#"..."#` starting at the first `#`
+/// or `"` (past the `r`/`br` prefix); returns the index past the closer.
+fn skip_raw_string(src: &[char], mut i: usize, line: &mut usize) -> usize {
+    let n = src.len();
+    let mut hashes = 0usize;
+    while i < n && src[i] == '#' {
+        hashes += 1;
+        i += 1;
+    }
+    if i >= n || src[i] != '"' {
+        return i; // not actually a raw string; treat prefix as consumed
+    }
+    i += 1;
+    while i < n {
+        if src[i] == '\n' {
+            *line += 1;
+            i += 1;
+        } else if src[i] == '"' {
+            let mut k = i + 1;
+            let mut h = 0usize;
+            while k < n && h < hashes && src[k] == '#' {
+                h += 1;
+                k += 1;
+            }
+            if h == hashes {
+                return k;
+            }
+            i += 1;
+        } else {
+            i += 1;
+        }
+    }
+    i
+}
+
+/// Disambiguates `'` into a char literal (consumed) or a lifetime token.
+fn lex_quote(src: &[char], i: usize, line: usize, toks: &mut Vec<Tok>) -> usize {
+    let n = src.len();
+    if i + 1 < n && src[i + 1] == '\\' {
+        // Escaped char literal: '\n', '\\', '\'', '\u{..}', ... The char
+        // after the backslash is part of the escape, so skip it before
+        // looking for the closing quote (otherwise '\'' ends early).
+        let mut j = i + 3;
+        while j < n && src[j] != '\'' && src[j] != '\n' {
+            j += 1;
+        }
+        return (j + 1).min(n);
+    }
+    if i + 2 < n && src[i + 2] == '\'' {
+        return i + 3; // plain char literal 'x'
+    }
+    if i + 1 < n && is_ident_start(src[i + 1]) {
+        // Lifetime.
+        let start = i + 1;
+        let mut j = start;
+        while j < n && is_ident_char(src[j]) {
+            j += 1;
+        }
+        toks.push(Tok { kind: TokKind::Lifetime, text: src[start..j].iter().collect(), line });
+        return j;
+    }
+    // Oddball like '(' as a char literal.
+    let mut j = i + 1;
+    while j < n && src[j] != '\'' && src[j] != '\n' {
+        j += 1;
+    }
+    (j + 1).min(n)
+}
+
+/// Lexes a numeric literal; classifies float when a `.` has digits on both
+/// sides (so ranges, tuple fields and integer method calls stay `Int`).
+fn lex_number(src: &[char], i: usize, line: usize, toks: &mut Vec<Tok>) -> usize {
+    let n = src.len();
+    let start = i;
+    let mut j = i;
+    let mut is_float = false;
+    while j < n && (is_ident_char(src[j]) || src[j] == '.') {
+        if src[j] == '.' {
+            let dot_ok = !is_float
+                && j + 1 < n
+                && src[j + 1].is_ascii_digit()
+                && src[j - 1].is_ascii_digit();
+            if !dot_ok {
+                break;
+            }
+            is_float = true;
+        }
+        j += 1;
+    }
+    toks.push(Tok {
+        kind: if is_float { TokKind::Float } else { TokKind::Int },
+        text: src[start..j].iter().collect(),
+        line,
+    });
+    j
+}
+
+/// Lexes an identifier; routes raw-string / byte-literal prefixes (`r"`,
+/// `br#"`, `b"`, `b'`) and raw identifiers (`r#name`) appropriately.
+fn lex_ident(src: &[char], i: usize, line: &mut usize, toks: &mut Vec<Tok>) -> usize {
+    let n = src.len();
+    let start = i;
+    let mut j = i;
+    while j < n && is_ident_char(src[j]) {
+        j += 1;
+    }
+    let word: String = src[start..j].iter().collect();
+    if j < n {
+        match (word.as_str(), src[j]) {
+            ("r" | "br" | "b" | "rb", '"') => return skip_string(src, j + 1, line),
+            ("r" | "br" | "rb", '#') => {
+                // Raw string r#"..."# — or a raw identifier r#name.
+                let mut k = j;
+                while k < n && src[k] == '#' {
+                    k += 1;
+                }
+                if k < n && src[k] == '"' {
+                    return skip_raw_string(src, j, line);
+                }
+                if word == "r" && k == j + 1 && k < n && is_ident_start(src[k]) {
+                    let id_start = k;
+                    let mut m = k;
+                    while m < n && is_ident_char(src[m]) {
+                        m += 1;
+                    }
+                    toks.push(Tok {
+                        kind: TokKind::Ident,
+                        text: src[id_start..m].iter().collect(),
+                        line: *line,
+                    });
+                    return m;
+                }
+            }
+            ("b", '\'') => {
+                // Byte literal b'x'.
+                let mut k = j + 1;
+                if k < n && src[k] == '\\' {
+                    k += 1;
+                }
+                while k < n && src[k] != '\'' && src[k] != '\n' {
+                    k += 1;
+                }
+                return (k + 1).min(n);
+            }
+            _ => {}
+        }
+    }
+    toks.push(Tok { kind: TokKind::Ident, text: word, line: *line });
+    j
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(l: &Lexed) -> Vec<&str> {
+        l.toks.iter().map(|t| t.text.as_str()).collect()
+    }
+
+    #[test]
+    fn strings_and_comments_never_tokenize() {
+        let l = lex("let x = \"HashMap\"; // HashMap\n/* HashMap */ let y = 1;\n");
+        assert!(!texts(&l).contains(&"HashMap"));
+        assert_eq!(l.comments.len(), 2);
+        assert!(l.comments[0].trailing);
+        assert!(!l.comments[1].trailing);
+    }
+
+    #[test]
+    fn raw_strings_and_chars_skip_lifetimes_survive() {
+        let l = lex("let s = r#\"thread_rng \" quote\"#; let c = '\\n'; let l: &'static str = s;");
+        assert!(!texts(&l).contains(&"thread_rng"));
+        assert!(l.toks.iter().any(|t| t.kind == TokKind::Lifetime && t.text == "static"));
+    }
+
+    #[test]
+    fn float_classification_matches_the_rules() {
+        let l = lex("let a = 1.25; let r = 0..10; let t = pair.0; let m = 1.max(2);");
+        let floats: Vec<&str> =
+            l.toks.iter().filter(|t| t.kind == TokKind::Float).map(|t| t.text.as_str()).collect();
+        assert_eq!(floats, ["1.25"]);
+    }
+
+    #[test]
+    fn compound_operators_are_single_tokens() {
+        let l = lex("now += 1; a::b; x..y; f() -> u8");
+        assert!(l.toks.iter().any(|t| t.text == "+="));
+        assert!(l.toks.iter().any(|t| t.text == "::"));
+        assert!(l.toks.iter().any(|t| t.text == ".."));
+        assert!(l.toks.iter().any(|t| t.text == "->"));
+    }
+
+    #[test]
+    fn generics_keep_single_angle_brackets() {
+        let l = lex("let v: Vec<Vec<u8>> = Vec::new();");
+        assert_eq!(l.toks.iter().filter(|t| t.text == ">").count(), 2);
+    }
+
+    #[test]
+    fn raw_identifiers_lex_as_idents() {
+        let l = lex("let r#type = 1;");
+        assert!(l.toks.iter().any(|t| t.kind == TokKind::Ident && t.text == "type"));
+    }
+
+    #[test]
+    fn lines_are_tracked_through_multiline_constructs() {
+        let l = lex("let a = \"x\ny\";\nlet b = 2;\n");
+        let b = l.toks.iter().find(|t| t.text == "b").expect("b");
+        assert_eq!(b.line, 2);
+        assert_eq!(l.line_count, 3);
+    }
+
+    #[test]
+    fn string_line_continuations_do_not_drift_line_numbers() {
+        // The `\` before the newline is an escape, but the newline must
+        // still count (this bit qos.rs's wrapped error messages).
+        let l = lex("let m = \"first \\\n    second\";\nlet after = 1;\n");
+        let after = l.toks.iter().find(|t| t.text == "after").expect("after");
+        assert_eq!(after.line, 2);
+    }
+
+    #[test]
+    fn escaped_quote_char_literal_does_not_end_early() {
+        let l = lex("let q = '\\''; let tail = 9;\n");
+        assert!(l.toks.iter().any(|t| t.text == "tail"));
+        assert!(!l.toks.iter().any(|t| t.kind == TokKind::Lifetime));
+    }
+}

@@ -1,12 +1,13 @@
 //! Workspace task runner. Currently one task:
 //!
 //! ```text
-//! cargo run -p xtask -- lint [--root <dir>]
+//! cargo run -p xtask -- lint [--root <dir>] [--format text|json]
+//!                            [--filter <rule>] [--report <path>] [--no-cache]
 //! ```
 //!
 //! runs the `simlint` determinism & accounting pass over every workspace
 //! crate and exits non-zero when violations are found. See `docs/LINTS.md`
-//! for the rule catalogue.
+//! for the rule catalogue and the JSON report schema.
 
 #![forbid(unsafe_code)]
 
@@ -30,11 +31,18 @@ fn main() -> ExitCode {
 }
 
 fn usage() {
-    eprintln!("usage: cargo run -p xtask -- lint [--root <workspace-dir>]");
+    eprintln!(
+        "usage: cargo run -p xtask -- lint [--root <workspace-dir>] \
+         [--format text|json] [--filter <rule>] [--report <path>] [--no-cache]"
+    );
 }
 
 fn lint(args: &[String]) -> ExitCode {
     let mut root: Option<PathBuf> = None;
+    let mut format = "text".to_string();
+    let mut filter: Option<&'static str> = None;
+    let mut report: Option<PathBuf> = None;
+    let mut use_cache = true;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -45,6 +53,41 @@ fn lint(args: &[String]) -> ExitCode {
                     return ExitCode::from(2);
                 }
             },
+            "--format" => match it.next().map(String::as_str) {
+                Some(f @ ("text" | "json")) => format = f.to_string(),
+                Some(other) => {
+                    eprintln!("xtask: --format must be `text` or `json`, got `{other}`");
+                    return ExitCode::from(2);
+                }
+                None => {
+                    eprintln!("xtask: --format needs `text` or `json`");
+                    return ExitCode::from(2);
+                }
+            },
+            "--filter" => match it.next() {
+                Some(name) => match xtask::rule_id(name) {
+                    Some(rule) => filter = Some(rule),
+                    None => {
+                        eprintln!(
+                            "xtask: unknown rule `{name}` in --filter; known rules: {}",
+                            xtask::ALL_RULES.join(", ")
+                        );
+                        return ExitCode::from(2);
+                    }
+                },
+                None => {
+                    eprintln!("xtask: --filter needs a rule name");
+                    return ExitCode::from(2);
+                }
+            },
+            "--report" => match it.next() {
+                Some(path) => report = Some(PathBuf::from(path)),
+                None => {
+                    eprintln!("xtask: --report needs a file path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--no-cache" => use_cache = false,
             other => {
                 eprintln!("xtask: unknown lint option `{other}`");
                 return ExitCode::from(2);
@@ -63,21 +106,47 @@ fn lint(args: &[String]) -> ExitCode {
         }
     });
 
-    match xtask::lint_workspace(&root) {
-        Ok(diags) if diags.is_empty() => {
-            println!("simlint: clean");
-            ExitCode::SUCCESS
+    let result = if use_cache {
+        xtask::lint_workspace_cached(&root, &root.join("target/simlint-cache.json"))
+    } else {
+        xtask::lint_workspace(&root)
+    };
+    let mut diags = match result {
+        Ok(diags) => diags,
+        Err(e) => {
+            eprintln!("simlint: i/o error: {e}");
+            return ExitCode::from(2);
         }
-        Ok(diags) => {
+    };
+    if let Some(rule) = filter {
+        diags.retain(|d| d.rule == rule);
+    }
+
+    // The report is written even on a clean run, so CI can always upload it.
+    if let Some(path) = &report {
+        let text = xtask::report_json(&diags).to_pretty();
+        if let Err(e) = std::fs::write(path, text) {
+            eprintln!("simlint: cannot write report {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+
+    match format.as_str() {
+        "json" => print!("{}", xtask::report_json(&diags).to_pretty()),
+        _ => {
             for d in &diags {
                 println!("{d}");
             }
-            println!("simlint: {} violation(s)", diags.len());
-            ExitCode::FAILURE
+            if diags.is_empty() {
+                println!("simlint: clean");
+            } else {
+                println!("simlint: {} violation(s)", diags.len());
+            }
         }
-        Err(e) => {
-            eprintln!("simlint: i/o error: {e}");
-            ExitCode::from(2)
-        }
+    }
+    if diags.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
     }
 }

@@ -4,11 +4,21 @@
 //! The fixtures live under `tests/fixtures/` precisely so the workspace walk
 //! skips them: they violate the rules on purpose.
 
-use xtask::{lint_source, Diagnostic, FileSpec};
+use xtask::{lint_files, lint_source, Diagnostic, FileSpec, SourceFile};
 
 fn lint_fixture(crate_name: &str, rel_path: &str, source: &str) -> Vec<Diagnostic> {
     let spec = FileSpec { crate_name, rel_path, is_test: false };
     lint_source(&spec, source)
+}
+
+/// A fixture file for the full (cross-file) pipeline.
+fn sf(crate_name: &str, rel_path: &str, source: &str) -> SourceFile {
+    SourceFile {
+        crate_name: crate_name.to_string(),
+        rel_path: rel_path.to_string(),
+        is_test: false,
+        source: source.to_string(),
+    }
 }
 
 fn lines_for(diags: &[Diagnostic], rule: &str) -> Vec<usize> {
@@ -115,13 +125,17 @@ fn thread_fixture_flags_spawns_outside_the_harness() {
 }
 
 #[test]
-fn thread_fixture_is_clean_in_the_harness_file() {
+fn thread_fixture_in_the_harness_file_reports_only_the_stale_allow() {
+    // The sweep executor may use std::thread, so the fixture's
+    // allow(thread) suppresses nothing — strict hygiene reports exactly
+    // that, and nothing else.
     let diags = lint_fixture(
         "bench",
         "crates/bench/src/harness.rs",
         include_str!("fixtures/thread_use.rs"),
     );
-    assert!(diags.is_empty(), "the sweep executor may use std::thread: {diags:?}");
+    assert_eq!(lines_for(&diags, xtask::RULE_UNUSED_SUPPRESSION), vec![17]);
+    assert_eq!(diags.len(), 1, "{diags:?}");
 }
 
 #[test]
@@ -161,13 +175,127 @@ fn horizon_fixture_flags_per_cycle_state() {
 }
 
 #[test]
-fn horizon_fixture_is_clean_in_audited_files_and_harness_crates() {
+fn horizon_exemption_is_structural_not_a_file_list() {
+    // A file that defines its own `next_event` surface steps per cycle
+    // by design — the skip loop can bound it.
+    let diags = lint_fixture(
+        "dram",
+        "crates/dram/src/controller.rs",
+        include_str!("fixtures/horizon_exempt.rs"),
+    );
+    assert!(diags.is_empty(), "files defining next_event are exempt: {diags:?}");
+    // The same path without that surface is no longer grandfathered:
+    // there is no HORIZON_AUDITED_FILES list to hide behind.
     let diags =
         lint_fixture("dram", "crates/dram/src/controller.rs", include_str!("fixtures/horizon.rs"));
-    assert!(diags.is_empty(), "audited files step per cycle by design: {diags:?}");
+    assert_eq!(lines_for(&diags, xtask::RULE_HORIZON), vec![7, 12, 13, 17, 18]);
+    // Harness crates stay out of scope — and then the fixture's
+    // allow(horizon) suppresses nothing, which strict hygiene reports.
     let diags =
         lint_fixture("bench", "crates/bench/src/fixture.rs", include_str!("fixtures/horizon.rs"));
-    assert!(diags.is_empty(), "horizon is scoped to simulation crates: {diags:?}");
+    assert!(lines_for(&diags, xtask::RULE_HORIZON).is_empty(), "{diags:?}");
+    assert_eq!(lines_for(&diags, xtask::RULE_UNUSED_SUPPRESSION), vec![22]);
+}
+
+#[test]
+fn taint_pair_flags_each_sink_class_reached_from_advance() {
+    let diags = lint_files(&[
+        sf("soc", "crates/soc/src/system.rs", include_str!("fixtures/taint_root.rs")),
+        sf("bench", "crates/bench/src/util.rs", include_str!("fixtures/taint_bad.rs")),
+    ]);
+    for (rule, line) in [
+        (xtask::RULE_TAINT_CLOCK, 5),
+        (xtask::RULE_TAINT_ENTROPY, 6),
+        (xtask::RULE_TAINT_HASH_ITER, 11),
+        (xtask::RULE_TAINT_FLOAT, 12),
+    ] {
+        assert!(
+            diags.iter().any(|d| d.rule == rule
+                && d.file == "crates/bench/src/util.rs"
+                && d.line == line
+                && d.message.contains("System::advance")),
+            "expected {rule} at line {line}: {diags:?}"
+        );
+    }
+    // Every diagnostic names the full call chain from the root.
+    assert!(diags.iter().all(|d| d.message.contains(" via System::advance → ")), "{diags:?}");
+}
+
+#[test]
+fn taint_pair_stays_quiet_when_sinks_are_unreachable() {
+    let diags = lint_files(&[
+        sf("soc", "crates/soc/src/system.rs", include_str!("fixtures/taint_root.rs")),
+        sf("bench", "crates/bench/src/util.rs", include_str!("fixtures/taint_ok.rs")),
+    ]);
+    assert!(diags.is_empty(), "sinks off the stepping path are legitimate: {diags:?}");
+}
+
+#[test]
+fn contract_pair_requires_next_event_for_stepped_types() {
+    let diags = lint_files(&[sf(
+        "cache",
+        "crates/cache/src/prefetch.rs",
+        include_str!("fixtures/contract_bad.rs"),
+    )]);
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    assert_eq!(diags[0].rule, xtask::RULE_HORIZON_CONTRACT);
+    assert_eq!(diags[0].line, 9, "anchored at the step definition");
+    assert!(diags[0].message.contains("`Prefetcher` defines `step` but no `next_event`"));
+
+    let diags = lint_files(&[sf(
+        "cache",
+        "crates/cache/src/prefetch.rs",
+        include_str!("fixtures/contract_ok.rs"),
+    )]);
+    assert!(diags.is_empty(), "a defined horizon surface satisfies the contract: {diags:?}");
+}
+
+#[test]
+fn contract_requires_next_event_to_be_wired_into_advance() {
+    // A defined-but-unreached next_event is still a contract violation
+    // when the workspace has a System::advance to wire it into...
+    let diags = lint_files(&[
+        sf("soc", "crates/soc/src/system.rs", include_str!("fixtures/taint_root.rs")),
+        sf("cache", "crates/cache/src/prefetch.rs", include_str!("fixtures/contract_ok.rs")),
+    ]);
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    assert_eq!(diags[0].rule, xtask::RULE_HORIZON_CONTRACT);
+    assert!(diags[0].message.contains("never reached from System::advance"), "{diags:?}");
+    // ...and wiring it in clears the diagnostic.
+    let diags = lint_files(&[
+        sf("soc", "crates/soc/src/system.rs", include_str!("fixtures/contract_root_wired.rs")),
+        sf("cache", "crates/cache/src/prefetch.rs", include_str!("fixtures/contract_ok.rs")),
+    ]);
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn stale_allow_pair_flags_only_the_unused_suppression() {
+    let diags = lint_fixture(
+        "cache",
+        "crates/cache/src/fixture.rs",
+        include_str!("fixtures/stale_allow.rs"),
+    );
+    assert_eq!(lines_for(&diags, xtask::RULE_UNUSED_SUPPRESSION), vec![8]);
+    assert_eq!(diags.len(), 1, "the live allow still suppresses its hash-map hit: {diags:?}");
+}
+
+/// Pins the `--format json` schema: field names, ordering, and rendering
+/// are a contract for CI artifact consumers. Regenerate deliberately with
+/// `UPDATE_SNAPSHOTS=1 cargo test -p xtask`.
+#[test]
+fn json_report_matches_the_pinned_snapshot() {
+    let diags =
+        lint_fixture("cache", "crates/cache/src/fixture.rs", include_str!("fixtures/hash_map.rs"));
+    let json = xtask::report_json(&diags).to_pretty();
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/snapshots/hash_map_report.json");
+    if std::env::var_os("UPDATE_SNAPSHOTS").is_some() {
+        std::fs::write(&path, &json).expect("write snapshot");
+    }
+    let expected =
+        std::fs::read_to_string(&path).expect("snapshot exists (run with UPDATE_SNAPSHOTS=1)");
+    assert_eq!(json, expected, "JSON report schema drifted; update the snapshot deliberately");
 }
 
 #[test]

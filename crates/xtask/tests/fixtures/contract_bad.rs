@@ -1,0 +1,14 @@
+//! Fixture: a stepped component with no event horizon (horizon-contract).
+
+pub struct Prefetcher {
+    inflight: u64,
+}
+
+impl Prefetcher {
+    /// Issues one queued prefetch per cycle.
+    pub fn step(&mut self) {
+        if self.inflight > 0 {
+            self.inflight -= 1;
+        }
+    }
+}

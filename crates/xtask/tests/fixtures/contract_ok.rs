@@ -1,0 +1,23 @@
+//! Fixture: the same stepped component with its horizon surface defined.
+
+pub struct Prefetcher {
+    inflight: u64,
+}
+
+impl Prefetcher {
+    /// Issues one queued prefetch per cycle.
+    pub fn step(&mut self) {
+        if self.inflight > 0 {
+            self.inflight -= 1;
+        }
+    }
+
+    /// The earliest cycle this component can change state.
+    pub fn next_event(&self, now: u64) -> Option<u64> {
+        if self.inflight > 0 {
+            Some(now)
+        } else {
+            None
+        }
+    }
+}

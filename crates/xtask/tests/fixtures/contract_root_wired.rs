@@ -1,0 +1,11 @@
+//! Fixture: a stepping root whose horizon min-combine reaches the
+//! component's `next_event`.
+
+impl System {
+    /// The stepping loop: probes the component horizon before stepping.
+    pub fn advance(&mut self, p: &Prefetcher) {
+        if p.next_event(self.now) == Some(self.now) {
+            step_everything();
+        }
+    }
+}

@@ -1,0 +1,20 @@
+//! Fixture: per-cycle stepping in a file that also defines its event
+//! horizon — the structural exemption for rule L8 (`horizon`).
+
+pub struct Ctl {
+    now: u64,
+    pending: Option<u64>,
+}
+
+impl Ctl {
+    /// Steps one cycle. Per-cycle state is fine here: the same file
+    /// exposes `next_event`, so the skip loop can bound this stepping.
+    pub fn step(&mut self) {
+        self.now += 1;
+    }
+
+    /// The earliest cycle this component can change state.
+    pub fn next_event(&self, now: u64) -> Option<u64> {
+        self.pending.map(|at| at.max(now))
+    }
+}

@@ -1,0 +1,11 @@
+//! Fixture: one live suppression, one stale one (unused-suppression).
+
+// simlint: allow(hash-map): fixture demonstrating a live suppression
+pub fn lookup_table() {
+    let _ = HashMap::new();
+}
+
+// simlint: allow(hash-map): nothing below touches a hashed collection
+pub fn integer_only(x: u64) -> u64 {
+    x + 1
+}

@@ -1,0 +1,13 @@
+//! Fixture: every sink class, reached from the stepping root.
+
+/// Epoch bookkeeping the root calls into — each line is a sink.
+pub fn epoch_heartbeat(epoch: u64) {
+    let _started = std::time::Instant::now();
+    let _rng = thread_rng();
+    observe(epoch);
+}
+
+fn observe(epoch: u64) {
+    let mut seen = HashMap::new();
+    seen.insert(epoch, 2.5);
+}

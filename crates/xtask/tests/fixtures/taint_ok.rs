@@ -1,0 +1,12 @@
+//! Fixture: the same call shape with an integer-only reached path; the
+//! sinks live in a function nothing on the stepping path reaches.
+
+/// Epoch bookkeeping the root calls into — integer domain only.
+pub fn epoch_heartbeat(epoch: u64) {
+    let _ = epoch.wrapping_mul(3);
+}
+
+/// Never called from the stepping path: sinks here stay unflagged.
+pub fn offline_summary(values: &[u64]) -> f64 {
+    values.iter().sum::<u64>() as f64 * 0.5
+}

@@ -1,0 +1,8 @@
+//! Fixture: the stepping root for the determinism-taint pairs.
+
+impl System {
+    /// The stepping loop; everything it reaches must be bit-replayable.
+    pub fn advance(&mut self) {
+        epoch_heartbeat(self.now);
+    }
+}
