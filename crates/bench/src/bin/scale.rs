@@ -1,0 +1,7 @@
+//! Scale study: the global SAT feedback loop as the machine grows from
+//! the paper's 32 tiles / 4 controllers to a 256-tile / 16-controller
+//! mesh with the distance-modelled network.
+
+fn main() {
+    pabst_bench::harness::drive(&["scale"]);
+}

@@ -59,6 +59,7 @@ fn chasers_1chain(class: usize, n: usize, seed: u64) -> Vec<Box<dyn Workload>> {
 fn build(name: &str, skip: bool) -> System {
     let (mut cfg, per_class) = match name {
         "baseline" => (SystemConfig::baseline_32core(), 16),
+        "mesh_64" => (SystemConfig::mesh_64(), 32),
         _ => (SystemConfig::small_test(), 2),
     };
     let b = if name == "chaser" {
@@ -178,8 +179,12 @@ fn main() {
     let epochs = if quick { 2 } else { 10 };
     println!("simulator throughput ({} mode)", if quick { "smoke" } else { "full" });
 
-    let profiles =
-        vec![profile("small", epochs), profile("baseline", epochs), profile("chaser", epochs)];
+    let profiles = vec![
+        profile("small", epochs),
+        profile("baseline", epochs),
+        profile("mesh_64", epochs),
+        profile("chaser", epochs),
+    ];
 
     // Per-epoch wall time through the micro-benchmark harness (median of
     // 9 samples, fresh warmed system per sample) — the step()-path number

@@ -13,7 +13,7 @@ use crate::harness::{Experiment, ExperimentResult, Params, RunCtx};
 use crate::scenarios::{
     ablate_burst, ablate_inertia, ablate_slack, ablate_writeback, all_spec, fig10_cell, fig11_cell,
     fig1_cell, fig1_cell_with, fig5_series, fig6_series, fig8_run, fig9_run, resilience_cell,
-    skewed_traffic_utilization, spec_isolated_ipc, Fig1Mix, MEASURE_EPOCHS,
+    scale_cell, skewed_traffic_utilization, spec_isolated_ipc, Fig1Mix, MEASURE_EPOCHS,
 };
 use crate::table::Table;
 use pabst_simkit::bytes_per_cycle_to_gbps;
@@ -27,7 +27,7 @@ pub const ALL_FIGURES: [&str; 10] =
     ["table03", "fig01", "fig05", "fig06", "fig07", "fig08", "fig09", "fig10", "fig11", "ablate"];
 
 /// Every registered experiment.
-pub static EXPERIMENTS: [Experiment; 13] = [
+pub static EXPERIMENTS: [Experiment; 14] = [
     Experiment {
         name: "table03",
         title: "Table III — simulated system configuration",
@@ -118,6 +118,13 @@ pub static EXPERIMENTS: [Experiment; 13] = [
         grid: resilience_grid,
         run: resilience_run,
         render: resilience_render,
+    },
+    Experiment {
+        name: "scale",
+        title: "Scale — the global SAT loop as tiles and controllers grow",
+        grid: scale_grid,
+        run: scale_run,
+        render: scale_render,
     },
 ];
 
@@ -989,6 +996,70 @@ fn resilience_render(results: &[ExperimentResult]) -> String {
         "Resilience — deterministic fault injection vs fairness and throughput\n\
          (sat-drop row 0ppm is the healthy reference; the governor's stale-SAT\n \
          fail-safe and the finite mc-stall window both recover without deadlock)\n\n{}",
+        t.render()
+    )
+}
+
+// ---------------------------------------------------------------------
+// Scale: topology study. Registered but not in ALL_FIGURES — the paper
+// stops at 32 tiles, and `all_figures` output must stay byte-stable.
+// ---------------------------------------------------------------------
+
+/// A labelled machine constructor in the scale ladder.
+type ScaleCell = (&'static str, fn() -> SystemConfig);
+
+/// The scale ladder: the paper's machine, then 2× and 8× the tiles with
+/// the distance-modelled mesh network.
+fn scale_cells() -> [ScaleCell; 3] {
+    [
+        ("baseline 32t/4mc uniform", SystemConfig::baseline_32core),
+        ("mesh 64t/8mc", SystemConfig::mesh_64),
+        ("mesh 256t/16mc", SystemConfig::mesh_256x16),
+    ]
+}
+
+fn scale_grid(quick: bool) -> Vec<Params> {
+    let epochs = if quick { 8 } else { 20 };
+    scale_cells()
+        .iter()
+        .enumerate()
+        .map(|(i, (label, _))| Params::new("scale", *label, i, epochs))
+        .collect()
+}
+
+fn scale_run(p: &Params, mut ctx: RunCtx) -> ExperimentResult {
+    let (_, cfg) = scale_cells()[p.index];
+    let r = scale_cell(cfg(), p.epochs, p.seed, &mut ctx);
+    eprintln!("  done {}", p.config);
+    ctx.finish(
+        p,
+        vec![
+            ("error_pct", r.error_pct),
+            ("bpc", r.total_bpc),
+            ("sat_duty", r.sat_duty),
+            ("jitter", r.jitter),
+        ],
+        Vec::new(),
+    )
+}
+
+fn scale_render(results: &[ExperimentResult]) -> String {
+    let mut t =
+        Table::new(vec!["machine", "alloc error %", "total GB/s", "SAT duty", "mean |dM|/M"]);
+    for r in results {
+        t.row(vec![
+            r.params.config.clone(),
+            format!("{:.1}", r.metric("error_pct")),
+            gbps(r.metric("bpc")),
+            format!("{:.2}", r.metric("sat_duty")),
+            format!("{:.3}", r.metric("jitter")),
+        ]);
+    }
+    format!(
+        "Scale — one wired-OR SAT + global governor vs machine size (3:1 streams)\n\
+         (expected: allocation holds at every size, but the single-M loop's\n \
+         step size grows with the machine — watch the 256-tile jitter column\n \
+         for the governor hunting around its fixed point)\n\n{}",
         t.render()
     )
 }

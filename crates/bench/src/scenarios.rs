@@ -584,6 +584,57 @@ pub fn skewed_traffic_utilization(per_mc: bool, epochs: usize, seed: u64, ctx: &
 }
 
 // ---------------------------------------------------------------------
+// Scale: the governor loop as the machine grows (topology experiment).
+// ---------------------------------------------------------------------
+
+/// One point of the scale study: how well the single wired-OR SAT
+/// feedback loop holds a 3:1 allocation as tiles and controllers grow.
+#[derive(Debug, Clone)]
+pub struct ScaleResult {
+    /// Max relative share error vs the 3:1 target, percent.
+    pub error_pct: f64,
+    /// Aggregate delivered bandwidth, bytes/cycle.
+    pub total_bpc: f64,
+    /// Fraction of measured epochs the SAT broadcast was high.
+    pub sat_duty: f64,
+    /// Mean |ΔM|/M over the measured tail — the governor's oscillation
+    /// amplitude. This is where the 256-tile wobble shows: one global M
+    /// paces 256 tiles toward 16 controllers, so each step moves 8× the
+    /// traffic of the baseline and the loop hunts around its fixed point.
+    pub jitter: f64,
+}
+
+/// Runs one scale cell on `cfg`: half the tiles stream reads at weight 3,
+/// the other half at weight 1 (the Fig. 5 contest, scaled to the shape).
+pub fn scale_cell(cfg: SystemConfig, epochs: usize, seed: u64, ctx: &mut RunCtx) -> ScaleResult {
+    let half = cfg.cores / 2;
+    let mut sys = SystemBuilder::new(cfg, RegulationMode::Pabst)
+        .class(3, read_streamers(0, half, seed))
+        .class(1, read_streamers(1, half, seed))
+        .build()
+        .expect("valid scale configuration");
+    ctx.attach(&mut sys);
+    let warm = epochs / 2;
+    sys.run_epochs(warm + epochs);
+    ctx.report(&sys);
+    let m = sys.metrics();
+    let o0 = m.bw_series.mean_over(0, warm);
+    let o1 = m.bw_series.mean_over(1, warm);
+    let sat_tail = &m.sat_series[warm..];
+    let m_tail = &m.m_series[warm..];
+    let mut jitter = 0.0;
+    for w in m_tail.windows(2) {
+        jitter += (f64::from(w[1]) - f64::from(w[0])).abs() / f64::from(w[0].max(1));
+    }
+    ScaleResult {
+        error_pct: allocation_error_pct(&[3.0, 1.0], &[o0.max(1.0), o1.max(1.0)]),
+        total_bpc: (o0 + o1) / m.bw_series.epoch_cycles() as f64,
+        sat_duty: sat_tail.iter().filter(|&&s| s).count() as f64 / sat_tail.len().max(1) as f64,
+        jitter: jitter / (m_tail.len().max(2) - 1) as f64,
+    }
+}
+
+// ---------------------------------------------------------------------
 // Resilience: fault-rate degradation curve (docs/RESILIENCE.md).
 // ---------------------------------------------------------------------
 

@@ -91,6 +91,31 @@ impl LineAddr {
         let x = self.0 ^ (self.0 >> 7) ^ (self.0 >> 17);
         (x % n as u64) as usize
     }
+
+    /// Deeper-folded interleave for wide channel counts (16+ targets).
+    ///
+    /// The single xor-fold in [`LineAddr::interleave`] stops mixing above
+    /// bit 17: a stream whose stride (or region base offset) only varies
+    /// bits ≥ ~21 collapses onto a handful of channels — at 16 targets a
+    /// 2^21-line stride lands *every* request on one controller. That skew
+    /// is invisible at the paper's 4 controllers but would corrupt the SAT
+    /// signal of a 16-MC scale run, so mesh-scale topologies select this
+    /// variant (see `pabst_soc::config::ChannelMap`). It folds the hash a
+    /// second time from the top of the word before reducing.
+    ///
+    /// Deliberately a *separate* function: the second fold changes the
+    /// line→channel mapping at every `n`, and the committed goldens pin
+    /// the legacy mapping for the 2- and 4-controller configs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn interleave_spread(self, n: usize) -> usize {
+        assert!(n > 0, "cannot interleave across zero targets");
+        let x = self.0 ^ (self.0 >> 7) ^ (self.0 >> 17);
+        let x = x ^ (x >> 23) ^ (x >> 41);
+        (x % n as u64) as usize
+    }
 }
 
 impl fmt::Display for LineAddr {
@@ -147,10 +172,79 @@ mod tests {
         }
     }
 
+    /// Counts how line addresses `base + i*stride` distribute over `n`
+    /// channels, returning the worst relative deviation from uniform.
+    fn worst_skew(hash: impl Fn(LineAddr, usize) -> usize, n: usize, stride: u64) -> f64 {
+        let samples = 48_000u64;
+        let mut counts = vec![0u64; n];
+        for i in 0..samples {
+            counts[hash(LineAddr::new(i * stride), n)] += 1;
+        }
+        let ideal = samples as f64 / n as f64;
+        counts.iter().map(|&c| (c as f64 - ideal).abs() / ideal).fold(0.0, f64::max)
+    }
+
+    #[test]
+    fn interleave_even_at_non_power_of_two_and_wide_counts() {
+        // The scale-experiment audit: realistic strides (unit through page)
+        // must stay near-uniform at 3, 6, and 16 channels — for both the
+        // legacy hash (still the 2-/4-MC default) and the spread variant
+        // the mesh configs use.
+        for n in [3usize, 6, 16] {
+            for stride in [1u64, 2, 3, 7, 64, 1024, 4096] {
+                let legacy = worst_skew(LineAddr::interleave, n, stride);
+                let spread = worst_skew(LineAddr::interleave_spread, n, stride);
+                assert!(legacy < 0.10, "legacy skew {legacy:.3} at n={n} stride={stride}");
+                assert!(spread < 0.10, "spread skew {spread:.3} at n={n} stride={stride}");
+            }
+        }
+    }
+
+    #[test]
+    fn spread_interleave_fixes_giant_stride_collapse() {
+        // The bug the audit found: the single xor-fold stops mixing above
+        // bit 17, so a 2^21-line stride (address bits ≥ 21 only) collapses
+        // onto one channel at n=16 and two at n=6. The double fold keeps
+        // those streams uniform; the legacy hash is pinned as *broken*
+        // here so the failure mode stays documented.
+        for n in [6usize, 16] {
+            let stride = 1u64 << 21;
+            let legacy = worst_skew(LineAddr::interleave, n, stride);
+            let spread = worst_skew(LineAddr::interleave_spread, n, stride);
+            assert!(legacy > 0.9, "legacy hash unexpectedly even at n={n}: {legacy:.3}");
+            assert!(spread < 0.10, "spread skew {spread:.3} at n={n} stride=2^21");
+        }
+    }
+
+    #[test]
+    fn legacy_interleave_mapping_is_pinned() {
+        // The committed goldens depend on the exact legacy line→channel
+        // mapping at 1/2/4 controllers; any change to `interleave` must
+        // fail here before it silently rewrites every figure.
+        let probes: [(u64, usize, usize); 7] = [
+            (0, 4, 0),
+            (1, 4, 1),
+            (7, 4, 3),
+            (129, 4, 0),
+            (0xdead_beef, 4, 0),
+            (0xdead_beef, 2, 0),
+            (12_345_678, 1, 0),
+        ];
+        for (line, n, want) in probes {
+            assert_eq!(LineAddr::new(line).interleave(n), want, "line {line} n {n}");
+        }
+    }
+
     #[test]
     #[should_panic(expected = "zero targets")]
     fn interleave_zero_panics() {
         let _ = LineAddr::new(1).interleave(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero targets")]
+    fn interleave_spread_zero_panics() {
+        let _ = LineAddr::new(1).interleave_spread(0);
     }
 
     #[test]

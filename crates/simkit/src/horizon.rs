@@ -66,6 +66,23 @@ impl Horizon {
     pub fn get(&self) -> Option<Cycle> {
         self.0
     }
+
+    /// Folds in an optional event time and reports whether it is already
+    /// due (`at <= now`) — the short-circuit every system-level
+    /// min-combine performs: a component with a due event forces a naive
+    /// step this cycle, so there is no point folding further inputs.
+    ///
+    /// A due event is *not* folded into the horizon; the caller is
+    /// expected to stop combining and step.
+    pub fn merge_due(&mut self, at: Option<Cycle>, now: Cycle) -> bool {
+        match at {
+            Some(at) if at <= now => true,
+            other => {
+                self.merge(other);
+                false
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -97,5 +114,16 @@ mod tests {
         assert_eq!(h.get(), Some(7));
         h.merge(Some(3));
         assert_eq!(h.get(), Some(3));
+    }
+
+    #[test]
+    fn merge_due_short_circuits_on_due_events() {
+        let mut h = Horizon::new();
+        assert!(!h.merge_due(None, 10), "no event is never due");
+        assert!(!h.merge_due(Some(15), 10), "future events fold in");
+        assert_eq!(h.get(), Some(15));
+        assert!(h.merge_due(Some(10), 10), "an event at now is due");
+        assert!(h.merge_due(Some(3), 10), "a past event is due");
+        assert_eq!(h.get(), Some(15), "due events are not folded");
     }
 }

@@ -203,6 +203,111 @@ impl<T> DelayQueue<T> {
     }
 }
 
+/// A delay queue whose entries may carry *different* latencies — the
+/// distance-dependent network paths of a modelled topology, where a hop
+/// count per (source, destination) pair replaces [`DelayQueue`]'s single
+/// fixed latency.
+///
+/// Entries are delivered in (ready_at, push order) — a stable min-heap on
+/// the ready cycle, so two entries becoming ready on the same cycle pop in
+/// the order they were pushed. With a uniform latency this reproduces
+/// [`DelayQueue`]'s FIFO pop order exactly, which is what keeps the
+/// uniform-topology defaults byte-identical to the fixed-latency model
+/// they replace.
+///
+/// # Examples
+///
+/// ```
+/// use pabst_simkit::queue::VarDelayQueue;
+///
+/// let mut net: VarDelayQueue<&str> = VarDelayQueue::new();
+/// net.push(105, "far");  // pushed first, arrives later
+/// net.push(102, "near"); // pushed second, arrives sooner
+/// assert_eq!(net.next_ready(), Some(102));
+/// assert_eq!(net.pop_ready(104), Some("near"));
+/// assert_eq!(net.pop_ready(104), None);
+/// assert_eq!(net.pop_ready(105), Some("far"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct VarDelayQueue<T> {
+    heap: std::collections::BinaryHeap<VarEntry<T>>,
+    seq: u64,
+}
+
+/// Heap entry ordered min-first on (ready, seq). Only the key fields take
+/// part in comparisons, so the payload needs no `Ord`.
+#[derive(Debug, Clone)]
+struct VarEntry<T> {
+    ready: Cycle,
+    seq: u64,
+    item: T,
+}
+
+impl<T> PartialEq for VarEntry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        (self.ready, self.seq) == (other.ready, other.seq)
+    }
+}
+impl<T> Eq for VarEntry<T> {}
+impl<T> PartialOrd for VarEntry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for VarEntry<T> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the earliest entry
+        // (lowest ready, then lowest seq) on top.
+        (other.ready, other.seq).cmp(&(self.ready, self.seq))
+    }
+}
+
+impl<T> VarDelayQueue<T> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Self { heap: std::collections::BinaryHeap::new(), seq: 0 }
+    }
+
+    /// Enqueues `item` for delivery at cycle `ready` (absolute, not a
+    /// latency — the caller owns the distance model).
+    pub fn push(&mut self, ready: Cycle, item: T) {
+        self.heap.push(VarEntry { ready, seq: self.seq, item });
+        self.seq += 1;
+    }
+
+    /// Pops the earliest entry whose ready cycle is `<= now`; ties pop in
+    /// push order.
+    pub fn pop_ready(&mut self, now: Cycle) -> Option<T> {
+        if self.heap.peek().is_some_and(|e| e.ready <= now) {
+            self.heap.pop().map(|e| e.item)
+        } else {
+            None
+        }
+    }
+
+    /// Number of in-flight entries (ready or not).
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no entries are in flight.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Cycle at which the earliest in-flight entry becomes deliverable
+    /// (its horizon contribution), or `None` when empty.
+    pub fn next_ready(&self) -> Option<Cycle> {
+        self.heap.peek().map(|e| e.ready)
+    }
+}
+
+impl<T> Default for VarDelayQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -310,5 +415,56 @@ mod tests {
         assert_eq!(q.pop_ready(2), None);
         assert_eq!(q.pop_ready(3), Some(3));
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn var_delay_queue_delivers_in_ready_order() {
+        let mut q = VarDelayQueue::new();
+        q.push(30, 'c');
+        q.push(10, 'a');
+        q.push(20, 'b');
+        assert_eq!(q.next_ready(), Some(10));
+        assert_eq!(q.pop_ready(9), None);
+        assert_eq!(q.pop_ready(25), Some('a'));
+        assert_eq!(q.pop_ready(25), Some('b'));
+        assert_eq!(q.pop_ready(25), None);
+        assert_eq!(q.next_ready(), Some(30));
+        assert_eq!(q.pop_ready(30), Some('c'));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn var_delay_queue_ties_break_by_push_order() {
+        let mut q = VarDelayQueue::new();
+        for i in 0..100u32 {
+            q.push(7, i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop_ready(7), Some(i), "equal-ready entries must pop FIFO");
+        }
+    }
+
+    #[test]
+    fn var_delay_queue_with_uniform_latency_matches_delay_queue() {
+        // The byte-compatibility claim in miniature: identical push/pop
+        // sequences through a fixed-latency DelayQueue and a VarDelayQueue
+        // given the same uniform latency produce identical pop streams.
+        let mut fixed = DelayQueue::new(8);
+        let mut var = VarDelayQueue::new();
+        let mut popped = (Vec::new(), Vec::new());
+        for now in 0..200u64 {
+            if now % 3 == 0 {
+                fixed.push(now, now);
+                var.push(now + 8, now);
+            }
+            while let Some(v) = fixed.pop_ready(now) {
+                popped.0.push((now, v));
+            }
+            while let Some(v) = var.pop_ready(now) {
+                popped.1.push((now, v));
+            }
+            assert_eq!(fixed.next_ready(), var.next_ready(), "horizons agree at {now}");
+        }
+        assert_eq!(popped.0, popped.1);
     }
 }

@@ -2,11 +2,148 @@
 
 use std::fmt;
 
-use pabst_cache::CacheConfig;
+use pabst_cache::{CacheConfig, LineAddr};
 use pabst_core::governor::MonitorConfig;
 use pabst_core::qos::ShareError;
 use pabst_dram::DramConfig;
 use pabst_simkit::Cycle;
+
+/// How line addresses map to memory-controller channels — the explicit
+/// channel map the interconnect and the per-MC pacers share, replacing
+/// scattered `line.interleave(mcs)` calls so every component agrees on a
+/// request's home controller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ChannelMap {
+    /// The single xor-fold hash ([`LineAddr::interleave`]). The paper's
+    /// 2-/4-controller runs use it and the committed goldens pin its exact
+    /// line→channel mapping.
+    #[default]
+    XorFold,
+    /// The double-fold hash ([`LineAddr::interleave_spread`]). Required at
+    /// wide channel counts: the single fold stops mixing above bit 17 and
+    /// collapses giant power-of-two strides onto one controller at 16
+    /// channels (see the skew regression tests in `pabst_cache::addr`).
+    DoubleFold,
+}
+
+impl ChannelMap {
+    /// The home memory controller of `line` among `n` controllers.
+    pub fn channel_of(self, line: LineAddr, n: usize) -> usize {
+        match self {
+            ChannelMap::XorFold => line.interleave(n),
+            ChannelMap::DoubleFold => line.interleave_spread(n),
+        }
+    }
+}
+
+/// How request/response latencies are derived from placement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum NetModel {
+    /// Placement-blind: every tile↔L3 path costs `l3_lat`, every response
+    /// costs `resp_lat`, L3→MC staging is free and MC links are unbounded
+    /// — exactly the fixed-latency pipes the pre-topology model used, so
+    /// uniform configs reproduce the committed goldens byte for byte.
+    #[default]
+    Uniform,
+    /// Distance-derived: per-hop delay times the Manhattan distance on the
+    /// tile mesh (plus a base pipeline latency per path), with a bounded
+    /// number of staged→ingress admissions per MC per cycle.
+    Mesh,
+}
+
+/// The machine's physical shape: where tiles, the shared L3, and the
+/// memory controllers sit on the on-chip mesh, how lines map to
+/// controllers, and how the network derives delay from distance.
+///
+/// `Copy` on purpose: the topology is a handful of scalars; the derived
+/// per-(tile, MC) delay tables are precomputed once at build time by the
+/// interconnect, not stored here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Topology {
+    /// Mesh columns (tiles are placed row-major; `cols × rows` must cover
+    /// `cores`).
+    pub mesh_cols: usize,
+    /// Mesh rows.
+    pub mesh_rows: usize,
+    /// Line→controller channel map.
+    pub channel_map: ChannelMap,
+    /// Latency model.
+    pub net: NetModel,
+    /// Per-hop router delay, cycles (`Mesh` model only).
+    pub hop_lat: Cycle,
+    /// Base tile→L3 pipeline latency added to request hops (`Mesh`).
+    pub req_base_lat: Cycle,
+    /// Base response serialization latency added to response hops (`Mesh`).
+    pub resp_base_lat: Cycle,
+    /// Staged→ingress admissions per MC per cycle; 0 means unbounded (the
+    /// legacy drain-until-full behavior the goldens pin).
+    pub mc_link_bw: u64,
+}
+
+impl Topology {
+    /// The placement-blind topology the paper's configs use: an 8×4 grid
+    /// (the Table III floorplan) with uniform latencies and the legacy
+    /// channel map. Byte-compatible with the pre-topology model.
+    pub fn uniform_8x4() -> Self {
+        Self {
+            mesh_cols: 8,
+            mesh_rows: 4,
+            channel_map: ChannelMap::XorFold,
+            net: NetModel::Uniform,
+            hop_lat: 1,
+            req_base_lat: 0,
+            resp_base_lat: 0,
+            mc_link_bw: 0,
+        }
+    }
+
+    /// A distance-modelled mesh: one-cycle hops, a base latency sized so
+    /// the *average* tile sees roughly the baseline's fixed `l3_lat`, the
+    /// double-fold channel map (safe at wide channel counts), and two
+    /// staged admissions per MC per cycle.
+    pub fn mesh(cols: usize, rows: usize) -> Self {
+        Self {
+            mesh_cols: cols,
+            mesh_rows: rows,
+            channel_map: ChannelMap::DoubleFold,
+            net: NetModel::Mesh,
+            hop_lat: 1,
+            req_base_lat: 18,
+            resp_base_lat: 4,
+            mc_link_bw: 2,
+        }
+    }
+
+    /// Grid position of tile `i` (row-major placement).
+    pub fn tile_pos(&self, i: usize) -> (usize, usize) {
+        (i / self.mesh_cols, i % self.mesh_cols)
+    }
+
+    /// Grid position of the shared L3 slice (mesh center).
+    pub fn l3_pos(&self) -> (usize, usize) {
+        (self.mesh_rows / 2, self.mesh_cols / 2)
+    }
+
+    /// Grid position of memory controller `k` of `mcs`: controllers sit on
+    /// the top and bottom mesh edges, spread evenly across the columns —
+    /// the usual edge-of-die DDR PHY placement.
+    pub fn mc_pos(&self, k: usize, mcs: usize) -> (usize, usize) {
+        let top = mcs.div_ceil(2);
+        let (row, j, n) = if k < top {
+            (0, k, top)
+        } else {
+            (self.mesh_rows.saturating_sub(1), k - top, mcs - top)
+        };
+        // Center of the j-th of n equal column spans.
+        let col = ((2 * j + 1) * self.mesh_cols / (2 * n)).min(self.mesh_cols - 1);
+        (row, col)
+    }
+
+    /// Manhattan hop count between two grid positions.
+    pub fn hops(a: (usize, usize), b: (usize, usize)) -> u64 {
+        (a.0.abs_diff(b.0) + a.1.abs_diff(b.1)) as u64
+    }
+}
 
 /// Which PABST components are active — the four configurations the paper
 /// compares (Figs. 1, 7, 10, 12).
@@ -65,6 +202,8 @@ pub struct SystemConfig {
     pub cores: usize,
     /// Number of memory controllers.
     pub mcs: usize,
+    /// Physical shape: mesh placement, channel map, latency model.
+    pub topology: Topology,
     /// Epoch length in cycles (10 µs at 2 GHz = 20 000).
     pub epoch_cycles: Cycle,
     /// Core structural parameters.
@@ -117,6 +256,7 @@ impl SystemConfig {
         Self {
             cores: 32,
             mcs: 4,
+            topology: Topology::uniform_8x4(),
             epoch_cycles: 20_000,
             core: pabst_cpu::CoreConfig::default(),
             l1: CacheConfig::with_capacity(32 * 1024, 8),
@@ -146,14 +286,66 @@ impl SystemConfig {
     }
 
     /// The paper's memcached machine: everything scaled down 4× from the
-    /// 32-core system (8 cores, 1 memory controller, 4 MiB L3).
+    /// 32-core system (8 cores, 1 memory controller, 4 MiB L3). The pacer
+    /// burst and arbiter slack rescale with it — they are shape-derived
+    /// constants, not universal ones (see [`SystemConfig::derived_pacer_burst`]).
     pub fn scaled_8core() -> Self {
         let mut c = Self::baseline_32core();
         c.cores = 8;
         c.mcs = 1;
+        c.topology.mesh_cols = 4;
+        c.topology.mesh_rows = 2;
         c.l3 = CacheConfig::with_capacity(4 * 1024 * 1024, 16);
         c.l3_mshrs = 128;
+        c.pacer_burst = c.derived_pacer_burst();
+        c.arbiter_slack = c.derived_arbiter_slack();
         c
+    }
+
+    /// A 64-tile mesh (8×8, 8 controllers): the first scale point past the
+    /// paper's machine. Distance-modelled network, double-fold channel
+    /// map, shape-derived pacing constants.
+    pub fn mesh_64() -> Self {
+        let mut c = Self::baseline_32core();
+        c.cores = 64;
+        c.mcs = 8;
+        c.topology = Topology::mesh(8, 8);
+        c.l3 = CacheConfig::with_capacity(32 * 1024 * 1024, 16);
+        c.l3_mshrs = 1024;
+        c.pacer_burst = c.derived_pacer_burst();
+        c.arbiter_slack = c.derived_arbiter_slack();
+        c
+    }
+
+    /// The 256-tile/16-controller scale point (16×16 mesh) the scale
+    /// experiment probes for SAT-broadcast wobble.
+    pub fn mesh_256x16() -> Self {
+        let mut c = Self::baseline_32core();
+        c.cores = 256;
+        c.mcs = 16;
+        c.topology = Topology::mesh(16, 16);
+        c.l3 = CacheConfig::with_capacity(64 * 1024 * 1024, 16);
+        c.l3_mshrs = 2048;
+        c.pacer_burst = c.derived_pacer_burst();
+        c.arbiter_slack = c.derived_arbiter_slack();
+        c
+    }
+
+    /// The pacer burst window the machine shape implies: the aggregate MC
+    /// ingress depth (per-controller ingress FIFO × controllers). A burst
+    /// larger than that cannot land anyway — it just queues in the network
+    /// — and a smaller one under-uses idle channels. Reproduces the
+    /// baseline's hand-tuned 16 (4 × 4) exactly.
+    pub fn derived_pacer_burst(&self) -> u64 {
+        (self.dram.ingress_cap * self.mcs) as u64
+    }
+
+    /// The arbiter slack the machine shape implies: four virtual ticks per
+    /// tile, so a full complement of cores can be in flight before the
+    /// EDF arbiter's slack window saturates. Reproduces the baseline's
+    /// hand-tuned 128 (4 × 32) exactly.
+    pub fn derived_arbiter_slack(&self) -> u64 {
+        4 * self.cores as u64
     }
 
     /// A tiny configuration for fast unit tests (4 cores, 1 MC, small
@@ -192,6 +384,10 @@ impl SystemConfig {
             // most plausibly hit programmatically.
             return Err(ConfigError::ZeroStalenessWindow);
         }
+        let cells = self.topology.mesh_cols * self.topology.mesh_rows;
+        if cells < self.cores {
+            return Err(ConfigError::MeshTooSmall { cells, cores: self.cores });
+        }
         self.dram.validate().map_err(ConfigError::Dram)?;
         self.monitor.validate().map_err(ConfigError::Monitor)?;
         Ok(())
@@ -214,6 +410,13 @@ pub enum ConfigError {
     /// The governor's staleness window `K` was zero (the fail-safe would
     /// degrade on the very first epoch).
     ZeroStalenessWindow,
+    /// The topology's mesh grid has fewer cells than the system has tiles.
+    MeshTooSmall {
+        /// Grid cells the mesh provides (`cols × rows`).
+        cells: usize,
+        /// Tiles that need placement.
+        cores: usize,
+    },
     /// No tile was given a workload.
     NoWorkloads,
     /// The classes' workload lists need more cores than the system has.
@@ -250,6 +453,9 @@ impl fmt::Display for ConfigError {
             ConfigError::ZeroStalenessWindow => {
                 write!(f, "monitor staleness window K must be >= 1")
             }
+            ConfigError::MeshTooSmall { cells, cores } => {
+                write!(f, "mesh has {cells} cells but must place {cores} tiles")
+            }
             ConfigError::NoWorkloads => write!(f, "at least one core must run a workload"),
             ConfigError::TooManyCores { requested, available } => {
                 write!(f, "classes use {requested} cores but the system has {available}")
@@ -281,6 +487,8 @@ mod tests {
         assert!(SystemConfig::baseline_32core().validate().is_ok());
         assert!(SystemConfig::scaled_8core().validate().is_ok());
         assert!(SystemConfig::small_test().validate().is_ok());
+        assert!(SystemConfig::mesh_64().validate().is_ok());
+        assert!(SystemConfig::mesh_256x16().validate().is_ok());
     }
 
     #[test]
@@ -290,6 +498,76 @@ mod tests {
         assert_eq!(small.cores * 4, big.cores);
         assert_eq!(small.mcs * 4, big.mcs);
         assert_eq!(small.l3.bytes() * 4, big.l3.bytes());
+    }
+
+    #[test]
+    fn baseline_pacing_constants_match_their_derivation() {
+        // Table III's hand-tuned 16/128 are exactly what the shape
+        // derivation produces for the 32-core machine — pinning that here
+        // documents their provenance and keeps the literals honest.
+        let c = SystemConfig::baseline_32core();
+        assert_eq!(c.pacer_burst, c.derived_pacer_burst());
+        assert_eq!(c.arbiter_slack, c.derived_arbiter_slack());
+    }
+
+    #[test]
+    fn scaled_config_rescales_pacing_with_the_shape() {
+        // The satellite bug: scaled_8core used to keep the 32-core values
+        // (16/128) despite having a quarter of the ingress depth and
+        // tiles. Both must now follow the shape.
+        let c = SystemConfig::scaled_8core();
+        assert_eq!(c.pacer_burst, (c.dram.ingress_cap * c.mcs) as u64);
+        assert_eq!(c.arbiter_slack, 4 * c.cores as u64);
+        assert!(c.pacer_burst < SystemConfig::baseline_32core().pacer_burst);
+        let m = SystemConfig::mesh_256x16();
+        assert_eq!(m.pacer_burst, (m.dram.ingress_cap * m.mcs) as u64);
+        assert_eq!(m.arbiter_slack, 1024);
+    }
+
+    #[test]
+    fn mesh_validation_rejects_undersized_grids() {
+        let mut c = SystemConfig::mesh_64();
+        c.topology.mesh_rows = 4; // 8×4 = 32 cells for 64 tiles
+        assert_eq!(c.validate(), Err(ConfigError::MeshTooSmall { cells: 32, cores: 64 }));
+        assert!(c.validate().unwrap_err().to_string().contains("64 tiles"));
+    }
+
+    #[test]
+    fn mesh_placement_stays_on_the_grid() {
+        for cfg in [SystemConfig::mesh_64(), SystemConfig::mesh_256x16()] {
+            let t = cfg.topology;
+            for i in 0..cfg.cores {
+                let (r, c) = t.tile_pos(i);
+                assert!(r < t.mesh_rows && c < t.mesh_cols, "tile {i} off-grid");
+            }
+            let mut seen = std::collections::BTreeSet::new();
+            for k in 0..cfg.mcs {
+                let (r, c) = t.mc_pos(k, cfg.mcs);
+                assert!(r < t.mesh_rows && c < t.mesh_cols, "mc {k} off-grid");
+                assert!(
+                    r == 0 || r == t.mesh_rows - 1,
+                    "controllers sit on the top/bottom die edges"
+                );
+                assert!(seen.insert((r, c)), "mc {k} collides at ({r},{c})");
+            }
+            let (lr, lc) = t.l3_pos();
+            assert!(lr < t.mesh_rows && lc < t.mesh_cols);
+        }
+    }
+
+    #[test]
+    fn hop_distance_is_manhattan() {
+        assert_eq!(Topology::hops((0, 0), (3, 4)), 7);
+        assert_eq!(Topology::hops((2, 5), (2, 5)), 0);
+        assert_eq!(Topology::hops((5, 1), (1, 2)), 5);
+    }
+
+    #[test]
+    fn channel_maps_dispatch_to_their_hashes() {
+        let line = LineAddr::new(0xdead_beef);
+        assert_eq!(ChannelMap::XorFold.channel_of(line, 16), line.interleave(16));
+        assert_eq!(ChannelMap::DoubleFold.channel_of(line, 16), line.interleave_spread(16));
+        assert_eq!(ChannelMap::default(), ChannelMap::XorFold, "legacy map stays the default");
     }
 
     #[test]

@@ -44,11 +44,12 @@
 
 pub mod config;
 pub mod metrics;
+pub mod net;
 pub mod report;
 pub mod system;
 pub mod tile;
 
-pub use config::{RegulationMode, SystemConfig, WbAccounting};
+pub use config::{ChannelMap, NetModel, RegulationMode, SystemConfig, Topology, WbAccounting};
 pub use metrics::Metrics;
 pub use report::SystemReport;
 pub use system::{System, SystemBuilder};

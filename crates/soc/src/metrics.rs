@@ -23,6 +23,9 @@ pub struct Metrics {
     pub retired_at_start: Vec<u64>,
     /// Data-bus busy cycles (all MCs) at measurement start.
     pub bus_busy_at_start: u64,
+    /// Stalled controller-cycles (mc-stall fault windows, all MCs) at
+    /// measurement start — the utilization denominator's exclusion base.
+    pub stall_cycles_at_start: u64,
     /// Total bytes per class at measurement start.
     pub bytes_at_start: [u64; MAX_CLASSES],
     /// Last marker retirement cycle per core (service-time deltas).
@@ -44,6 +47,7 @@ impl Metrics {
             measure_from: 0,
             retired_at_start: vec![0; cores],
             bus_busy_at_start: 0,
+            stall_cycles_at_start: 0,
             bytes_at_start: [0; MAX_CLASSES],
             last_marker: vec![None; cores],
             cycles_skipped: 0,

@@ -12,36 +12,14 @@ use pabst_core::satmon::or_sat;
 use pabst_cpu::{OooCore, Workload};
 use pabst_dram::{ArbiterMode, Completion, MemController, MemReq};
 use pabst_simkit::fault::{FaultKind, FaultPlan};
-use pabst_simkit::queue::DelayQueue;
 use pabst_simkit::sanitizer::Sanitizer;
 use pabst_simkit::trace::{EpochRecord, TraceSink};
 use pabst_simkit::Cycle;
 
 use crate::config::{ConfigError, RegulationMode, SystemConfig, WbAccounting};
 use crate::metrics::Metrics;
+use crate::net::{Interconnect, L3Req, TileResp};
 use crate::tile::{Tile, TileMem};
-
-/// A message travelling from a tile to the shared L3.
-#[derive(Debug, Clone, Copy)]
-struct L3Req {
-    line: LineAddr,
-    class: QosId,
-    tile: usize,
-    store: bool,
-    /// Pure L2 writeback into the L3 (no response needed).
-    l2_wb: bool,
-}
-
-/// A response returning to a tile.
-#[derive(Debug, Clone, Copy)]
-struct TileResp {
-    line: LineAddr,
-    tile: usize,
-    /// Serviced by the shared cache (pacer refunds one period).
-    l3_hit: bool,
-    /// The demand fill evicted a dirty L3 line (pacer charges one period).
-    wb_flag: bool,
-}
 
 /// A waiter on an L3 MSHR entry.
 #[derive(Debug, Clone, Copy)]
@@ -68,28 +46,13 @@ pub struct System {
     threads: Vec<u32>,
     l3: SetAssocCache,
     l3_mshrs: MshrTable<L3Waiter>,
-    /// Network + L3 array pipeline.
-    l3_in: DelayQueue<L3Req>,
+    /// The modelled network: request/response paths with topology-derived
+    /// delays plus the per-MC staging/arbitration stage (see
+    /// [`crate::net::Interconnect`]).
+    net: Interconnect,
     /// Misses refused an L3 MSHR (table full), retried in order.
     mshr_wait: VecDeque<L3Req>,
-    /// Per-(MC, class) queues between the L3 miss path and each MC
-    /// ingress, drained round-robin across classes like a mesh NoC's
-    /// per-source-fair arbitration. This is where requests "queue
-    /// elsewhere in the system" when a controller is oversubscribed —
-    /// FAIR, but not *prioritized* (the Fig. 1b effect): a flooding class
-    /// is pinned to its fair share of admissions, no more, no less,
-    /// regardless of the arbiter inside the controller. Bounded in
-    /// practice by the L2/L3 MSHR budgets.
-    mc_out: Vec<Vec<VecDeque<MemReq>>>,
-    /// Round-robin cursor per MC over the class queues.
-    mc_out_rr: Vec<usize>,
-    /// Total requests staged in `mc_out[k]` across all class queues; lets
-    /// the per-cycle drain skip controllers with nothing staged instead of
-    /// scanning every class queue.
-    mc_out_pending: Vec<usize>,
     mcs: Vec<MemController>,
-    /// Response network back to the tiles.
-    resp_net: DelayQueue<TileResp>,
     /// One monitor for the paper's global-SAT design; one per MC in the
     /// per-MC variant (SIII-C1).
     monitors: Vec<SystemMonitor>,
@@ -130,6 +93,11 @@ pub struct System {
     /// stalled controller freezes — it accepts ingress but services
     /// nothing until the window ends.
     mc_stalled: Vec<bool>,
+    /// Cumulative controller-cycles frozen by mc-stall fault windows
+    /// (summed over controllers, accrued per epoch at the boundary). The
+    /// utilization denominator excludes them: a brownout must not read as
+    /// a utilization drop on the controllers that were never asked to run.
+    mc_stall_cycles: u64,
     /// Total fault events injected so far, across all kinds.
     faults_injected: u64,
     /// Consecutive epochs with queued memory work but zero delivered
@@ -236,15 +204,31 @@ impl System {
 
     /// Aggregate data-bus utilization across MCs over the measurement
     /// window (the paper's memory-efficiency metric, Fig. 12).
+    ///
+    /// Controller-cycles frozen by an mc-stall fault window are excluded
+    /// from the denominator: a stalled controller *cannot* move bytes, so
+    /// counting its dead cycles would under-report how well the live
+    /// controllers used the bus during a brownout. Stall accounting is
+    /// epoch-granular (windows open and close at boundaries), so a mark
+    /// taken mid-epoch sees the exclusion of every *completed* stalled
+    /// epoch. Unfaulted runs subtract zero and are bit-identical.
     // simlint: allow(taint-float): report-time ratio over final counters; nothing in the stepping path consumes it
     pub fn bus_utilization_since_mark(&self) -> f64 {
         let busy: u64 = self.mcs.iter().map(|m| m.stats().bus_busy).sum();
         let window = (self.now - self.metrics.measure_from) * self.cfg.mcs as u64;
-        if window == 0 {
+        let live = window.saturating_sub(self.stalled_mc_cycles_since_mark());
+        if live == 0 {
             0.0
         } else {
-            (busy - self.metrics.bus_busy_at_start) as f64 / window as f64
+            (busy - self.metrics.bus_busy_at_start) as f64 / live as f64
         }
+    }
+
+    /// Controller-cycles spent frozen in mc-stall fault windows since the
+    /// measurement mark (summed across controllers). Always zero without
+    /// a fault plan.
+    pub fn stalled_mc_cycles_since_mark(&self) -> u64 {
+        self.mc_stall_cycles - self.metrics.stall_cycles_at_start
     }
 
     /// Mean in-controller read latency per class (cycles), aggregated
@@ -285,6 +269,7 @@ impl System {
             self.metrics.retired_at_start[i] = t.core.stats().retired;
         }
         self.metrics.bus_busy_at_start = self.mcs.iter().map(|m| m.stats().bus_busy).sum();
+        self.metrics.stall_cycles_at_start = self.mc_stall_cycles;
         for c in 0..pabst_core::qos::MAX_CLASSES {
             self.metrics.bytes_at_start[c] = self.mcs.iter().map(|m| m.stats().bytes[c]).sum();
         }
@@ -375,20 +360,11 @@ impl System {
         use pabst_simkit::horizon::Horizon;
         let now = self.now;
         let mut h = Horizon::new();
-        // In-flight responses and L3 inputs wake at their delivery cycle
-        // (both pipes are FIFO with a fixed latency, so the head is the
-        // earliest).
-        if let Some(at) = self.resp_net.next_ready() {
-            if at <= now {
-                return Some(now);
-            }
-            h.add(at);
-        }
-        if let Some(at) = self.l3_in.next_ready() {
-            if at <= now {
-                return Some(now);
-            }
-            h.add(at);
+        // The interconnect: in-flight requests/responses wake at their
+        // delivery cycle; a staged request past its hop delay drains (or
+        // bumps a reject counter) every cycle.
+        if h.merge_due(self.net.next_event(now), now) {
+            return Some(now);
         }
         // An MSHR-refused miss whose retry can progress acts this cycle;
         // one still blocked unblocks only via an MC completion, which the
@@ -398,26 +374,19 @@ impl System {
                 return Some(now);
             }
         }
-        // Staged requests drain toward MC ingress every cycle — even a
-        // refused push mutates the reject counter.
-        if self.mc_out_pending.iter().any(|&p| p > 0) {
-            return Some(now);
-        }
         for (k, mc) in self.mcs.iter().enumerate() {
             // A stalled controller (mc-stall fault window) is frozen until
             // the next boundary: no events, no occupancy samples.
             if self.mc_stalled[k] {
                 continue;
             }
-            match mc.next_event(now) {
-                Some(at) if at <= now => return Some(now),
-                other => h.merge(other),
+            if h.merge_due(mc.next_event(now), now) {
+                return Some(now);
             }
         }
         for tile in &self.tiles {
-            match tile.next_event(now) {
-                Some(at) if at <= now => return Some(now),
-                other => h.merge(other),
+            if h.merge_due(tile.next_event(now), now) {
+                return Some(now);
             }
         }
         h.get()
@@ -468,44 +437,21 @@ impl System {
         self.completions_scratch = completions;
 
         // 2. Drain per-MC staging into MC ingress, round-robin across
-        //    class queues (per-source-fair network arbitration). The
-        //    pending counter skips controllers with nothing staged.
-        for (k, queues) in self.mc_out.iter_mut().enumerate() {
-            if self.mc_out_pending[k] == 0 {
-                continue;
-            }
-            let n = queues.len();
-            'mc: loop {
-                let mut progressed = false;
-                for off in 0..n {
-                    let c = (self.mc_out_rr[k] + off) % n;
-                    if let Some(&req) = queues[c].front() {
-                        if self.mcs[k].push(req).is_err() {
-                            break 'mc; // ingress full
-                        }
-                        queues[c].pop_front();
-                        self.mc_out_pending[k] -= 1;
-                        self.mc_out_rr[k] = (c + 1) % n;
-                        progressed = true;
-                        break;
-                    }
-                }
-                if !progressed {
-                    break;
-                }
-            }
-        }
+        //    class queues (per-source-fair network arbitration) under the
+        //    per-link bandwidth budget. Lives in the interconnect now; see
+        //    `Interconnect::drain_into`.
+        self.net.drain_into(now, &mut self.mcs);
 
         // 3. Shared L3: consume the network head (head-of-line blocking
         //    when the miss path is backed up). Provably a no-op when both
-        //    the retry queue and the input pipeline are empty.
-        if !self.mshr_wait.is_empty() || !self.l3_in.is_empty() {
+        //    the retry queue and the request network are empty.
+        if !self.mshr_wait.is_empty() || self.net.has_requests() {
             self.l3_service(now);
         }
 
         // 4. Responses reach tiles (skip the pop loop when provably empty).
-        if !self.resp_net.is_empty() {
-            while let Some(resp) = self.resp_net.pop_ready(now) {
+        if self.net.has_responses() {
+            while let Some(resp) = self.net.pop_response(now) {
                 self.on_tile_response(resp);
             }
         }
@@ -540,8 +486,8 @@ impl System {
 
     /// Service the L3 input pipeline: hits respond, misses go to memory.
     /// The L3 is banked and never head-of-line blocks: misses that cannot
-    /// get an MSHR wait in `mshr_wait`; admitted misses queue per-MC in
-    /// `mc_out`.
+    /// get an MSHR wait in `mshr_wait`; admitted misses stage per-MC in
+    /// the interconnect.
     fn l3_service(&mut self, now: Cycle) {
         // Retry MSHR-refused misses first (oldest first). A waiting miss
         // whose line gained an MSHR entry since it was refused (another
@@ -556,12 +502,12 @@ impl System {
                 break;
             } else {
                 self.mshr_wait.pop_front();
-                self.admit_miss(req);
+                self.admit_miss(now, req);
             }
         }
         // Bounded number of L3 operations per cycle (banked array).
         for _ in 0..4 {
-            let Some(req) = self.l3_in.pop_ready(now) else { break };
+            let Some(req) = self.net.pop_request(now) else { break };
             if req.l2_wb {
                 // L2 writeback into the L3: mark dirty if present, else
                 // install dirty (may evict another dirty line to memory).
@@ -569,7 +515,7 @@ impl System {
                     let ev = self.l3.fill(req.line, req.class, true);
                     if let Some(ev) = ev {
                         if ev.dirty {
-                            self.emit_l3_writeback(ev.line, ev.owner, req.class);
+                            self.emit_l3_writeback(now, ev.line, ev.owner, req.class);
                         }
                     }
                 }
@@ -578,7 +524,7 @@ impl System {
             let hit =
                 if req.store { self.l3.probe_write(req.line) } else { self.l3.probe(req.line) };
             if hit {
-                self.resp_net.push(
+                self.net.send_l3_response(
                     now,
                     TileResp { line: req.line, tile: req.tile, l3_hit: true, wb_flag: false },
                 );
@@ -590,24 +536,22 @@ impl System {
             } else if self.l3_mshrs.is_full() {
                 self.mshr_wait.push_back(req);
             } else {
-                self.admit_miss(req);
+                self.admit_miss(now, req);
             }
         }
     }
 
-    /// Allocates the L3 MSHR for a primary miss and queues it toward its
-    /// memory controller.
-    fn admit_miss(&mut self, req: L3Req) {
+    /// Allocates the L3 MSHR for a primary miss and stages it toward its
+    /// home memory controller (per the topology's channel map).
+    fn admit_miss(&mut self, now: Cycle, req: L3Req) {
         debug_assert!(!req.l2_wb && !self.l3_mshrs.contains(req.line));
         self.l3_mshrs.alloc(req.line, L3Waiter { tile: req.tile, store: req.store });
-        let mc = req.line.interleave(self.cfg.mcs);
-        self.mc_out[mc][req.class.index()].push_back(MemReq {
-            line: req.line,
-            class: req.class,
-            is_write: false,
-            token: 0,
-        });
-        self.mc_out_pending[mc] += 1;
+        let mc = self.net.channel_of(req.line);
+        self.net.stage(
+            now,
+            mc,
+            MemReq { line: req.line, class: req.class, is_write: false, token: 0 },
+        );
     }
 
     /// Routes a memory-controller completion: reads fill the L3 and wake
@@ -617,6 +561,7 @@ impl System {
             return;
         }
         let now = self.now;
+        let mc = self.net.channel_of(c.line);
         let mut waiters = std::mem::take(&mut self.l3_waiters_scratch);
         waiters.clear();
         self.l3_mshrs.complete_into(c.line, &mut waiters);
@@ -625,7 +570,7 @@ impl System {
         let mut wb_flag = false;
         if let Some(ev) = self.l3.fill(c.line, c.class, any_store) {
             if ev.dirty {
-                self.emit_l3_writeback(ev.line, ev.owner, c.class);
+                self.emit_l3_writeback(now, ev.line, ev.owner, c.class);
                 // The source-side extra-period charge lands on the demand
                 // pacer, so it only applies under the ChargeDemand policy;
                 // ChargeOwner/ChargeNone attribute the writeback at the
@@ -635,25 +580,27 @@ impl System {
             }
         }
         for w in &waiters {
-            self.resp_net
-                .push(now, TileResp { line: c.line, tile: w.tile, l3_hit: false, wb_flag });
+            self.net.send_mc_response(
+                now,
+                mc,
+                TileResp { line: c.line, tile: w.tile, l3_hit: false, wb_flag },
+            );
             // Only one response should carry the charge.
             wb_flag = false;
         }
         self.l3_waiters_scratch = waiters;
     }
 
-    /// Queues a dirty-L3-eviction writeback to memory, attributed per the
+    /// Stages a dirty-L3-eviction writeback to memory, attributed per the
     /// configured accounting policy.
-    fn emit_l3_writeback(&mut self, line: LineAddr, owner: QosId, demand: QosId) {
+    fn emit_l3_writeback(&mut self, now: Cycle, line: LineAddr, owner: QosId, demand: QosId) {
         let class = match self.cfg.wb_accounting {
             WbAccounting::ChargeDemand => demand,
             WbAccounting::ChargeOwner => owner,
             WbAccounting::ChargeNone => demand, // bytes still attributed somewhere
         };
-        let mc = line.interleave(self.cfg.mcs);
-        self.mc_out[mc][class.index()].push_back(MemReq { line, class, is_write: true, token: 0 });
-        self.mc_out_pending[mc] += 1;
+        let mc = self.net.channel_of(line);
+        self.net.stage(now, mc, MemReq { line, class, is_write: true, token: 0 });
     }
 
     /// A response arrives at a tile: fill caches, wake the core, settle
@@ -672,7 +619,10 @@ impl System {
         // L2 victims displaced by this fill go back to the L3.
         while let Some(line) = tile.mem.pop_l2_writeback() {
             let class = tile.mem.class;
-            self.l3_in.push(now, L3Req { line, class, tile: resp.tile, store: false, l2_wb: true });
+            self.net.send_request(
+                now,
+                L3Req { line, class, tile: resp.tile, store: false, l2_wb: true },
+            );
         }
     }
 
@@ -695,7 +645,7 @@ impl System {
             // One injection per tile per cycle.
             if let Some(req) = self.tiles[i].mem.try_inject(now) {
                 let class = self.tiles[i].mem.class;
-                self.l3_in.push(
+                self.net.send_request(
                     now,
                     L3Req { line: req.line, class, tile: i, store: req.store, l2_wb: false },
                 );
@@ -784,6 +734,11 @@ impl System {
             self.emit_trace_record(now, sat, bytes_u64);
         }
         self.epochs_run += 1;
+        // The epoch that just ended is now fully accounted: accrue its
+        // stalled controller-cycles (for the utilization denominator)
+        // before the windows refresh for the next epoch.
+        let stalled_now = self.mc_stalled.iter().filter(|&&s| s).count() as u64;
+        self.mc_stall_cycles += stalled_now * self.cfg.epoch_cycles;
         // Refresh mc-stall windows for the epoch now starting.
         if self.fault_plan.is_some() {
             let next = self.epochs_run as u64;
@@ -851,7 +806,7 @@ impl System {
             return;
         }
         let queued = self.mcs.iter().any(|m| m.pending() > 0)
-            || self.mc_out_pending.iter().any(|&p| p > 0)
+            || self.net.any_staged()
             || !self.mshr_wait.is_empty();
         if queued && epoch_bytes == 0 {
             self.stalled_epochs += 1;
@@ -976,17 +931,10 @@ impl System {
                 mc.pending() as u64,
             );
         }
-        for (k, queues) in self.mc_out.iter().enumerate() {
-            // The staged-request counter that gates the per-cycle drain
-            // must agree with the actual class-queue contents.
-            let staged: usize = queues.iter().map(VecDeque::len).sum();
-            san.check_conserved(
-                "mc_out staged",
-                k,
-                self.mc_out_pending[k] as u64,
-                staged as u64,
-                0,
-            );
+        // The staged-request counter that gates the per-cycle drain must
+        // agree with the actual class-queue contents.
+        for (k, counted, actual) in self.net.staged_conservation() {
+            san.check_conserved("net staged", k, counted, actual, 0);
         }
         let sat_epochs = self.metrics.sat_series.iter().filter(|&&s| s).count() as u64;
         san.check_fraction("sat duty", 0, sat_epochs, self.metrics.sat_series.len() as u64);
@@ -1118,6 +1066,7 @@ impl SystemBuilder {
                     self.cfg.l2_lat,
                     pacers,
                     self.cfg.mcs,
+                    self.cfg.topology.channel_map,
                 );
                 tiles.push(Tile { core: OooCore::new(self.cfg.core), mem, workload });
                 tile_class.push(class);
@@ -1142,15 +1091,9 @@ impl SystemBuilder {
             metrics: Metrics::new(cores, classes, self.cfg.epoch_cycles),
             l3,
             l3_mshrs: MshrTable::new(self.cfg.l3_mshrs),
-            l3_in: DelayQueue::new(self.cfg.l3_lat),
+            net: Interconnect::new(&self.cfg, classes),
             mshr_wait: VecDeque::new(),
-            mc_out: (0..self.cfg.mcs)
-                .map(|_| (0..classes).map(|_| VecDeque::new()).collect())
-                .collect(),
-            mc_out_rr: vec![0; self.cfg.mcs],
-            mc_out_pending: vec![0; self.cfg.mcs],
             mcs,
-            resp_net: DelayQueue::new(self.cfg.resp_lat),
             monitors: (0..n_monitors).map(|_| SystemMonitor::new(self.cfg.monitor)).collect(),
             rategen: RateGenerator::default(),
             tiles,
@@ -1169,6 +1112,7 @@ impl SystemBuilder {
             l3_waiters_scratch: Vec::new(),
             sat_history: vec![VecDeque::new(); n_monitors],
             mc_stalled,
+            mc_stall_cycles: 0,
             faults_injected,
             stalled_epochs: 0,
             fault_plan: self.fault_plan,
@@ -1246,13 +1190,14 @@ mod tests {
         assert!(sys.sanitizer().checks_run() > 0);
     }
 
-    /// Total demand reads queued toward the memory controllers.
+    /// Total demand reads staged toward the memory controllers.
     fn queued_mem_reads(sys: &System) -> usize {
-        sys.mc_out
+        sys.net
+            .staged
             .iter()
             .flat_map(|queues| queues.iter())
             .flat_map(|q| q.iter())
-            .filter(|r| !r.is_write)
+            .filter(|(_, r)| !r.is_write)
             .count()
     }
 
@@ -1314,7 +1259,7 @@ mod tests {
         let line = LineAddr::new(16 * 256);
         sys.l3_mshrs.alloc(line, L3Waiter { tile: 0, store: false });
         sys.on_mc_completion(Completion { token: 0, class: QosId::new(0), is_write: false, line });
-        let resp = sys.resp_net.pop_ready(u64::MAX).expect("completion must respond");
+        let resp = sys.net.resp_net.pop_ready(u64::MAX).expect("completion must respond");
         resp.wb_flag
     }
 
@@ -1527,11 +1472,11 @@ mod tests {
         for _ in 0..500 {
             sys.step();
         }
-        assert!(sys.l3_in.is_empty(), "nothing may enter the L3 pipeline");
-        assert!(sys.resp_net.is_empty(), "nothing may enter the response network");
+        assert!(!sys.net.has_requests(), "nothing may enter the request network");
+        assert!(!sys.net.has_responses(), "nothing may enter the response network");
         assert!(sys.mshr_wait.is_empty());
         assert_eq!(sys.l3_mshrs.len(), 0);
-        assert!(sys.mc_out_pending.iter().all(|&p| p == 0));
+        assert!(!sys.net.any_staged());
         for mc in &sys.mcs {
             assert_eq!(mc.accepted(), 0, "no request may reach a controller");
             assert_eq!(mc.pending(), 0);

@@ -14,6 +14,8 @@ use pabst_core::qos::QosId;
 use pabst_cpu::{Access, LoadId, MemPort, OooCore, Workload};
 use pabst_simkit::Cycle;
 
+use crate::config::ChannelMap;
+
 /// A waiter merged into an L2 MSHR entry: which dynamic load (or a store)
 /// wants the line.
 #[derive(Debug, Clone, Copy)]
@@ -51,6 +53,9 @@ pub struct TileMem {
     pub(crate) pacers: Vec<Pacer>,
     /// Number of memory controllers (for per-MC pacer selection).
     mcs: usize,
+    /// Line→controller map (must match the interconnect's routing, or the
+    /// per-MC pacers would meter the wrong controller's traffic).
+    channel_map: ChannelMap,
     /// Period charged when each in-flight line issued, keyed by line: the
     /// settlement refund/extra-charge must use the issue-time amount, not
     /// whatever period an epoch boundary has since programmed. A flat
@@ -78,6 +83,7 @@ impl TileMem {
         l2_lat: u64,
         pacers: Vec<Pacer>,
         mcs: usize,
+        channel_map: ChannelMap,
     ) -> Self {
         assert!(mcs > 0, "at least one memory controller");
         assert!(
@@ -92,6 +98,7 @@ impl TileMem {
             inject_q: VecDeque::new(),
             pacers,
             mcs,
+            channel_map,
             charged: Vec::new(),
             l1_lat,
             l2_lat,
@@ -107,7 +114,7 @@ impl TileMem {
             0 => None,
             1 => self.pacers.first_mut(),
             _ => {
-                let idx = line.interleave(self.mcs);
+                let idx = self.channel_map.channel_of(line, self.mcs);
                 self.pacers.get_mut(idx)
             }
         }
@@ -204,7 +211,7 @@ impl TileMem {
         match self.pacers.len() {
             0 => None,
             1 => self.pacers.first(),
-            _ => self.pacers.get(line.interleave(self.mcs)),
+            _ => self.pacers.get(self.channel_map.channel_of(line, self.mcs)),
         }
     }
 
@@ -335,6 +342,7 @@ mod tests {
             14,
             pacers,
             4,
+            ChannelMap::XorFold,
         )
     }
 

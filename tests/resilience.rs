@@ -6,7 +6,11 @@
 
 use pabst_bench::harness::{run_sweep, Experiment, ExperimentResult, Params, RunCtx, SweepOutput};
 use pabst_bench::registry;
+use pabst_cpu::Workload;
 use pabst_simkit::fault::{FaultKind, FaultPlan, FaultSpec, PPM_SCALE};
+use pabst_soc::config::{RegulationMode, SystemConfig};
+use pabst_soc::system::SystemBuilder;
+use pabst_workloads::{Region, StreamGen};
 
 fn sweep(name: &str, jobs: usize) -> SweepOutput {
     let exp = registry::find(name).expect("registered experiment");
@@ -95,6 +99,56 @@ fn panicking_cell_yields_failure_record_and_complete_report() {
             failed[0]
         );
     }
+}
+
+/// One measured run of the small machine under streaming load, with an
+/// optional certain two-epoch MC-stall window inside the measurement.
+fn util_probe(stall: bool) -> (f64, u64) {
+    let cfg = SystemConfig::small_test();
+    let streams = |salt: u64| -> Vec<Box<dyn Workload>> {
+        (0..2).map(|i| Box::new(StreamGen::reads(Region::new(0, 1 << 16), salt + i)) as _).collect()
+    };
+    let mut b =
+        SystemBuilder::new(cfg, RegulationMode::Pabst).class(3, streams(30)).class(1, streams(130));
+    if stall {
+        let mut plan = FaultPlan::new();
+        plan.push(FaultSpec {
+            kind: FaultKind::McStall,
+            target: 0,
+            from_epoch: 2,
+            until_epoch: 3,
+            prob_ppm: PPM_SCALE,
+            magnitude: 0,
+            seed: 0,
+        });
+        b = b.fault_plan(plan);
+    }
+    let mut sys = b.build().expect("probe config");
+    sys.run_epochs(1);
+    sys.mark_measurement();
+    sys.run_epochs(4);
+    (sys.bus_utilization_since_mark(), sys.stalled_mc_cycles_since_mark())
+}
+
+#[test]
+fn bus_utilization_denominator_excludes_stalled_controller_cycles() {
+    // Regression pin: a controller frozen by an mc-stall fault cannot
+    // transfer, so counting its frozen cycles in the utilization window
+    // halves the reported figure for a half-stalled window. The metric
+    // must divide by live controller-cycles only.
+    let (util_clean, stalled_clean) = util_probe(false);
+    let (util_faulted, stalled_faulted) = util_probe(true);
+    let epoch_cycles = SystemConfig::small_test().epoch_cycles;
+    assert_eq!(stalled_clean, 0, "no fault plan, no stalled cycles");
+    assert_eq!(stalled_faulted, 2 * epoch_cycles, "certain two-epoch window, one MC");
+    assert!(util_clean > 0.2, "streamers must keep the bus visibly busy: {util_clean}");
+    // Over live cycles the faulted run streams like the clean one. With
+    // the stalled half of the window wrongly left in the denominator the
+    // figure would collapse to ~util_clean/2 and this bound would trip.
+    assert!(
+        util_faulted > util_clean * 0.7,
+        "stalled cycles leaked into the denominator: {util_faulted} vs clean {util_clean}"
+    );
 }
 
 #[test]

@@ -9,7 +9,9 @@
 //! diverge: every regulation mode (pacer reprogramming on and off),
 //! pointer-chasing memory stalls (the deepest quiescent windows), write
 //! drains, skewed-controller traffic, per-MC regulation, L3-way
-//! overrides, an armed watchdog, and each fault kind — including the
+//! overrides, an armed watchdog, the distance-modelled mesh network at
+//! 64 and 256 tiles (staged link arbitration), and each fault kind —
+//! including the
 //! required mc-stall window (a frozen controller must contribute no
 //! horizon events and take no occupancy samples) and epoch-skew cell
 //! (stale pacer periods must throttle identically across a skip).
@@ -208,6 +210,42 @@ fn cells() -> Vec<Cell> {
                 SystemBuilder::new(c, RegulationMode::Pabst)
                     .class(3, streams(2, 13))
                     .class(1, streams(2, 113))
+            }),
+        ),
+        cell(
+            "mesh-64/streams",
+            Box::new(move || {
+                // The distance-modelled mesh: staged requests behind a
+                // bounded controller link must still report exact horizons.
+                let mut c = SystemConfig::mesh_64();
+                c.epoch_cycles = 2_000;
+                SystemBuilder::new(c, RegulationMode::Pabst)
+                    .class(3, streams(2, 23))
+                    .class(1, chasers(2, 123))
+            }),
+        ),
+        cell(
+            "mesh-256x16/streams",
+            Box::new(move || {
+                let mut c = SystemConfig::mesh_256x16();
+                c.epoch_cycles = 1_000;
+                SystemBuilder::new(c, RegulationMode::Pabst)
+                    .class(3, streams(2, 24))
+                    .class(1, streams(2, 124))
+            }),
+        ),
+        cell(
+            "per-mc-regulation/mc-stall-fault",
+            Box::new(move || {
+                // Per-controller SAT loops while one controller freezes: the
+                // stalled MC must vanish from the horizon without desyncing
+                // its sibling's regulation window.
+                let mut c = two_mc();
+                c.per_mc_regulation = true;
+                SystemBuilder::new(c, RegulationMode::Pabst)
+                    .class(3, skewed(2, 2, 25))
+                    .class(1, streams(2, 125))
+                    .fault_plan(plan([window(FaultKind::McStall, 1, 1, 3, 0)]))
             }),
         ),
         // Fault cells: the plan must observe the identical epoch/boundary
