@@ -40,7 +40,7 @@ fn bench_governor() {
     let mut i = 0u32;
     bench("governor/on_epoch", 1_000_000, || {
         i = i.wrapping_add(1);
-        std::hint::black_box(mon.on_epoch(i.is_multiple_of(3)));
+        std::hint::black_box(mon.on_epoch(Some(i.is_multiple_of(3))));
     });
 }
 

@@ -1,0 +1,5 @@
+//! Mechanism-zoo sweep: competing governor and arbiter mechanisms.
+
+fn main() {
+    pabst_bench::harness::drive(&["mechanisms"]);
+}

@@ -12,10 +12,13 @@
 use crate::harness::{Experiment, ExperimentResult, Params, RunCtx};
 use crate::scenarios::{
     ablate_burst, ablate_inertia, ablate_slack, ablate_writeback, all_spec, fig10_cell, fig11_cell,
-    fig1_cell, fig1_cell_with, fig5_series, fig6_series, fig8_run, fig9_run, resilience_cell,
-    scale_cell, skewed_traffic_utilization, spec_isolated_ipc, Fig1Mix, MEASURE_EPOCHS,
+    fig1_cell, fig1_cell_with, fig5_series, fig6_series, fig8_run, fig9_run, mechanisms_cell,
+    resilience_cell, scale_cell, skewed_traffic_utilization, spec_isolated_ipc, Fig1Mix,
+    MEASURE_EPOCHS,
 };
 use crate::table::Table;
+use pabst_core::governor::GovernorKind;
+use pabst_dram::ArbiterMode;
 use pabst_simkit::bytes_per_cycle_to_gbps;
 use pabst_simkit::fault::{FaultKind, FaultPlan, FaultSpec};
 use pabst_soc::config::{RegulationMode, SystemConfig, WbAccounting};
@@ -27,7 +30,7 @@ pub const ALL_FIGURES: [&str; 10] =
     ["table03", "fig01", "fig05", "fig06", "fig07", "fig08", "fig09", "fig10", "fig11", "ablate"];
 
 /// Every registered experiment.
-pub static EXPERIMENTS: [Experiment; 14] = [
+pub static EXPERIMENTS: [Experiment; 15] = [
     Experiment {
         name: "table03",
         title: "Table III — simulated system configuration",
@@ -125,6 +128,13 @@ pub static EXPERIMENTS: [Experiment; 14] = [
         grid: scale_grid,
         run: scale_run,
         render: scale_render,
+    },
+    Experiment {
+        name: "mechanisms",
+        title: "Mechanisms — the governor x arbiter zoo (docs/MECHANISMS.md)",
+        grid: mechanisms_grid,
+        run: mechanisms_run,
+        render: mechanisms_render,
     },
 ];
 
@@ -1060,6 +1070,92 @@ fn scale_render(results: &[ExperimentResult]) -> String {
          (expected: allocation holds at every size, but the single-M loop's\n \
          step size grows with the machine — watch the 256-tile jitter column\n \
          for the governor hunting around its fixed point)\n\n{}",
+        t.render()
+    )
+}
+
+// ---------------------------------------------------------------------
+// Mechanisms: the governor × arbiter zoo. Registered but not in
+// ALL_FIGURES — mechanism comparisons are a design-space study, not a
+// paper figure, and `all_figures` output must stay byte-stable.
+// ---------------------------------------------------------------------
+
+/// The mechanism pairs the sweep compares. The first entry is the
+/// paper's default (SAT governor + EDF arbiter); the rest swap exactly
+/// one side of the seam at a time so differences attribute cleanly.
+const MECHANISM_COMBOS: [(GovernorKind, ArbiterMode); 4] = [
+    (GovernorKind::Sat, ArbiterMode::Edf),
+    (GovernorKind::LmsAr, ArbiterMode::Edf),
+    (GovernorKind::Sat, ArbiterMode::PerBank),
+    (GovernorKind::Sat, ArbiterMode::Dpq),
+];
+
+/// The workload mixes each pair runs under: (label, chaser_mix).
+const MECHANISM_MIXES: [(&str, bool); 2] =
+    [("memcached+streams", false), ("memcached+chasers", true)];
+
+fn mechanisms_cells() -> Vec<(GovernorKind, ArbiterMode, &'static str, bool)> {
+    let mut cells = Vec::new();
+    for (mix, chaser) in MECHANISM_MIXES {
+        for (g, a) in MECHANISM_COMBOS {
+            cells.push((g, a, mix, chaser));
+        }
+    }
+    cells
+}
+
+fn mechanisms_grid(quick: bool) -> Vec<Params> {
+    let epochs = if quick { 10 } else { 30 };
+    mechanisms_cells()
+        .iter()
+        .enumerate()
+        .map(|(i, (g, a, mix, _))| {
+            Params::new("mechanisms", format!("{mix}/{}/{}", g.label(), a.label()), i, epochs)
+        })
+        .collect()
+}
+
+fn mechanisms_run(p: &Params, mut ctx: RunCtx) -> ExperimentResult {
+    let (g, a, _, chaser) = mechanisms_cells()[p.index];
+    let r = mechanisms_cell(g, a, chaser, p.epochs, p.seed, &mut ctx);
+    ctx.finish(
+        p,
+        vec![
+            ("error_pct", r.error_pct),
+            ("bpc", r.total_bpc),
+            ("p95", r.p95 as f64),
+            ("p99", r.p99 as f64),
+        ],
+        Vec::new(),
+    )
+}
+
+fn mechanisms_render(results: &[ExperimentResult]) -> String {
+    let cells = mechanisms_cells();
+    let mut t = Table::new(vec![
+        "mix",
+        "governor",
+        "arbiter",
+        "alloc error %",
+        "total GB/s",
+        "svc p95",
+        "svc p99",
+    ]);
+    for (r, (g, a, mix, _)) in results.iter().zip(&cells) {
+        t.row(vec![
+            (*mix).into(),
+            g.label().into(),
+            a.label().into(),
+            format!("{:.1}", r.metric("error_pct")),
+            gbps(r.metric("bpc")),
+            format!("{}", r.metric("p95")),
+            format!("{}", r.metric("p99")),
+        ]);
+    }
+    format!(
+        "Mechanisms — competing governor and arbiter mechanisms behind the\n\
+         Governor / TargetArbiter seams (sat/edf is the paper's pair; each\n \
+         other row swaps one side of one seam)\n\n{}",
         t.render()
     )
 }

@@ -10,7 +10,9 @@
 //! harness.
 
 use crate::harness::RunCtx;
+use pabst_core::governor::GovernorKind;
 use pabst_cpu::Workload;
+use pabst_dram::ArbiterMode;
 use pabst_simkit::fault::FaultPlan;
 use pabst_simkit::stats::allocation_error_pct;
 use pabst_soc::config::{RegulationMode, SystemConfig, WbAccounting};
@@ -683,6 +685,73 @@ pub fn resilience_cell(
         total_bpc: (o0 + o1) / ec,
         faults: sys.faults_injected(),
         degraded_epochs: sys.degraded_epochs(),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Mechanisms: the governor × arbiter zoo (docs/MECHANISMS.md).
+// ---------------------------------------------------------------------
+
+/// One point of the mechanism-zoo sweep: how a (governor, arbiter) pair
+/// behaves on one workload mix.
+#[derive(Debug, Clone, Copy)]
+pub struct MechanismResult {
+    /// Max relative share error vs the 3:1 target, percent.
+    pub error_pct: f64,
+    /// Aggregate delivered bandwidth over the measured tail, bytes/cycle.
+    pub total_bpc: f64,
+    /// 95th-percentile memcached service time, cycles.
+    pub p95: u64,
+    /// 99th-percentile memcached service time, cycles.
+    pub p99: u64,
+}
+
+/// Runs one mechanism-zoo cell on the scaled 8-core machine: class 0
+/// (weight 3) is a memcached server plus three aggressors, class 1
+/// (weight 1) is four read streamers. `chaser_mix` swaps the class-0
+/// aggressors from read streamers to pointer chasers, exercising the
+/// mechanisms on both bandwidth-bound and latency-bound traffic. The
+/// governor and arbiter mechanisms are selected through [`SystemConfig`],
+/// exactly as a provenance-tracked production run would.
+pub fn mechanisms_cell(
+    governor: GovernorKind,
+    arbiter: ArbiterMode,
+    chaser_mix: bool,
+    epochs: usize,
+    seed: u64,
+    ctx: &mut RunCtx,
+) -> MechanismResult {
+    let mut cfg = SystemConfig::scaled_8core();
+    cfg.governor = governor;
+    cfg.arbiter = arbiter;
+    // The server gets address-space slice 2 so its region never collides
+    // with the per-class aggressor slices.
+    let mut c0: Vec<Box<dyn Workload>> =
+        vec![Box::new(MemcachedGen::new(region_for(2, 0, 1 << 18), seed + 7))];
+    c0.extend(if chaser_mix { chasers(0, 3, seed) } else { read_streamers(0, 3, seed) });
+    let mut sys = SystemBuilder::new(cfg, RegulationMode::Pabst)
+        .class(3, c0)
+        .class(1, read_streamers(1, 4, seed))
+        .build()
+        .expect("valid mechanisms configuration");
+    ctx.attach(&mut sys);
+    let warm = epochs / 2;
+    sys.run_epochs(warm);
+    sys.mark_measurement();
+    sys.run_epochs(epochs);
+    ctx.report(&sys);
+    let m = sys.metrics();
+    let o0 = m.bw_series.mean_over(0, warm);
+    let o1 = m.bw_series.mean_over(1, warm);
+    let ec = m.bw_series.epoch_cycles() as f64;
+    let error_pct = allocation_error_pct(&[3.0, 1.0], &[o0.max(1.0), o1.max(1.0)]);
+    let total_bpc = (o0 + o1) / ec;
+    let h = &mut sys.metrics_mut().service[0];
+    MechanismResult {
+        error_pct,
+        total_bpc,
+        p95: h.percentile(95.0).unwrap_or(0),
+        p99: h.percentile(99.0).unwrap_or(0),
     }
 }
 

@@ -32,6 +32,7 @@
 
 use crate::qos::Stride;
 use pabst_simkit::Cycle;
+use std::fmt;
 
 /// Direction of the goal request rate this epoch.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -112,32 +113,137 @@ impl Default for MonitorConfig {
     }
 }
 
+/// A violated [`MonitorConfig`] constraint, typed so callers can match on
+/// the failure instead of probing strings (mirrors `soc::ConfigError`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MonitorConfigError {
+    /// `m_min` was zero: periods could reach zero by multiplier alone.
+    ZeroMMin,
+    /// `m_min` exceeded `m_max`.
+    InvertedMBounds,
+    /// `m_init` fell outside `[m_min, m_max]`.
+    MInitOutOfRange,
+    /// `dm_min` was zero or exceeded `dm_max`.
+    BadDeltaBounds,
+    /// `staleness_k` was zero, which would degrade on the first sample.
+    ZeroStalenessWindow,
+    /// `degraded_m` fell outside `[m_min, m_max]`.
+    DegradedMOutOfRange,
+}
+
+impl fmt::Display for MonitorConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MonitorConfigError::ZeroMMin => write!(f, "m_min must be >= 1"),
+            MonitorConfigError::InvertedMBounds => write!(f, "m_min must not exceed m_max"),
+            MonitorConfigError::MInitOutOfRange => {
+                write!(f, "m_init must lie within [m_min, m_max]")
+            }
+            MonitorConfigError::BadDeltaBounds => write!(f, "require 0 < dm_min <= dm_max"),
+            MonitorConfigError::ZeroStalenessWindow => {
+                write!(f, "staleness_k must be >= 1 (a zero window degrades instantly)")
+            }
+            MonitorConfigError::DegradedMOutOfRange => {
+                write!(f, "degraded_m must lie within [m_min, m_max]")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MonitorConfigError {}
+
 impl MonitorConfig {
     /// Validates internal consistency.
     ///
     /// # Errors
     ///
-    /// Returns a description of the first violated constraint.
-    pub fn validate(&self) -> Result<(), String> {
+    /// Returns the first violated constraint as a typed
+    /// [`MonitorConfigError`].
+    pub fn validate(&self) -> Result<(), MonitorConfigError> {
         if self.m_min == 0 {
-            return Err("m_min must be >= 1".into());
+            return Err(MonitorConfigError::ZeroMMin);
         }
         if self.m_min > self.m_max {
-            return Err("m_min must not exceed m_max".into());
+            return Err(MonitorConfigError::InvertedMBounds);
         }
         if !(self.m_min..=self.m_max).contains(&self.m_init) {
-            return Err("m_init must lie within [m_min, m_max]".into());
+            return Err(MonitorConfigError::MInitOutOfRange);
         }
         if self.dm_min == 0 || self.dm_min > self.dm_max {
-            return Err("require 0 < dm_min <= dm_max".into());
+            return Err(MonitorConfigError::BadDeltaBounds);
         }
         if self.staleness_k == 0 {
-            return Err("staleness_k must be >= 1 (a zero window degrades instantly)".into());
+            return Err(MonitorConfigError::ZeroStalenessWindow);
         }
         if !(self.m_min..=self.m_max).contains(&self.degraded_m) {
-            return Err("degraded_m must lie within [m_min, m_max]".into());
+            return Err(MonitorConfigError::DegradedMOutOfRange);
         }
         Ok(())
+    }
+}
+
+/// The source-side rate-governor seam: any mechanism that turns per-epoch
+/// congestion observations into a rate multiplier `M` can stand in for
+/// the paper's multiplicative SAT loop. Object-safe so `soc::System`
+/// holds governors behind `Box<dyn Governor>`.
+///
+/// Implementations must be deterministic: identical observation sequences
+/// must produce identical `M` sequences (the lockstep-replica property
+/// PABST relies on to avoid inter-governor communication).
+pub trait Governor: fmt::Debug {
+    /// Advances one epoch. `Some(sat)` is a fresh congestion observation;
+    /// `None` means the broadcast was lost this epoch and the governor
+    /// must apply its fail-safe staleness policy (hold briefly, then
+    /// decay the rate toward a conservative floor). Returns the
+    /// multiplier `M` in force for the next epoch.
+    fn on_epoch(&mut self, sat: Option<bool>) -> u32;
+
+    /// The multiplier currently in force.
+    fn m(&self) -> u32;
+
+    /// Total epochs spent under the degraded (stale-feedback) policy.
+    fn degraded_epochs(&self) -> u64;
+
+    /// A typed point-in-time view of the governor's state machine for the
+    /// trace layer and watchdog diagnostics. Pure.
+    fn snapshot(&self) -> MonitorSnapshot;
+
+    /// Stable mechanism label for reports and provenance hashing.
+    fn label(&self) -> &'static str;
+}
+
+/// Which [`Governor`] implementation a system runs (the source-side half
+/// of the mechanism selection carried by `soc::SystemConfig`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum GovernorKind {
+    /// The paper's multiplicative SAT feedback loop ([`SystemMonitor`]).
+    #[default]
+    Sat,
+    /// LMS prediction-driven rate adaptation
+    /// ([`crate::lms::LmsGovernor`], Srinivasan & Gangadharan's LMS-AR).
+    LmsAr,
+}
+
+impl GovernorKind {
+    /// Stable lowercase label used in config names and provenance hashes.
+    pub fn label(self) -> &'static str {
+        match self {
+            GovernorKind::Sat => "sat",
+            GovernorKind::LmsAr => "lms-ar",
+        }
+    }
+
+    /// Builds a fresh governor of this kind from `cfg`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` fails [`MonitorConfig::validate`]; configurations
+    /// are produced by code, not end users, so a bad one is a bug.
+    pub fn build(self, cfg: MonitorConfig) -> Box<dyn Governor> {
+        match self {
+            GovernorKind::Sat => Box::new(SystemMonitor::new(cfg)),
+            GovernorKind::LmsAr => Box::new(crate::lms::LmsGovernor::new(cfg)),
+        }
     }
 }
 
@@ -188,7 +294,41 @@ impl SystemMonitor {
 
     /// Advances one epoch given the saturation signal observed during the
     /// epoch that just ended, returning the new multiplier `M`.
-    pub fn on_epoch(&mut self, sat: bool) -> u32 {
+    ///
+    /// `Some(sat)` is a fresh broadcast and drives the paper's
+    /// multiplicative feedback loop. `None` means the SAT broadcast was
+    /// lost this epoch: for up to `staleness_k` consecutive stale epochs
+    /// the monitor **holds its last rate** (`M`, `δM`, and `E` are
+    /// untouched); beyond the window it enters the *degraded policy* and
+    /// decays the goal rate toward a conservative floor — `M` grows
+    /// multiplicatively (`M += M/4 + 1` per epoch) up to
+    /// `degraded_m`, and the step state resets so the loop re-converges
+    /// gently once the signal returns. Returns the multiplier in force.
+    pub fn on_epoch(&mut self, sat: Option<bool>) -> u32 {
+        match sat {
+            Some(s) => self.on_fresh_sat(s),
+            None => {
+                self.epochs += 1;
+                self.stale_epochs = self.stale_epochs.saturating_add(1);
+                if self.stale_epochs > self.cfg.staleness_k {
+                    // Degraded: no information means overcommit is the
+                    // dangerous direction, so throttle toward the floor.
+                    self.degraded_epochs += 1;
+                    if self.m < self.cfg.degraded_m {
+                        let step = (self.m / 4).saturating_add(1);
+                        self.m = self.m.saturating_add(step).min(self.cfg.degraded_m);
+                    }
+                    self.dm = self.cfg.dm_min;
+                    self.e = 0;
+                    self.delta_dir = DeltaDir::Down;
+                }
+                self.m
+            }
+        }
+    }
+
+    /// The fresh-sample half of the feedback loop (Tables I/II).
+    fn on_fresh_sat(&mut self, sat: bool) -> u32 {
         self.stale_epochs = 0;
         self.epochs += 1;
         let new_dir = if sat { RateDir::Down } else { RateDir::Up };
@@ -223,41 +363,6 @@ impl SystemMonitor {
             self.m = self.m.saturating_sub(self.dm).max(self.cfg.m_min);
         }
         self.m
-    }
-
-    /// Advances one epoch given a possibly-missing saturation sample: the
-    /// fail-safe entry point (§ fault injection).
-    ///
-    /// `Some(sat)` is a fresh broadcast and behaves exactly like
-    /// [`SystemMonitor::on_epoch`]. `None` means the SAT broadcast was
-    /// lost this epoch: for up to `staleness_k` consecutive stale epochs
-    /// the monitor **holds its last rate** (`M`, `δM`, and `E` are
-    /// untouched); beyond the window it enters the *degraded policy* and
-    /// decays the goal rate toward a conservative floor — `M` grows
-    /// multiplicatively (`M += M/4 + 1` per epoch) up to
-    /// `degraded_m`, and the step state resets so the loop re-converges
-    /// gently once the signal returns. Returns the multiplier in force.
-    pub fn on_epoch_observed(&mut self, sat: Option<bool>) -> u32 {
-        match sat {
-            Some(s) => self.on_epoch(s),
-            None => {
-                self.epochs += 1;
-                self.stale_epochs = self.stale_epochs.saturating_add(1);
-                if self.stale_epochs > self.cfg.staleness_k {
-                    // Degraded: no information means overcommit is the
-                    // dangerous direction, so throttle toward the floor.
-                    self.degraded_epochs += 1;
-                    if self.m < self.cfg.degraded_m {
-                        let step = (self.m / 4).saturating_add(1);
-                        self.m = self.m.saturating_add(step).min(self.cfg.degraded_m);
-                    }
-                    self.dm = self.cfg.dm_min;
-                    self.e = 0;
-                    self.delta_dir = DeltaDir::Down;
-                }
-                self.m
-            }
-        }
     }
 
     /// Consecutive epochs without a fresh SAT sample.
@@ -319,6 +424,28 @@ impl SystemMonitor {
             stale_epochs: self.stale_epochs,
             degraded: self.is_degraded(),
         }
+    }
+}
+
+impl Governor for SystemMonitor {
+    fn on_epoch(&mut self, sat: Option<bool>) -> u32 {
+        SystemMonitor::on_epoch(self, sat)
+    }
+
+    fn m(&self) -> u32 {
+        SystemMonitor::m(self)
+    }
+
+    fn degraded_epochs(&self) -> u64 {
+        SystemMonitor::degraded_epochs(self)
+    }
+
+    fn snapshot(&self) -> MonitorSnapshot {
+        SystemMonitor::snapshot(self)
+    }
+
+    fn label(&self) -> &'static str {
+        GovernorKind::Sat.label()
     }
 }
 
@@ -414,9 +541,9 @@ mod tests {
     fn m_rises_on_saturation_falls_on_headroom() {
         let mut mon = SystemMonitor::new(cfg());
         let m0 = mon.m();
-        let m1 = mon.on_epoch(true);
+        let m1 = mon.on_epoch(Some(true));
         assert!(m1 > m0, "SAT=1 must raise M (throttle)");
-        let m2 = mon.on_epoch(false);
+        let m2 = mon.on_epoch(Some(false));
         assert!(m2 < m1, "SAT=0 must lower M (drive traffic)");
     }
 
@@ -426,12 +553,12 @@ mod tests {
         // Enough epochs to traverse [m_init, m_max] at dm_max per epoch.
         let climb = (2 * cfg().m_max / cfg().dm_max) as usize;
         for _ in 0..climb {
-            mon.on_epoch(true);
+            mon.on_epoch(Some(true));
             assert!(mon.m() <= cfg().m_max);
         }
         assert_eq!(mon.m(), cfg().m_max);
         for _ in 0..climb {
-            mon.on_epoch(false);
+            mon.on_epoch(Some(false));
             assert!(mon.m() >= cfg().m_min);
         }
         assert_eq!(mon.m(), cfg().m_min);
@@ -442,14 +569,14 @@ mod tests {
         let mut mon = SystemMonitor::new(cfg());
         // Grow δM with a long low-SAT run first.
         for _ in 0..20 {
-            mon.on_epoch(false);
+            mon.on_epoch(Some(false));
         }
         let grown = mon.delta_m();
         assert!(grown > cfg().dm_min);
         // Alternating signal must collapse δM to the minimum.
         for _ in 0..20 {
-            mon.on_epoch(true);
-            mon.on_epoch(false);
+            mon.on_epoch(Some(true));
+            mon.on_epoch(Some(false));
         }
         assert_eq!(mon.delta_m(), cfg().dm_min);
     }
@@ -457,13 +584,13 @@ mod tests {
     #[test]
     fn delta_grows_only_after_inertia() {
         let mut mon = SystemMonitor::new(cfg());
-        mon.on_epoch(true); // reset low_run, δM at min
+        mon.on_epoch(Some(true)); // reset low_run, δM at min
         let base = mon.delta_m();
-        mon.on_epoch(false);
+        mon.on_epoch(Some(false));
         assert_eq!(mon.delta_m(), base, "1 low epoch < inertia, δM must hold");
-        mon.on_epoch(false);
+        mon.on_epoch(Some(false));
         assert_eq!(mon.delta_m(), base, "2 low epochs < inertia, δM must hold");
-        mon.on_epoch(false);
+        mon.on_epoch(Some(false));
         assert!(mon.delta_m() > base, "3rd consecutive low epoch grows δM");
     }
 
@@ -471,10 +598,10 @@ mod tests {
     fn delta_growth_is_exponential() {
         let mut mon = SystemMonitor::new(cfg());
         for _ in 0..cfg().inertia {
-            mon.on_epoch(false);
+            mon.on_epoch(Some(false));
         }
         let d0 = mon.delta_m();
-        mon.on_epoch(false);
+        mon.on_epoch(Some(false));
         assert_eq!(mon.delta_m(), (d0 * 2).min(cfg().dm_max));
     }
 
@@ -482,7 +609,7 @@ mod tests {
     fn delta_clamped_to_max() {
         let mut mon = SystemMonitor::new(cfg());
         for _ in 0..1000 {
-            mon.on_epoch(false);
+            mon.on_epoch(Some(false));
         }
         assert_eq!(mon.delta_m(), cfg().dm_max);
     }
@@ -490,23 +617,23 @@ mod tests {
     #[test]
     fn steady_counter_resets_on_direction_flip() {
         let mut mon = SystemMonitor::new(cfg());
-        mon.on_epoch(false);
-        mon.on_epoch(false);
+        mon.on_epoch(Some(false));
+        mon.on_epoch(Some(false));
         let e_before = mon.steady_epochs();
         assert!(e_before >= 2);
-        mon.on_epoch(true);
+        mon.on_epoch(Some(true));
         assert_eq!(mon.steady_epochs(), 1, "flip starts a new 1-epoch run");
-        mon.on_epoch(true);
+        mon.on_epoch(Some(true));
         assert_eq!(mon.steady_epochs(), 2);
     }
 
     #[test]
     fn phase_reflects_directions() {
         let mut mon = SystemMonitor::new(cfg());
-        mon.on_epoch(true);
+        mon.on_epoch(Some(true));
         assert_eq!(mon.phase(), (RateDir::Down, DeltaDir::Down));
         for _ in 0..cfg().inertia {
-            mon.on_epoch(false);
+            mon.on_epoch(Some(false));
         }
         assert_eq!(mon.phase(), (RateDir::Up, DeltaDir::Up));
     }
@@ -518,7 +645,7 @@ mod tests {
         let mut replicas: Vec<SystemMonitor> = (0..32).map(|_| SystemMonitor::new(cfg())).collect();
         let pattern = [true, false, false, true, false, false, false, true];
         for (i, &sat) in pattern.iter().cycle().take(500).enumerate() {
-            let ms: Vec<u32> = replicas.iter_mut().map(|r| r.on_epoch(sat)).collect();
+            let ms: Vec<u32> = replicas.iter_mut().map(|r| r.on_epoch(Some(sat))).collect();
             assert!(ms.windows(2).all(|w| w[0] == w[1]), "diverged at epoch {i}");
         }
     }
@@ -531,42 +658,49 @@ mod tests {
     }
 
     #[test]
-    fn config_validation_messages() {
+    fn config_validation_is_typed_and_matchable() {
         let c = MonitorConfig { m_min: 0, ..MonitorConfig::default() };
-        assert!(c.validate().unwrap_err().contains("m_min"));
+        assert_eq!(c.validate(), Err(MonitorConfigError::ZeroMMin));
         let c = MonitorConfig { dm_min: 0, ..MonitorConfig::default() };
-        assert!(c.validate().unwrap_err().contains("dm_min"));
+        assert_eq!(c.validate(), Err(MonitorConfigError::BadDeltaBounds));
         let mut c = MonitorConfig::default();
         c.m_init = c.m_max + 1;
-        assert!(c.validate().unwrap_err().contains("m_init"));
+        assert_eq!(c.validate(), Err(MonitorConfigError::MInitOutOfRange));
+        let c = MonitorConfig { m_min: 10, m_max: 5, ..MonitorConfig::default() };
+        assert_eq!(c.validate(), Err(MonitorConfigError::InvertedMBounds));
         assert!(MonitorConfig::default().validate().is_ok());
+        // Display keeps the field name so the panic text stays debuggable.
+        assert!(MonitorConfigError::ZeroMMin.to_string().contains("m_min"));
+        assert!(MonitorConfigError::BadDeltaBounds.to_string().contains("dm_min"));
+        assert!(MonitorConfigError::MInitOutOfRange.to_string().contains("m_init"));
     }
 
     #[test]
-    fn fresh_samples_via_observed_match_on_epoch_exactly() {
-        // The fail-safe entry point must be bit-identical to the classic
-        // path when every sample is fresh (the all-zero-plan criterion).
+    fn trait_object_path_matches_the_concrete_monitor_exactly() {
+        // Dispatch through `dyn Governor` (the way `soc::System` drives
+        // governors) must be bit-identical to concrete calls.
         let mut a = SystemMonitor::new(cfg());
-        let mut b = SystemMonitor::new(cfg());
-        let pattern = [true, false, false, true, true, false];
+        let mut b: Box<dyn Governor> = GovernorKind::Sat.build(cfg());
+        let pattern = [Some(true), Some(false), None, Some(true), Some(true), None];
         for &sat in pattern.iter().cycle().take(300) {
-            assert_eq!(a.on_epoch(sat), b.on_epoch_observed(Some(sat)));
+            assert_eq!(a.on_epoch(sat), b.on_epoch(sat));
         }
-        assert_eq!(a, b);
-        assert_eq!(b.stale_epochs(), 0);
-        assert_eq!(b.degraded_epochs(), 0);
+        assert_eq!(a.snapshot(), b.snapshot());
+        assert_eq!(Governor::m(&a), b.m());
+        assert_eq!(b.label(), "sat");
+        assert_eq!(a.degraded_epochs(), b.degraded_epochs());
     }
 
     #[test]
     fn staleness_holds_last_rate_within_the_window() {
         let mut mon = SystemMonitor::new(cfg());
         for _ in 0..10 {
-            mon.on_epoch(true);
+            mon.on_epoch(Some(true));
         }
         let held_m = mon.m();
         let held_dm = mon.delta_m();
         for k in 1..=cfg().staleness_k {
-            assert_eq!(mon.on_epoch_observed(None), held_m, "epoch {k}: hold");
+            assert_eq!(mon.on_epoch(None), held_m, "epoch {k}: hold");
             assert_eq!(mon.delta_m(), held_dm);
             assert!(!mon.is_degraded());
             assert_eq!(mon.stale_epochs(), k);
@@ -578,12 +712,12 @@ mod tests {
         let mut mon = SystemMonitor::new(cfg());
         let m0 = mon.m();
         for _ in 0..cfg().staleness_k {
-            mon.on_epoch_observed(None);
+            mon.on_epoch(None);
         }
         assert_eq!(mon.m(), m0, "still holding at exactly K stale epochs");
         let mut prev = mon.m();
         for _ in 0..60 {
-            let m = mon.on_epoch_observed(None);
+            let m = mon.on_epoch(None);
             assert!(m >= prev, "degraded decay is monotone toward the floor");
             assert!(m <= cfg().degraded_m);
             prev = m;
@@ -604,7 +738,7 @@ mod tests {
             MonitorConfig { m_init: 1 << 20, degraded_m: 1 << 16, ..MonitorConfig::default() };
         let mut mon = SystemMonitor::new(high);
         for _ in 0..high.staleness_k + 10 {
-            mon.on_epoch_observed(None);
+            mon.on_epoch(None);
         }
         assert_eq!(mon.m(), 1 << 20, "degraded policy never lowers M");
     }
@@ -613,11 +747,11 @@ mod tests {
     fn fresh_sample_ends_staleness_and_resumes_the_loop() {
         let mut mon = SystemMonitor::new(cfg());
         for _ in 0..cfg().staleness_k + 5 {
-            mon.on_epoch_observed(None);
+            mon.on_epoch(None);
         }
         assert!(mon.is_degraded());
         let m_degraded = mon.m();
-        mon.on_epoch_observed(Some(false));
+        mon.on_epoch(Some(false));
         assert_eq!(mon.stale_epochs(), 0);
         assert!(!mon.is_degraded());
         assert!(mon.m() < m_degraded, "headroom sample lowers M again");
@@ -627,12 +761,14 @@ mod tests {
     #[test]
     fn staleness_config_is_validated() {
         let c = MonitorConfig { staleness_k: 0, ..MonitorConfig::default() };
-        assert!(c.validate().unwrap_err().contains("staleness_k"));
+        assert_eq!(c.validate(), Err(MonitorConfigError::ZeroStalenessWindow));
         let c = MonitorConfig { degraded_m: 0, ..MonitorConfig::default() };
-        assert!(c.validate().unwrap_err().contains("degraded_m"));
+        assert_eq!(c.validate(), Err(MonitorConfigError::DegradedMOutOfRange));
         let mut c = MonitorConfig::default();
         c.degraded_m = c.m_max + 1;
-        assert!(c.validate().unwrap_err().contains("degraded_m"));
+        assert_eq!(c.validate(), Err(MonitorConfigError::DegradedMOutOfRange));
+        assert!(MonitorConfigError::ZeroStalenessWindow.to_string().contains("staleness_k"));
+        assert!(MonitorConfigError::DegradedMOutOfRange.to_string().contains("degraded_m"));
     }
 
     #[test]

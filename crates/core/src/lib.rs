@@ -10,6 +10,8 @@
 //!   by a class's [`qos::Stride`] into a per-source request period; and a
 //!   [`pacer::Pacer`] at each private L2 enforces that period, with credit
 //!   for bursts and corrections for shared-cache hits and writebacks.
+//!   The governor seam is the object-safe [`governor::Governor`] trait;
+//!   [`lms::LmsGovernor`] is a prediction-driven alternative (LMS-AR).
 //! * **Target regulation** — a [`arbiter::VirtualClocks`] earliest-virtual-
 //!   deadline arbiter at each memory controller prioritizes queued reads of
 //!   classes that are behind their proportional share, with a bounded slack
@@ -37,7 +39,7 @@
 //! let rategen = RateGenerator::default();
 //!
 //! // One epoch elapses and the memory controllers were saturated:
-//! let m = monitor.on_epoch(true);
+//! let m = monitor.on_epoch(Some(true));
 //! let class0 = QosId::new(0);
 //! let stride = shares.scaled_stride(class0, GOVERNOR_STRIDE_SCALE);
 //! let period = rategen.source_period(m, stride, 1);
@@ -51,6 +53,7 @@
 
 pub mod arbiter;
 pub mod governor;
+pub mod lms;
 pub mod pacer;
 pub mod qos;
 pub mod satmon;

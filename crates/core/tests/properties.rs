@@ -20,7 +20,7 @@ fn monitor_m_always_bounded() {
         let cfg = MonitorConfig::default();
         let mut mon = SystemMonitor::new(cfg);
         for _ in 0..epochs {
-            let m = mon.on_epoch(rng.gen_bool(0.5));
+            let m = mon.on_epoch(Some(rng.gen_bool(0.5)));
             assert!(m >= cfg.m_min && m <= cfg.m_max, "seed {seed}: M={m} escaped bounds");
             assert!(
                 mon.delta_m() >= cfg.dm_min && mon.delta_m() <= cfg.dm_max,
@@ -40,7 +40,7 @@ fn monitor_replicas_lockstep() {
         let mut a = SystemMonitor::new(cfg);
         let mut b = SystemMonitor::new(cfg);
         for _ in 0..epochs {
-            let sat = rng.gen_bool(0.5);
+            let sat = Some(rng.gen_bool(0.5));
             assert_eq!(a.on_epoch(sat), b.on_epoch(sat), "seed {seed}: replicas diverged");
         }
     }

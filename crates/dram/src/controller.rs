@@ -37,37 +37,14 @@
 //!   workloads never re-read recently written lines quickly.
 
 use pabst_cache::LineAddr;
-use pabst_core::arbiter::{VirtualClocks, VirtualDeadline};
+use pabst_core::arbiter::VirtualDeadline;
 use pabst_core::qos::{QosId, ShareTable, MAX_CLASSES};
 use pabst_core::satmon::SatMonitor;
 use pabst_simkit::queue::BoundedQueue;
 use pabst_simkit::{Cycle, LINE_BYTES};
 
+use crate::arbiter::{ArbiterMode, TargetArbiter};
 use crate::config::DramConfig;
-
-/// Scheduling policy of the controller.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum ArbiterMode {
-    /// Baseline FR-FCFS: oldest first at the front-end; row hits then
-    /// oldest at the back-end.
-    Fcfs,
-    /// PABST priority arbiter: earliest virtual deadline at the front-end;
-    /// row hits then earliest deadline at the back-end. A flat one-stride
-    /// charge per access (the paper's choice, SIII-C2).
-    Edf,
-    /// FQM-style variant (Nesbit et al.): deadlines approximate virtual
-    /// time and accesses are charged by their actual service cost (row
-    /// hits cheap, conflicts expensive). Included for the paper's design
-    /// comparison; the paper found flat charging equally effective.
-    Fqm,
-}
-
-impl ArbiterMode {
-    /// True when the mode uses per-class virtual deadlines at all.
-    pub fn prioritized(self) -> bool {
-        !matches!(self, ArbiterMode::Fcfs)
-    }
-}
 
 /// A request presented to the controller's ingress port.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -220,12 +197,11 @@ struct PendingBurst {
 #[derive(Debug)]
 pub struct MemController {
     cfg: DramConfig,
-    mode: ArbiterMode,
     ingress: BoundedQueue<MemReq>,
     read_q: BoundedQueue<QueuedReq>,
     write_q: BoundedQueue<QueuedReq>,
     banks: Vec<Bank>,
-    clocks: VirtualClocks,
+    arbiter: Box<dyn TargetArbiter>,
     satmon: SatMonitor,
     /// Column accesses whose data awaits a bus slot.
     awaiting_bus: Vec<PendingBurst>,
@@ -256,8 +232,9 @@ impl MemController {
     /// Creates a controller.
     ///
     /// `shares` provides the per-class strides for the priority arbiter
-    /// (only consulted in [`ArbiterMode::Edf`]); `slack` is the arbiter's
-    /// virtual-credit bound (the paper uses 128).
+    /// (ignored by priority-blind modes); `slack` is the arbiter's
+    /// virtual-credit bound (the paper uses 128). `mode` selects the
+    /// [`TargetArbiter`] implementation from the zoo.
     ///
     /// # Panics
     ///
@@ -273,7 +250,7 @@ impl MemController {
             read_q: BoundedQueue::new(cfg.read_q_cap),
             write_q: BoundedQueue::new(cfg.write_q_cap),
             banks,
-            clocks: VirtualClocks::new(shares, slack),
+            arbiter: mode.build(shares, slack, cfg.banks),
             satmon: SatMonitor::new(cfg.read_q_cap),
             awaiting_bus: Vec::new(),
             inflight: Vec::new(),
@@ -292,7 +269,6 @@ impl MemController {
             max_hit_streak: 3,
             issue_scratch: Vec::new(),
             cfg,
-            mode,
         }
     }
 
@@ -416,6 +392,15 @@ impl MemController {
             }
             h.add(done_at);
         }
+        // The arbiter seam's own horizon: an arbiter whose priorities can
+        // change at a future cycle without a stamp or a pick reports it
+        // here so the skip contract holds for every implementation.
+        if let Some(at) = self.arbiter.next_event(now) {
+            if at <= now {
+                return Some(now);
+            }
+            h.add(at);
+        }
         h.get()
     }
 
@@ -454,7 +439,13 @@ impl MemController {
     /// arbiter. Monotonically nondecreasing (stamps advance it; the slack
     /// floor only ever raises it), which the epoch sanitizer verifies.
     pub fn virtual_clock(&self, id: QosId) -> u64 {
-        self.clocks.clock(id)
+        self.arbiter.clock(id)
+    }
+
+    /// Stable label of the target arbiter behind the seam (provenance
+    /// hashing, report tables).
+    pub fn arbiter_name(&self) -> &'static str {
+        self.arbiter.name()
     }
 
     /// Outstanding work anywhere in the controller (for drain loops in
@@ -475,8 +466,8 @@ impl MemController {
     /// A point-in-time view of the controller's queues and arbiter state
     /// for observability (trace records). Pure.
     pub fn snapshot(&self) -> McSnapshot {
-        let n = self.clocks.classes();
-        let clocks = (0..n).map(|c| self.clocks.clock(QosId::new(c as u8))).collect();
+        let n = self.arbiter.classes();
+        let clocks = (0..n).map(|c| self.arbiter.clock(QosId::new(c as u8))).collect();
         McSnapshot {
             read_q_depth: self.read_q.len() as u64,
             write_q_depth: self.write_q.len() as u64,
@@ -488,11 +479,9 @@ impl MemController {
         }
     }
 
-    /// Reprograms the per-class strides (software updating shares).
+    /// Reprograms the per-class shares (software updating weights).
     pub fn set_shares(&mut self, shares: &ShareTable) {
-        for (id, s) in shares.iter() {
-            self.clocks.set_stride(id, s);
-        }
+        self.arbiter.set_shares(shares);
     }
 
     fn accept_from_ingress(&mut self, now: Cycle) {
@@ -507,16 +496,13 @@ impl MemController {
             }
             let req = self.ingress.pop().expect("peeked entry exists");
             self.seq += 1;
-            // Reads are stamped with the class's virtual deadline on
-            // acceptance; writes are not prioritized (§III-C2).
-            let deadline = match self.mode {
-                ArbiterMode::Edf if !is_write => self.clocks.stamp(req.class),
-                ArbiterMode::Fqm if !is_write => self.clocks.stamp_deferred(req.class),
-                _ => VirtualDeadline(self.seq),
-            };
             let cols = req.line.get() / self.cfg.lines_per_row;
             let bank = (cols % self.cfg.banks as u64) as u32;
             let row = cols / self.cfg.banks as u64;
+            // The arbiter stamps every accepted request; priority policy
+            // (and whether writes carry any) lives behind the seam.
+            let backlog = if is_write { self.write_q.len() } else { self.read_q.len() };
+            let deadline = self.arbiter.stamp(req.class, is_write, self.seq, bank, backlog);
             let q = QueuedReq { req, deadline, seq: self.seq, enq_at: now, bank, row };
             let res = if is_write { self.write_q.push(q) } else { self.read_q.push(q) };
             debug_assert!(res.is_ok(), "fullness checked above");
@@ -566,10 +552,13 @@ impl MemController {
         if !banks.iter().any(|b| b.rdy <= now) {
             return false;
         }
-        let mode = self.mode;
-        let prio_key = |e: &QueuedReq| match mode {
-            ArbiterMode::Edf | ArbiterMode::Fqm => (e.deadline, e.seq),
-            ArbiterMode::Fcfs => (VirtualDeadline(0), e.seq),
+        let deadlines = self.arbiter.uses_deadlines();
+        let prio_key = |e: &QueuedReq| {
+            if deadlines {
+                (e.deadline, e.seq)
+            } else {
+                (VirtualDeadline(0), e.seq)
+            }
         };
 
         // Per ready bank: the aged entry (starvation guard), else the
@@ -694,16 +683,15 @@ impl MemController {
             return;
         }
         let prefer_write = self.draining_writes;
+        let deadlines = self.arbiter.uses_deadlines();
         let pick = self
             .awaiting_bus
             .iter()
             .enumerate()
             .filter(|(_, p)| p.ready_at <= self.bus_free_at.max(now))
             .min_by_key(|(_, p)| {
-                let key = match self.mode {
-                    ArbiterMode::Edf | ArbiterMode::Fqm => (p.e.deadline, p.e.seq),
-                    ArbiterMode::Fcfs => (VirtualDeadline(0), p.e.seq),
-                };
+                let key =
+                    if deadlines { (p.e.deadline, p.e.seq) } else { (VirtualDeadline(0), p.e.seq) };
                 (p.e.req.is_write != prefer_write, key)
             })
             .map(|(i, _)| i);
@@ -719,13 +707,8 @@ impl MemController {
         self.bus_free_at = data_done;
         self.last_dir_write = p.e.req.is_write;
         self.stats.bus_busy += t_burst;
-        if !p.e.req.is_write && self.mode.prioritized() {
-            self.clocks.on_picked(p.e.req.class, p.e.deadline);
-            if self.mode == ArbiterMode::Fqm {
-                // Charge by service cost: a row hit is one unit, a closed
-                // row two, a conflict (precharge + activate) three.
-                self.clocks.charge(p.e.req.class, p.cost);
-            }
+        if !p.e.req.is_write {
+            self.arbiter.on_picked(p.e.req.class, p.e.deadline, p.e.seq, p.e.bank, p.cost);
         }
         self.inflight.push((p.e, data_done));
     }

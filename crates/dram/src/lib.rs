@@ -7,12 +7,15 @@
 //!
 //! * a *saturation monitor* averaging front-end read-queue occupancy per
 //!   epoch ([`pabst_core::satmon::SatMonitor`]), and
-//! * a *priority arbiter* applying earliest-virtual-deadline-first
-//!   selection in both the front-end and the back-end bank queues
-//!   ([`pabst_core::arbiter::VirtualClocks`]).
+//! * a *priority arbiter* behind the object-safe [`arbiter::TargetArbiter`]
+//!   seam, applying priority in both the front-end and the back-end bank
+//!   queues. The paper's mechanism ([`arbiter::EdfArbiter`], built on
+//!   [`pabst_core::arbiter::VirtualClocks`]) is the default; competing
+//!   mechanisms — FQM cost charging, per-bank regulation, the DPQ
+//!   bounded-latency queue — plug in via [`ArbiterMode`].
 //!
 //! The baseline scheduling policy is FR-FCFS (row hits first, then oldest);
-//! with the arbiter enabled it becomes the paper's "fair variant of
+//! with a deadline-carrying arbiter it becomes the paper's "fair variant of
 //! First-Ready, First-Come-First-Serve": row hits first, then earliest
 //! virtual deadline.
 //!
@@ -24,8 +27,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arbiter;
 pub mod config;
 pub mod controller;
 
+pub use arbiter::{ArbiterMode, TargetArbiter};
 pub use config::DramConfig;
-pub use controller::{ArbiterMode, Completion, MemController, MemReq};
+pub use controller::{Completion, MemController, MemReq};

@@ -53,6 +53,11 @@ pub struct EpochRecord {
     pub delta_up: bool,
     /// The wired-OR saturation bit observed for the epoch.
     pub sat: bool,
+    /// Provenance hash of the mechanism selection (governor + target
+    /// arbiter + regulation knobs) that produced this record, so merged
+    /// trace files identify which mechanism pair each line ran under.
+    /// Zero when the emitter predates or does not carry provenance.
+    pub mechanism_hash: u64,
     /// Bytes delivered per QoS class during the epoch.
     pub class_bytes: Vec<u64>,
     /// Pacer NACKs per tile during the epoch (summed over the tile's
@@ -83,6 +88,7 @@ impl EpochRecord {
         let _ = write!(s, ",\"rate_up\":{}", self.rate_up);
         let _ = write!(s, ",\"delta_up\":{}", self.delta_up);
         let _ = write!(s, ",\"sat\":{}", self.sat);
+        let _ = write!(s, ",\"mechanism_hash\":{}", self.mechanism_hash);
         write_u64_array(&mut s, "class_bytes", &self.class_bytes);
         write_u64_array(&mut s, "tile_throttles", &self.tile_throttles);
         write_u64_array(&mut s, "mc_read_depth", &self.mc_read_depth);
@@ -156,6 +162,7 @@ pub fn parse_line(line: &str) -> Result<EpochRecord, TraceParseError> {
                 "rate_up" => rec.rate_up = cur.parse_bool()?,
                 "delta_up" => rec.delta_up = cur.parse_bool()?,
                 "sat" => rec.sat = cur.parse_bool()?,
+                "mechanism_hash" => rec.mechanism_hash = cur.parse_u64()?,
                 "class_bytes" => rec.class_bytes = cur.parse_u64_array()?,
                 "tile_throttles" => rec.tile_throttles = cur.parse_u64_array()?,
                 "mc_read_depth" => rec.mc_read_depth = cur.parse_u64_array()?,
@@ -454,6 +461,7 @@ mod tests {
             rate_up: true,
             delta_up: false,
             sat: true,
+            mechanism_hash: 0x51ab_90de,
             class_bytes: vec![123_456, 0, 64],
             tile_throttles: vec![9, 0, 0, 17],
             mc_read_depth: vec![3],

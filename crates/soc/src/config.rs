@@ -3,9 +3,9 @@
 use std::fmt;
 
 use pabst_cache::{CacheConfig, LineAddr};
-use pabst_core::governor::MonitorConfig;
+use pabst_core::governor::{GovernorKind, MonitorConfig, MonitorConfigError};
 use pabst_core::qos::ShareError;
-use pabst_dram::DramConfig;
+use pabst_dram::{ArbiterMode, DramConfig};
 use pabst_simkit::Cycle;
 
 /// How line addresses map to memory-controller channels — the explicit
@@ -230,6 +230,13 @@ pub struct SystemConfig {
     pub dram: DramConfig,
     /// Governor feedback-loop parameters.
     pub monitor: MonitorConfig,
+    /// Source-side governor mechanism (the [`GovernorKind`] zoo); only
+    /// consulted when the regulation mode activates the source side.
+    pub governor: GovernorKind,
+    /// Target-side arbiter mechanism (the [`ArbiterMode`] zoo); only
+    /// consulted when the regulation mode activates the target side
+    /// (otherwise the controller runs priority-blind FR-FCFS).
+    pub arbiter: ArbiterMode,
     /// Pacer burst window, requests.
     pub pacer_burst: u64,
     /// Arbiter slack, virtual ticks.
@@ -277,6 +284,8 @@ impl SystemConfig {
             resp_lat: 8,
             dram: DramConfig::default(),
             monitor: MonitorConfig::default(),
+            governor: GovernorKind::Sat,
+            arbiter: ArbiterMode::Edf,
             pacer_burst: 16,
             arbiter_slack: 128,
             wb_accounting: WbAccounting::ChargeDemand,
@@ -360,6 +369,48 @@ impl SystemConfig {
         c
     }
 
+    /// The mechanism pair this config selects, as stable labels
+    /// (`governor/arbiter`, e.g. `"sat/edf"`). Report tables and trace
+    /// provenance use this form.
+    pub fn mechanism_label(&self) -> String {
+        format!("{}/{}", self.governor.label(), self.arbiter.label())
+    }
+
+    /// A stable FNV-1a hash over the mechanism selection and the
+    /// regulation-relevant scalar knobs — the provenance fingerprint
+    /// reports and traces carry so a rendered number can always be
+    /// traced back to the exact mechanism configuration that produced
+    /// it. Deliberately *not* a hash of the whole struct: cache/core
+    /// geometry changes show up in the config name, while a silent
+    /// mechanism or knob swap is what provenance must catch.
+    pub fn mechanism_hash(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = FNV_OFFSET;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h = (h ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+            }
+        };
+        eat(self.governor.label().as_bytes());
+        eat(b"/");
+        eat(self.arbiter.label().as_bytes());
+        for knob in [
+            u64::from(self.monitor.m_init),
+            u64::from(self.monitor.m_min),
+            u64::from(self.monitor.m_max),
+            u64::from(self.monitor.dm_min),
+            u64::from(self.monitor.dm_max),
+            u64::from(self.monitor.staleness_k),
+            u64::from(self.monitor.degraded_m),
+            self.pacer_burst,
+            self.arbiter_slack,
+        ] {
+            eat(&knob.to_le_bytes());
+        }
+        h
+    }
+
     /// Validates internal consistency.
     ///
     /// # Errors
@@ -438,8 +489,9 @@ pub enum ConfigError {
     Weights(ShareError),
     /// DRAM timing validation failed.
     Dram(String),
-    /// Governor configuration validation failed.
-    Monitor(String),
+    /// Governor configuration validation failed (typed: callers can
+    /// match the exact constraint, mirroring the variants here).
+    Monitor(MonitorConfigError),
 }
 
 impl fmt::Display for ConfigError {
@@ -605,7 +657,27 @@ mod tests {
         assert_eq!(c.validate(), Err(ConfigError::ZeroStalenessWindow));
         let mut c = SystemConfig::baseline_32core();
         c.monitor.dm_min = 0;
-        assert!(matches!(c.validate(), Err(ConfigError::Monitor(_))));
+        // The inner error is typed too — matchable down to the exact
+        // violated constraint, not a string.
+        assert_eq!(c.validate(), Err(ConfigError::Monitor(MonitorConfigError::BadDeltaBounds)));
+    }
+
+    #[test]
+    fn mechanism_provenance_hash_tracks_the_selection() {
+        let base = SystemConfig::baseline_32core();
+        assert_eq!(base.mechanism_label(), "sat/edf");
+        assert_eq!(base.mechanism_hash(), SystemConfig::baseline_32core().mechanism_hash());
+        let mut lms = base;
+        lms.governor = GovernorKind::LmsAr;
+        assert_ne!(lms.mechanism_hash(), base.mechanism_hash());
+        assert_eq!(lms.mechanism_label(), "lms-ar/edf");
+        let mut dpq = base;
+        dpq.arbiter = ArbiterMode::Dpq;
+        assert_ne!(dpq.mechanism_hash(), base.mechanism_hash());
+        assert_ne!(dpq.mechanism_hash(), lms.mechanism_hash());
+        let mut knob = base;
+        knob.arbiter_slack += 1;
+        assert_ne!(knob.mechanism_hash(), base.mechanism_hash(), "knobs are provenance too");
     }
 
     #[test]

@@ -37,6 +37,14 @@ pub struct SystemReport {
     pub config: Option<String>,
     /// Base RNG seed the run's workload generators derived from.
     pub seed: Option<u64>,
+    /// Label of the governor mechanism the run executed under.
+    pub governor: String,
+    /// Label of the target-arbiter mechanism in force (the effective one:
+    /// regulation modes without an active target report "fcfs").
+    pub arbiter: String,
+    /// Provenance hash over the configured mechanism selection and
+    /// regulation knobs ([`crate::config::SystemConfig::mechanism_hash`]).
+    pub mechanism_hash: u64,
 }
 
 impl SystemReport {
@@ -83,6 +91,9 @@ impl SystemReport {
             experiment: None,
             config: None,
             seed: None,
+            governor: sys.governor_label().to_string(),
+            arbiter: sys.arbiter_label().to_string(),
+            mechanism_hash: sys.mechanism_hash(),
         }
     }
 
@@ -100,8 +111,8 @@ impl SystemReport {
     /// Serializes the report as one JSON object (hand-rolled; the
     /// workspace has a zero-dependency rule). Non-finite floats become
     /// `null` so the output is always valid JSON. Context fields set via
-    /// [`SystemReport::with_context`] lead the object; untagged reports
-    /// serialize exactly as before.
+    /// [`SystemReport::with_context`] lead the object, followed by the
+    /// mechanism provenance fields (always present), then the figures.
     pub fn to_json(&self) -> String {
         use std::fmt::Write as _;
         let mut s = String::with_capacity(256);
@@ -115,6 +126,13 @@ impl SystemReport {
         if let Some(seed) = self.seed {
             let _ = write!(s, "\"seed\":{seed},");
         }
+        let _ = write!(
+            s,
+            "\"governor\":\"{}\",\"arbiter\":\"{}\",\"mechanism_hash\":{},",
+            json_escape(&self.governor),
+            json_escape(&self.arbiter),
+            self.mechanism_hash
+        );
         let _ = write!(
             s,
             "\"window_cycles\":{},\"bus_utilization\":{},\"classes\":[",
@@ -253,6 +271,9 @@ mod tests {
         let j = r.to_json();
         assert!(j.starts_with('{') && j.ends_with('}'));
         for key in [
+            "\"governor\":\"sat\"",
+            "\"arbiter\":\"edf\"",
+            "\"mechanism_hash\":",
             "\"window_cycles\":",
             "\"bus_utilization\":",
             "\"classes\":[",

@@ -3,9 +3,7 @@
 use std::collections::VecDeque;
 
 use pabst_cache::{LineAddr, MshrTable, SetAssocCache, WayMask};
-use pabst_core::governor::{
-    DeltaDir, RateDir, RateGenerator, SystemMonitor, GOVERNOR_STRIDE_SCALE,
-};
+use pabst_core::governor::{DeltaDir, Governor, RateDir, RateGenerator, GOVERNOR_STRIDE_SCALE};
 use pabst_core::pacer::Pacer;
 use pabst_core::qos::{QosId, ShareTable};
 use pabst_core::satmon::or_sat;
@@ -53,9 +51,10 @@ pub struct System {
     /// Misses refused an L3 MSHR (table full), retried in order.
     mshr_wait: VecDeque<L3Req>,
     mcs: Vec<MemController>,
-    /// One monitor for the paper's global-SAT design; one per MC in the
-    /// per-MC variant (SIII-C1).
-    monitors: Vec<SystemMonitor>,
+    /// One governor for the paper's global-SAT design; one per MC in the
+    /// per-MC variant (SIII-C1). The concrete mechanism behind the
+    /// [`Governor`] seam is selected by [`SystemConfig::governor`].
+    monitors: Vec<Box<dyn Governor>>,
     rategen: RateGenerator,
     metrics: Metrics,
     /// Event-horizon fast-forward active (the default; cleared by the
@@ -183,7 +182,26 @@ impl System {
 
     /// Epochs any governor has spent in the degraded (stale-SAT) policy.
     pub fn degraded_epochs(&self) -> u64 {
-        self.monitors.iter().map(SystemMonitor::degraded_epochs).sum()
+        self.monitors.iter().map(|m| m.degraded_epochs()).sum()
+    }
+
+    /// Label of the source-side governor mechanism in force.
+    pub fn governor_label(&self) -> &'static str {
+        self.monitors[0].label()
+    }
+
+    /// Label of the target-side arbiter mechanism in force. All
+    /// controllers share one mode, so controller 0 speaks for the system;
+    /// note this is the *effective* mechanism — regulation modes without
+    /// an active target run FCFS regardless of the configured arbiter.
+    pub fn arbiter_label(&self) -> &'static str {
+        self.mcs[0].arbiter_name()
+    }
+
+    /// FNV-1a provenance hash over the configured mechanism selection and
+    /// regulation knobs (see [`SystemConfig::mechanism_hash`]).
+    pub fn mechanism_hash(&self) -> u64 {
+        self.cfg.mechanism_hash()
     }
 
     /// Instructions retired by core `i` since the measurement mark.
@@ -671,12 +689,8 @@ impl System {
             // Per-MC SAT and governors (SIII-C1 variant).
             (0..sats.len()).map(|k| self.observe_sat(k, sats[k], epoch)).collect()
         };
-        let ms: Vec<u32> = self
-            .monitors
-            .iter_mut()
-            .zip(&observed)
-            .map(|(mon, &o)| mon.on_epoch_observed(o))
-            .collect();
+        let ms: Vec<u32> =
+            self.monitors.iter_mut().zip(&observed).map(|(mon, &o)| mon.on_epoch(o)).collect();
         self.metrics.m_series.push(ms[0]);
         self.metrics.sat_series.push(or_sat(sats.iter().copied()));
 
@@ -886,6 +900,7 @@ impl System {
             rate_up: matches!(snap.rate_dir, RateDir::Up),
             delta_up: matches!(snap.delta_dir, DeltaDir::Up),
             sat,
+            mechanism_hash: self.cfg.mechanism_hash(),
             class_bytes,
             tile_throttles,
             mc_read_depth,
@@ -1039,7 +1054,7 @@ impl SystemBuilder {
             l3.set_partition(QosId::new(c as u8), WayMask::range(first, count));
         }
 
-        let arb = if self.mode.target_active() { ArbiterMode::Edf } else { ArbiterMode::Fcfs };
+        let arb = if self.mode.target_active() { self.cfg.arbiter } else { ArbiterMode::Fcfs };
         let mcs = (0..self.cfg.mcs)
             .map(|_| MemController::new(self.cfg.dram, arb, &shares, self.cfg.arbiter_slack))
             .collect();
@@ -1094,7 +1109,7 @@ impl SystemBuilder {
             net: Interconnect::new(&self.cfg, classes),
             mshr_wait: VecDeque::new(),
             mcs,
-            monitors: (0..n_monitors).map(|_| SystemMonitor::new(self.cfg.monitor)).collect(),
+            monitors: (0..n_monitors).map(|_| self.cfg.governor.build(self.cfg.monitor)).collect(),
             rategen: RateGenerator::default(),
             tiles,
             tile_class,

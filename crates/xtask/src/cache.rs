@@ -17,7 +17,9 @@ use crate::Diagnostic;
 use std::collections::BTreeMap;
 use std::path::Path;
 
-const SCHEMA: &str = "simlint-cache-v1";
+// v2: `FnInfo` gained `impl_trait`; v1 caches miss the key and degrade to
+// a cold run, exactly as a schema mismatch would — the bump just says so.
+const SCHEMA: &str = "simlint-cache-v2";
 
 /// 64-bit FNV-1a over the file bytes: deterministic, dependency-free, and
 /// plenty for change detection (this is a cache key, not a security hash).
@@ -113,6 +115,7 @@ fn index_to_json(idx: &FileIndex) -> Json {
             Json::Obj(vec![
                 ("name".into(), Json::Str(f.name.clone())),
                 ("owner".into(), f.owner.clone().map(Json::Str).unwrap_or(Json::Null)),
+                ("impl_trait".into(), f.impl_trait.clone().map(Json::Str).unwrap_or(Json::Null)),
                 ("line".into(), Json::Num(f.line as i64)),
                 ("is_pub".into(), Json::Bool(f.is_pub)),
                 ("has_doc".into(), Json::Bool(f.has_doc)),
@@ -214,6 +217,10 @@ fn index_from_json(v: &Json) -> Option<FileIndex> {
         fns.push(FnInfo {
             name: get_str(f, "name")?,
             owner: match f.get("owner")? {
+                Json::Null => None,
+                other => Some(other.as_str()?.to_string()),
+            },
+            impl_trait: match f.get("impl_trait")? {
                 Json::Null => None,
                 other => Some(other.as_str()?.to_string()),
             },

@@ -70,6 +70,10 @@ pub struct FnInfo {
     pub name: String,
     /// Enclosing `impl`/`trait` type name, if any.
     pub owner: Option<String>,
+    /// Trait named in the enclosing `impl Trait for Type` header, if any.
+    /// `None` for inherent impls, trait declarations, and free functions —
+    /// so a trait's own (default) methods never masquerade as an impl.
+    pub impl_trait: Option<String>,
     /// 0-based line of the `fn` keyword.
     pub line: usize,
     /// True for exactly-`pub` functions (`pub(crate)` is not pub here,
@@ -264,7 +268,7 @@ pub fn has_doc_above(raw_lines: &[&str], ln: usize) -> bool {
 
 #[derive(Debug)]
 enum CtxKind {
-    Impl(String),
+    Impl { subject: String, trait_name: Option<String> },
     Trait(String),
     Fn(usize),
     Other,
@@ -329,9 +333,22 @@ pub fn index_file(
     };
     let owner = |stack: &[Ctx]| -> Option<String> {
         stack.iter().rev().find_map(|c| match &c.kind {
-            CtxKind::Impl(n) | CtxKind::Trait(n) => Some(n.clone()),
+            CtxKind::Impl { subject, .. } | CtxKind::Trait(subject) => Some(subject.clone()),
             _ => None,
         })
+    };
+    let impl_trait = |stack: &[Ctx]| -> Option<String> {
+        // Stops at the nearest impl/trait context, like `owner` — a fn owned
+        // by a trait declaration must not inherit an outer impl's trait.
+        stack
+            .iter()
+            .rev()
+            .find_map(|c| match &c.kind {
+                CtxKind::Impl { trait_name, .. } => Some(trait_name.clone()),
+                CtxKind::Trait(_) => Some(None),
+                _ => None,
+            })
+            .flatten()
     };
 
     while i < toks.len() {
@@ -378,17 +395,23 @@ pub fn index_file(
             (TokKind::Ident, "impl") => {
                 // Header: `impl<G> Trait for Type where ... {` — the subject
                 // type is the last angle-depth-0 path segment (after `for`
-                // when present). Header tokens produce no edges.
+                // when present); whatever `for` displaced is the implemented
+                // trait. Header tokens produce no edges.
                 let mut j = i + 1;
                 let mut angle = 0i32;
                 let mut name = String::new();
+                let mut trait_name: Option<String> = None;
                 while j < toks.len() {
                     let w = text(toks, j);
                     match w {
                         "<" => angle += 1,
                         ">" => angle -= 1,
                         "{" | "where" if angle <= 0 => break,
-                        "for" if angle <= 0 => name.clear(),
+                        "for" if angle <= 0 => {
+                            if !name.is_empty() {
+                                trait_name = Some(std::mem::take(&mut name));
+                            }
+                        }
                         _ => {
                             if angle <= 0 && toks[j].kind == TokKind::Ident && !is_keyword(w) {
                                 name = w.to_string();
@@ -400,7 +423,7 @@ pub fn index_file(
                 while j < toks.len() && text(toks, j) != "{" {
                     j += 1;
                 }
-                pending = Some(CtxKind::Impl(name));
+                pending = Some(CtxKind::Impl { subject: name, trait_name });
                 i = j;
             }
             (TokKind::Ident, "trait") => {
@@ -445,6 +468,7 @@ pub fn index_file(
                 idx.fns.push(FnInfo {
                     name: name_tok.text.clone(),
                     owner: owner(&stack),
+                    impl_trait: impl_trait(&stack),
                     line,
                     is_pub,
                     has_doc: has_doc_above(&raw_lines, line),
@@ -604,6 +628,27 @@ mod tests {
         let src = "impl fmt::Display for Diagnostic {\n    fn fmt(&self) {}\n}\n";
         let idx = index(src);
         assert_eq!(idx.fns[0].owner.as_deref(), Some("Diagnostic"));
+        // The last path segment before `for` names the implemented trait.
+        assert_eq!(idx.fns[0].impl_trait.as_deref(), Some("Display"));
+    }
+
+    #[test]
+    fn impl_trait_is_recorded_only_for_trait_impls() {
+        let src = "impl Arbiter {\n    fn inherent(&self) {}\n}\n\
+                   impl<T> TargetArbiter for Generic<T> {\n    fn stamp(&mut self) {}\n}\n\
+                   trait TargetArbiter {\n    fn stamp(&mut self) {}\n}\n";
+        let idx = index(src);
+        let by_line: Vec<(Option<&str>, Option<&str>)> =
+            idx.fns.iter().map(|f| (f.owner.as_deref(), f.impl_trait.as_deref())).collect();
+        assert_eq!(
+            by_line,
+            [
+                (Some("Arbiter"), None),
+                (Some("Generic"), Some("TargetArbiter")),
+                // A trait's own default methods are a declaration, not an impl.
+                (Some("TargetArbiter"), None),
+            ]
+        );
     }
 
     #[test]

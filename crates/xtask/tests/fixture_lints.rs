@@ -270,6 +270,49 @@ fn contract_requires_next_event_to_be_wired_into_advance() {
 }
 
 #[test]
+fn arbiter_impl_requires_next_event() {
+    // A `TargetArbiter` impl owes the horizon surface even without a
+    // `step` method of its own — the controller steps on its behalf.
+    let diags = lint_files(&[sf(
+        "dram",
+        "crates/dram/src/fixture.rs",
+        include_str!("fixtures/arbiter_bad.rs"),
+    )]);
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    assert_eq!(diags[0].rule, xtask::RULE_HORIZON_CONTRACT);
+    assert!(
+        diags[0].message.contains("`BlindArbiter` implements TargetArbiter but defines no"),
+        "{diags:?}"
+    );
+
+    let diags = lint_files(&[sf(
+        "dram",
+        "crates/dram/src/fixture.rs",
+        include_str!("fixtures/arbiter_ok.rs"),
+    )]);
+    assert!(diags.is_empty(), "a defined horizon surface satisfies the seam: {diags:?}");
+}
+
+#[test]
+fn arbiter_next_event_must_be_wired_into_advance() {
+    // Defined but unreached: the workspace has a System::advance that never
+    // consults the arbiter's wake-ups.
+    let diags = lint_files(&[
+        sf("soc", "crates/soc/src/system.rs", include_str!("fixtures/taint_root.rs")),
+        sf("dram", "crates/dram/src/fixture.rs", include_str!("fixtures/arbiter_ok.rs")),
+    ]);
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    assert_eq!(diags[0].rule, xtask::RULE_HORIZON_CONTRACT);
+    assert!(diags[0].message.contains("`BlindArbiter::next_event` is never reached"), "{diags:?}");
+    // A root that probes `next_event` in its min-combine clears it.
+    let diags = lint_files(&[
+        sf("soc", "crates/soc/src/system.rs", include_str!("fixtures/contract_root_wired.rs")),
+        sf("dram", "crates/dram/src/fixture.rs", include_str!("fixtures/arbiter_ok.rs")),
+    ]);
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
 fn stale_allow_pair_flags_only_the_unused_suppression() {
     let diags = lint_fixture(
         "cache",

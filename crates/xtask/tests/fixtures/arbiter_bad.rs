@@ -1,0 +1,12 @@
+//! Fixture: a TargetArbiter impl with no horizon surface (horizon-contract).
+
+pub struct BlindArbiter {
+    promote_at: u64,
+}
+
+impl TargetArbiter for BlindArbiter {
+    /// Stamps a deadline but never exposes it as a wake-up.
+    fn stamp(&mut self, now: u64) {
+        self.promote_at = now + 64;
+    }
+}

@@ -1,0 +1,17 @@
+//! Fixture: the same arbiter with its wake-ups exposed to the min-combine.
+
+pub struct BlindArbiter {
+    promote_at: u64,
+}
+
+impl TargetArbiter for BlindArbiter {
+    /// Stamps a deadline and remembers it as the next wake-up.
+    fn stamp(&mut self, now: u64) {
+        self.promote_at = now + 64;
+    }
+
+    /// The earliest cycle a queued request's priority can change.
+    fn next_event(&self, now: u64) -> u64 {
+        self.promote_at.max(now)
+    }
+}

@@ -248,6 +248,51 @@ fn cells() -> Vec<Cell> {
                     .fault_plan(plan([window(FaultKind::McStall, 1, 1, 3, 0)]))
             }),
         ),
+        // Mechanism-zoo cells: every competing governor/arbiter behind the
+        // trait seams must uphold the same byte-identity contract as the
+        // paper's default pair — a mechanism whose horizon lies would
+        // diverge here.
+        cell(
+            "mechanism/lms-ar-governor",
+            Box::new(move || {
+                let mut c = small();
+                c.governor = pabst_core::governor::GovernorKind::LmsAr;
+                SystemBuilder::new(c, RegulationMode::Pabst)
+                    .class(3, streams(2, 26))
+                    .class(1, streams(2, 126))
+            }),
+        ),
+        cell(
+            "mechanism/per-bank-arbiter",
+            Box::new(move || {
+                let mut c = small();
+                c.arbiter = pabst_dram::ArbiterMode::PerBank;
+                SystemBuilder::new(c, RegulationMode::Pabst)
+                    .class(3, streams(2, 27))
+                    .class(1, chasers(2, 127))
+            }),
+        ),
+        cell(
+            "mechanism/dpq-arbiter",
+            Box::new(move || {
+                let mut c = small();
+                c.arbiter = pabst_dram::ArbiterMode::Dpq;
+                SystemBuilder::new(c, RegulationMode::Pabst)
+                    .class(3, streams(2, 28))
+                    .class(1, streams(2, 128))
+            }),
+        ),
+        cell(
+            "mechanism/lms-ar-dpq-combined",
+            Box::new(move || {
+                let mut c = small();
+                c.governor = pabst_core::governor::GovernorKind::LmsAr;
+                c.arbiter = pabst_dram::ArbiterMode::Dpq;
+                SystemBuilder::new(c, RegulationMode::Pabst)
+                    .class(3, write_streams(2, 29))
+                    .class(1, streams(2, 129))
+            }),
+        ),
         // Fault cells: the plan must observe the identical epoch/boundary
         // sequence in both arms for these to match.
         cell(
