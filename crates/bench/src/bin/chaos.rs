@@ -1,0 +1,6 @@
+//! Chaos campaign: seeded fault plans across the mechanism zoo, with
+//! invariant checking, outcome classification, and failure shrinking.
+
+fn main() {
+    pabst_bench::harness::drive(&["chaos"]);
+}

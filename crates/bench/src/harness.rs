@@ -63,6 +63,11 @@ pub struct Params {
     pub epochs: usize,
     /// Base RNG seed the cell's workload generators derive from.
     pub seed: u64,
+    /// Optional provenance the grid computed up front:
+    /// `(mechanism_hash, fault-plan digest)`. Carried into failure
+    /// records so a panicking cell still identifies exactly which
+    /// mechanism stack and fault plan it was running.
+    pub provenance: Option<(u64, u64)>,
 }
 
 impl Params {
@@ -73,7 +78,13 @@ impl Params {
         index: usize,
         epochs: usize,
     ) -> Self {
-        Self { experiment, config: config.into(), index, epochs, seed: 0 }
+        Self { experiment, config: config.into(), index, epochs, seed: 0, provenance: None }
+    }
+
+    /// Attaches `(mechanism_hash, fault-plan digest)` provenance.
+    pub fn with_provenance(mut self, mechanism_hash: u64, fault_digest: u64) -> Self {
+        self.provenance = Some((mechanism_hash, fault_digest));
+        self
     }
 }
 
@@ -305,17 +316,28 @@ pub struct CellFailure {
 impl CellFailure {
     /// The failure's merged-report line: same leading context keys as a
     /// success report, plus `"failed":true` and the panic text, so report
-    /// consumers can split successes from failures on one key.
+    /// consumers can split successes from failures on one key. When the
+    /// grid attached provenance, the mechanism hash and fault-plan
+    /// digest are appended (as hex strings — they exceed JSON's exact
+    /// integer range) so the record pins the exact mechanism stack and
+    /// plan alongside the `(seed, index)` pair.
     pub fn to_json(&self) -> String {
-        format!(
+        let mut line = format!(
             "{{\"experiment\":\"{}\",\"config\":\"{}\",\"seed\":{},\"failed\":true,\
-             \"index\":{},\"panic\":\"{}\"}}",
+             \"index\":{},\"panic\":\"{}\"",
             escape_json(self.params.experiment),
             escape_json(&self.params.config),
             self.params.seed,
             self.params.index,
             escape_json(&self.panic)
-        )
+        );
+        if let Some((mech, digest)) = self.params.provenance {
+            line.push_str(&format!(
+                ",\"mechanism_hash\":\"{mech:#018x}\",\"fault_digest\":\"{digest:#018x}\""
+            ));
+        }
+        line.push('}');
+        line
     }
 
     /// The one-command repro for this cell.

@@ -32,10 +32,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod harness;
 pub mod obs;
 pub mod registry;
 pub mod scenarios;
+pub mod shrink;
 pub mod spark;
 pub mod table;
 pub mod timing;

@@ -30,7 +30,7 @@ pub const ALL_FIGURES: [&str; 10] =
     ["table03", "fig01", "fig05", "fig06", "fig07", "fig08", "fig09", "fig10", "fig11", "ablate"];
 
 /// Every registered experiment.
-pub static EXPERIMENTS: [Experiment; 15] = [
+pub static EXPERIMENTS: [Experiment; 16] = [
     Experiment {
         name: "table03",
         title: "Table III — simulated system configuration",
@@ -135,6 +135,15 @@ pub static EXPERIMENTS: [Experiment; 15] = [
         grid: mechanisms_grid,
         run: mechanisms_run,
         render: mechanisms_render,
+    },
+    // Deliberately not in ALL_FIGURES: the campaign validates the
+    // machinery, it reproduces no paper figure.
+    Experiment {
+        name: "chaos",
+        title: "Chaos — seeded fault campaign with invariants and shrinking (docs/RESILIENCE.md)",
+        grid: crate::chaos::chaos_grid,
+        run: crate::chaos::chaos_run,
+        render: crate::chaos::chaos_render,
     },
 ];
 
@@ -961,12 +970,29 @@ fn resilience_plan(cell: ResilienceCell, seed: u64) -> FaultPlan {
     plan
 }
 
+/// The full labelled resilience curve — `(label, plan)` per cell, in
+/// grid order. Public so the chaos-envelope integration test can pin
+/// every zoo mechanism against the exact plans the resilience sweep
+/// runs.
+pub fn resilience_curve(seed: u64) -> Vec<(String, FaultPlan)> {
+    resilience_cells()
+        .iter()
+        .map(|&cell| (resilience_label(cell), resilience_plan(cell, seed)))
+        .collect()
+}
+
 fn resilience_grid(quick: bool) -> Vec<Params> {
     let epochs = if quick { 10 } else { 30 };
+    let mech = SystemConfig::scaled_8core().mechanism_hash();
     resilience_cells()
         .iter()
         .enumerate()
-        .map(|(i, &cell)| Params::new("resilience", resilience_label(cell), i, epochs))
+        .map(|(i, &cell)| {
+            // Seed 0 matches `Params::new`; `resilience_run` derives the
+            // plan from the same `(cell, p.seed)` pair.
+            Params::new("resilience", resilience_label(cell), i, epochs)
+                .with_provenance(mech, resilience_plan(cell, 0).digest())
+        })
         .collect()
 }
 
@@ -1083,7 +1109,9 @@ fn scale_render(results: &[ExperimentResult]) -> String {
 /// The mechanism pairs the sweep compares. The first entry is the
 /// paper's default (SAT governor + EDF arbiter); the rest swap exactly
 /// one side of the seam at a time so differences attribute cleanly.
-const MECHANISM_COMBOS: [(GovernorKind, ArbiterMode); 4] = [
+/// Shared with [`crate::chaos`] (every campaign cell draws one pair)
+/// and the chaos-envelope integration test.
+pub const MECHANISM_COMBOS: [(GovernorKind, ArbiterMode); 4] = [
     (GovernorKind::Sat, ArbiterMode::Edf),
     (GovernorKind::LmsAr, ArbiterMode::Edf),
     (GovernorKind::Sat, ArbiterMode::PerBank),

@@ -1,0 +1,215 @@
+//! Deterministic delta-debugging minimizer for failing fault plans.
+//!
+//! Given a fault plan whose cell run produced a non-clean outcome and a
+//! `reproduces` oracle (re-runs the cell with a candidate plan and
+//! answers "same outcome class?"), [`shrink_plan`] greedily reduces the
+//! plan while the failure keeps reproducing:
+//!
+//! 1. **Drop specs** — ddmin at granularity one: repeatedly try removing
+//!    each spec; a removal that still reproduces is kept.
+//! 2. **Narrow windows** — first clamp `until_epoch` to the cell's
+//!    epoch horizon (open-ended `u64::MAX` windows collapse in one
+//!    step), then binary-narrow from the top while reproducing.
+//! 3. **Reduce intensities** — halve `prob_ppm` and `magnitude` while
+//!    reproducing.
+//!
+//! The loop runs to a fixpoint or the attempt budget, whichever comes
+//! first. Everything is deterministic: candidate order is a pure
+//! function of the current plan, and the oracle itself is a
+//! deterministic simulation, so the minimal plan for a given (campaign
+//! seed, index) is stable across machines and `--jobs` counts.
+
+use pabst_simkit::fault::{FaultPlan, FaultSpec};
+
+/// What the minimizer produced.
+#[derive(Debug, Clone)]
+pub struct ShrinkResult {
+    /// The minimized plan (still reproduces the failure).
+    pub plan: FaultPlan,
+    /// Oracle invocations spent.
+    pub attempts: u64,
+    /// True when the attempt budget stopped the loop before a fixpoint
+    /// (the plan is reduced but possibly not minimal).
+    pub hit_cap: bool,
+}
+
+fn plan_from(specs: &[FaultSpec]) -> FaultPlan {
+    let mut p = FaultPlan::new();
+    for &s in specs {
+        p.push(s);
+    }
+    p
+}
+
+/// Minimizes `initial` while `reproduces` holds, spending at most
+/// `max_attempts` oracle calls. `horizon_epochs` is the cell's total
+/// epoch budget — the first window-narrowing candidate clamps
+/// open-ended windows to it, so the common `until_epoch: u64::MAX` spec
+/// shrinks in one oracle call instead of sixty halvings.
+///
+/// The initial plan is assumed to reproduce (the caller observed the
+/// failure); `reproduces` is never invoked on it.
+pub fn shrink_plan(
+    initial: &FaultPlan,
+    horizon_epochs: u64,
+    max_attempts: u64,
+    mut reproduces: impl FnMut(&FaultPlan) -> bool,
+) -> ShrinkResult {
+    let mut specs: Vec<FaultSpec> = initial.specs().to_vec();
+    let mut attempts = 0u64;
+    let mut hit_cap = false;
+    // One oracle call, budget-checked.
+    let mut try_specs = |specs: &[FaultSpec], attempts: &mut u64, hit_cap: &mut bool| -> bool {
+        if *attempts >= max_attempts {
+            *hit_cap = true;
+            return false;
+        }
+        *attempts += 1;
+        reproduces(&plan_from(specs))
+    };
+    loop {
+        let mut improved = false;
+        // Pass 1: spec removal (ddmin, granularity one).
+        let mut i = 0;
+        while specs.len() > 1 && i < specs.len() {
+            let mut candidate = specs.clone();
+            candidate.remove(i);
+            if try_specs(&candidate, &mut attempts, &mut hit_cap) {
+                specs = candidate;
+                improved = true;
+            } else {
+                i += 1;
+            }
+            if hit_cap {
+                return ShrinkResult { plan: plan_from(&specs), attempts, hit_cap };
+            }
+        }
+        // Pass 2: per-spec reductions, each kind applied while it keeps
+        // reproducing.
+        for i in 0..specs.len() {
+            loop {
+                let s = specs[i];
+                let candidate_spec = reduce_once(s, horizon_epochs);
+                let Some(ns) = candidate_spec else { break };
+                let mut candidate = specs.clone();
+                candidate[i] = ns;
+                if try_specs(&candidate, &mut attempts, &mut hit_cap) {
+                    specs = candidate;
+                    improved = true;
+                } else {
+                    break;
+                }
+            }
+            if hit_cap {
+                return ShrinkResult { plan: plan_from(&specs), attempts, hit_cap };
+            }
+        }
+        if !improved {
+            return ShrinkResult { plan: plan_from(&specs), attempts, hit_cap };
+        }
+    }
+}
+
+/// The next single reduction candidate for one spec, or `None` when the
+/// spec is already minimal along every axis. Axis order: window end,
+/// probability, magnitude — window reductions come first because they
+/// shrink the repro's epoch budget, making later oracle calls cheaper.
+fn reduce_once(s: FaultSpec, horizon_epochs: u64) -> Option<FaultSpec> {
+    // Clamp an open window to the cell's horizon (anything past it can
+    // never fire within the run).
+    if s.until_epoch > horizon_epochs {
+        return Some(FaultSpec { until_epoch: horizon_epochs, ..s });
+    }
+    // Narrow the window from the top.
+    if s.until_epoch > s.from_epoch {
+        let len = s.until_epoch - s.from_epoch;
+        return Some(FaultSpec { until_epoch: s.from_epoch + len / 2, ..s });
+    }
+    // Halve the firing probability (floor 1 ppm keeps it fireable).
+    if s.prob_ppm > 1 {
+        return Some(FaultSpec { prob_ppm: s.prob_ppm / 2, ..s });
+    }
+    // Halve the magnitude.
+    if s.magnitude > 0 {
+        return Some(FaultSpec { magnitude: s.magnitude / 2, ..s });
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pabst_simkit::fault::{FaultKind, PPM_SCALE};
+
+    fn spec(kind: FaultKind, prob_ppm: u64, magnitude: u64) -> FaultSpec {
+        FaultSpec {
+            kind,
+            target: 0,
+            from_epoch: 0,
+            until_epoch: u64::MAX,
+            prob_ppm,
+            magnitude,
+            seed: 1,
+        }
+    }
+
+    #[test]
+    fn drops_irrelevant_specs_and_clamps_the_survivor() {
+        let mut plan = FaultPlan::new();
+        plan.push(spec(FaultKind::SatCorrupt, 200_000, 0));
+        plan.push(spec(FaultKind::McStall, PPM_SCALE, 0));
+        plan.push(spec(FaultKind::CreditLeak, 100_000, 2_000));
+        // The failure needs an mc-stall with meaningful probability.
+        let oracle = |p: &FaultPlan| {
+            p.specs().iter().any(|s| s.kind == FaultKind::McStall && s.prob_ppm >= 400_000)
+        };
+        let r = shrink_plan(&plan, 18, 64, oracle);
+        assert!(!r.hit_cap, "budget must suffice: {} attempts", r.attempts);
+        assert_eq!(r.plan.specs().len(), 1, "decoys dropped: {:?}", r.plan.specs());
+        let s = r.plan.specs()[0];
+        assert_eq!(s.kind, FaultKind::McStall);
+        assert!(s.until_epoch <= 18, "open window clamped to the horizon");
+        assert!(
+            (400_000..800_000).contains(&s.prob_ppm),
+            "probability halved to just above the threshold: {}",
+            s.prob_ppm
+        );
+    }
+
+    #[test]
+    fn magnitude_shrinks_to_the_reproduction_floor() {
+        let mut plan = FaultPlan::new();
+        plan.push(spec(FaultKind::CreditLeak, PPM_SCALE, 4_096));
+        let oracle = |p: &FaultPlan| p.specs()[0].magnitude >= 100;
+        let r = shrink_plan(&plan, 10, 128, oracle);
+        let s = r.plan.specs()[0];
+        assert!((100..200).contains(&s.magnitude), "{}", s.magnitude);
+    }
+
+    #[test]
+    fn attempt_budget_is_respected_and_partial_results_still_reproduce() {
+        let mut plan = FaultPlan::new();
+        for _ in 0..8 {
+            plan.push(spec(FaultKind::SatDrop, PPM_SCALE, 0));
+        }
+        let mut calls = 0u64;
+        let r = shrink_plan(&plan, 10, 3, |_| {
+            calls += 1;
+            true
+        });
+        assert!(r.hit_cap);
+        assert_eq!(r.attempts, 3);
+        assert_eq!(calls, 3, "oracle never invoked past the budget");
+        assert!(!r.plan.specs().is_empty());
+    }
+
+    #[test]
+    fn single_spec_plans_never_drop_to_empty() {
+        let mut plan = FaultPlan::new();
+        plan.push(spec(FaultKind::McStall, 2, 0));
+        let r = shrink_plan(&plan, 10, 64, |_| true);
+        assert_eq!(r.plan.specs().len(), 1);
+        let s = r.plan.specs()[0];
+        assert_eq!((s.prob_ppm, s.magnitude), (1, 0), "reduced to the floor, not past it");
+    }
+}

@@ -100,6 +100,19 @@ pub trait TargetArbiter: fmt::Debug {
 
     /// Stable mechanism label (provenance hashing, reports).
     fn name(&self) -> &'static str;
+
+    /// Promotes the arbiter's debug-only bound assertions to counted
+    /// release-mode checks (see [`DpqArbiter`]'s worst-case service
+    /// bound). Arbiters without internal bound promises ignore it.
+    fn set_bound_checks(&mut self, _on: bool) {}
+
+    /// Cumulative internal bound violations observed (always 0 unless
+    /// the arbiter keeps promises and checking was enabled). Growth is
+    /// surfaced as a `dpq service bound` invariant violation by the
+    /// epoch checker.
+    fn bound_violations(&self) -> u64 {
+        0
+    }
 }
 
 /// The paper's arbiter: per-class virtual clocks, earliest deadline
@@ -424,9 +437,15 @@ pub struct DpqArbiter {
     /// Total read grants observed.
     served: u64,
     /// Outstanding service promises: seq → served-counter bound.
-    /// Debug-only accounting, but kept unconditionally so skip/noskip
-    /// replicas and both build profiles share identical struct shape.
+    /// Debug-only accounting unless promoted by `set_bound_checks`, but
+    /// kept unconditionally so skip/noskip replicas and both build
+    /// profiles share identical struct shape.
     promises: BTreeMap<u64, u64>,
+    /// Release-mode promotion of the bound assertion: when set, promises
+    /// are kept (and checked) even without `debug_assertions`.
+    check: bool,
+    /// Promises missed — reads served later than their worst-case bound.
+    violations: u64,
 }
 
 impl DpqArbiter {
@@ -439,6 +458,8 @@ impl DpqArbiter {
             last_stamp: [0; MAX_CLASSES],
             served: 0,
             promises: BTreeMap::new(),
+            check: false,
+            violations: 0,
         };
         a.program(shares);
         a
@@ -480,7 +501,7 @@ impl TargetArbiter for DpqArbiter {
         }
         let d = seq.saturating_add(self.d_rel[class.index()]);
         self.last_stamp[class.index()] = d;
-        if cfg!(debug_assertions) {
+        if cfg!(debug_assertions) || self.check {
             let bound = self.service_bound(class, backlog);
             self.promises.insert(seq, self.served.saturating_add(bound));
         }
@@ -500,12 +521,13 @@ impl TargetArbiter for DpqArbiter {
         _cost: u64,
     ) {
         if let Some(promise) = self.promises.remove(&seq) {
-            debug_assert!(
-                self.served <= promise,
-                "DPQ worst-case service bound violated: seq {seq} served at grant \
-                 {} but promised by {promise}",
-                self.served,
-            );
+            // Promoted from a debug_assert: a missed promise is counted
+            // and reported through the epoch invariant checker, so
+            // release-mode chaos campaigns classify it instead of the
+            // sweep dying (or, worse, the miss passing silently).
+            if self.served > promise {
+                self.violations += 1;
+            }
         }
         self.served += 1;
     }
@@ -528,6 +550,14 @@ impl TargetArbiter for DpqArbiter {
 
     fn name(&self) -> &'static str {
         ArbiterMode::Dpq.label()
+    }
+
+    fn set_bound_checks(&mut self, on: bool) {
+        self.check = on;
+    }
+
+    fn bound_violations(&self) -> u64 {
+        self.violations
     }
 }
 
@@ -697,6 +727,32 @@ mod tests {
             let (id, d, s) = queue.swap_remove(i);
             arb.on_picked(id, d, s, 0, 1);
         }
+        assert_eq!(arb.bound_violations(), 0, "ideal service never misses a promise");
+    }
+
+    #[test]
+    fn dpq_bound_check_promotion_counts_misses_in_release_too() {
+        // With checking promoted, promises are kept regardless of build
+        // profile, and pathological service order (starving one read far
+        // beyond the arbiter's bounded reordering) is *counted*, never
+        // panicked on.
+        let mut arb = DpqArbiter::new(&shares(&[1, 1]));
+        arb.set_bound_checks(true);
+        // Victim stamped against an empty queue: its promise is the
+        // minimum bound (one backlog slot times the reorder factor).
+        let vd = arb.stamp(QosId::new(0), false, 1, 0, 0);
+        // Starve it behind 10 000 later arrivals served first.
+        for seq in 2..=10_001u64 {
+            let d = arb.stamp(QosId::new(1), false, seq, 0, 1);
+            arb.on_picked(QosId::new(1), d, seq, 0, 1);
+        }
+        assert_eq!(arb.bound_violations(), 0, "the promise is open, not yet missed");
+        arb.on_picked(QosId::new(0), vd, 1, 0, 1);
+        assert_eq!(arb.bound_violations(), 1, "starved far past the worst-case bound");
+        // Arbiters without promises report zero through the default.
+        let mut edf = EdfArbiter::new(&shares(&[1, 1]), 16);
+        edf.set_bound_checks(true);
+        assert_eq!(edf.bound_violations(), 0);
     }
 
     #[test]

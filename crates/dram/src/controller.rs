@@ -448,6 +448,18 @@ impl MemController {
         self.arbiter.name()
     }
 
+    /// Promotes the arbiter's debug-only bound assertions to counted
+    /// release-mode checks (no-op for arbiters without promises).
+    pub fn set_bound_checks(&mut self, on: bool) {
+        self.arbiter.set_bound_checks(on);
+    }
+
+    /// Cumulative arbiter bound violations (e.g. DPQ worst-case service
+    /// promises missed); read each epoch by the invariant checker.
+    pub fn bound_violations(&self) -> u64 {
+        self.arbiter.bound_violations()
+    }
+
     /// Outstanding work anywhere in the controller (for drain loops in
     /// tests and at simulation end).
     pub fn pending(&self) -> usize {

@@ -22,6 +22,11 @@
 //! * [`sanitizer::Sanitizer`] — debug-mode runtime invariant checks
 //!   (credit caps, deadline monotonicity, queue conservation) wired into
 //!   the SoC epoch loop.
+//! * [`invariant::InvariantChecker`] — the release-mode counterpart: an
+//!   always-deterministic epoch-boundary law evaluator (conservation,
+//!   bounds, monotonicity, liveness) that records typed
+//!   [`invariant::InvariantViolation`]s instead of panicking, feeding
+//!   chaos-campaign outcome classification (docs/RESILIENCE.md).
 //! * [`trace`] — epoch-structured observability: typed per-epoch records,
 //!   pluggable sinks (in-memory ring, JSONL writer), and a dependency-free
 //!   integer-only serializer.
@@ -45,6 +50,7 @@
 
 pub mod fault;
 pub mod horizon;
+pub mod invariant;
 pub mod queue;
 pub mod rng;
 pub mod sanitizer;

@@ -6,6 +6,7 @@ use pabst_cache::{CacheConfig, LineAddr};
 use pabst_core::governor::{GovernorKind, MonitorConfig, MonitorConfigError};
 use pabst_core::qos::ShareError;
 use pabst_dram::{ArbiterMode, DramConfig};
+use pabst_simkit::invariant::InvariantConfig;
 use pabst_simkit::Cycle;
 
 /// How line addresses map to memory-controller channels — the explicit
@@ -254,6 +255,13 @@ pub struct SystemConfig {
     /// but nothing completed. Zero disables the watchdog (the default —
     /// healthy experiments never need it; resilience runs enable it).
     pub watchdog_epochs: u64,
+    /// Runtime invariant checking (conservation/bound/liveness laws
+    /// evaluated at epoch boundaries). Observation only: the checker
+    /// reads state and never mutates it, so it is excluded from
+    /// [`SystemConfig::mechanism_hash`] and enabling it leaves every
+    /// golden byte-identical. Chaos campaigns additionally switch on
+    /// `bound_checks` and a liveness window.
+    pub invariants: InvariantConfig,
 }
 
 impl SystemConfig {
@@ -291,6 +299,7 @@ impl SystemConfig {
             wb_accounting: WbAccounting::ChargeDemand,
             per_mc_regulation: false,
             watchdog_epochs: 0,
+            invariants: InvariantConfig::default(),
         }
     }
 

@@ -10,6 +10,7 @@ use pabst_core::satmon::or_sat;
 use pabst_cpu::{OooCore, Workload};
 use pabst_dram::{ArbiterMode, Completion, MemController, MemReq};
 use pabst_simkit::fault::{FaultKind, FaultPlan};
+use pabst_simkit::invariant::{InvariantChecker, InvariantReport};
 use pabst_simkit::sanitizer::Sanitizer;
 use pabst_simkit::trace::{EpochRecord, TraceSink};
 use pabst_simkit::Cycle;
@@ -70,6 +71,11 @@ pub struct System {
     /// Per-epoch invariant checks; no-ops unless debug_assertions or the
     /// `sanitize` feature is on.
     sanitizer: Sanitizer,
+    /// Release-mode invariant recorder (the sanitizer's always-on,
+    /// non-panicking counterpart): evaluates conservation/bound/liveness
+    /// laws at every epoch boundary and accumulates typed violations for
+    /// chaos-campaign classification. Read-only over simulator state.
+    invariants: InvariantChecker,
     /// Attached observability sinks; each receives one [`EpochRecord`] per
     /// epoch boundary. Empty by default (zero overhead when unused).
     trace_sinks: Vec<Box<dyn TraceSink>>,
@@ -735,11 +741,13 @@ impl System {
         // Per-class bandwidth this epoch (exact u64 for the trace record,
         // f64 for the figure series).
         let mut bytes_u64 = vec![0u64; self.shares.classes()];
-        for mc in &mut self.mcs {
+        let mut mc_bytes = vec![0u64; self.mcs.len()];
+        for (k, mc) in self.mcs.iter_mut().enumerate() {
             let per_class = mc.stats_mut().take_epoch_bytes();
             for (c, b) in bytes_u64.iter_mut().enumerate() {
                 *b += per_class[c];
             }
+            mc_bytes[k] = per_class.iter().sum();
         }
         let epoch_bytes: u64 = bytes_u64.iter().sum();
         self.push_epoch_figures(&bytes_u64);
@@ -769,6 +777,7 @@ impl System {
         }
         self.check_forward_progress(now, epoch_bytes);
         self.sanitize_epoch(now);
+        self.check_invariants(now, epoch, &mc_bytes);
     }
 
     /// Pushes this epoch's per-class delivered bytes into the bandwidth
@@ -869,6 +878,12 @@ impl System {
             }
         }
         let _ = writeln!(out, "  faults_injected={}", self.faults_injected);
+        let _ = writeln!(out, "  mechanism_hash={:#018x}", self.cfg.mechanism_hash());
+        let _ = writeln!(
+            out,
+            "  fault_plan_digest={:#018x}",
+            self.fault_plan.as_ref().map(FaultPlan::digest).unwrap_or(0)
+        );
         out
     }
 
@@ -953,6 +968,108 @@ impl System {
         }
         let sat_epochs = self.metrics.sat_series.iter().filter(|&&s| s).count() as u64;
         san.check_fraction("sat duty", 0, sat_epochs, self.metrics.sat_series.len() as u64);
+    }
+
+    /// Evaluates the release-mode invariant laws for the epoch that just
+    /// ended, recording (never panicking on) violations. The same
+    /// accounting laws the debug sanitizer enforces, plus the families
+    /// only this checker covers: queue occupancy vs. configured
+    /// capacity, the DPQ worst-case service bound (when
+    /// `invariants.bound_checks` promoted it to release mode), and
+    /// per-controller forward-progress liveness. `mc_bytes` carries each
+    /// controller's delivered bytes this epoch.
+    fn check_invariants(&mut self, now: Cycle, epoch: u64, mc_bytes: &[u64]) {
+        if !self.invariants.enabled() {
+            return;
+        }
+        let inv = &mut self.invariants;
+        inv.begin_epoch(epoch, now);
+        for (i, tile) in self.tiles.iter().enumerate() {
+            // Period 0 means unthrottled: no credit bound to enforce.
+            for p in tile.mem.pacers().iter().filter(|p| p.period() > 0) {
+                inv.check_le("pacer credit", i, p.credit_at(now), p.burst_window(), || {
+                    let s = p.snapshot(now);
+                    format!("period={} issued={} throttled={}", s.period, s.issued, s.throttled)
+                });
+            }
+        }
+        let caps = self.cfg.dram;
+        for (k, mc) in self.mcs.iter().enumerate() {
+            for c in 0..self.shares.classes() {
+                inv.check_monotone(
+                    "mc virtual clock",
+                    k,
+                    c,
+                    mc.virtual_clock(QosId::new(c as u8)),
+                    || format!("arbiter={} class={c}", mc.arbiter_name()),
+                );
+            }
+            let s = mc.stats();
+            let snap = mc.snapshot();
+            inv.check_conserved(
+                "mc requests",
+                k,
+                mc.accepted(),
+                s.reads + s.writes,
+                mc.pending() as u64,
+                || {
+                    format!(
+                        "read_q={} write_q={} pending={} stalled={}",
+                        snap.read_q_depth, snap.write_q_depth, snap.pending, self.mc_stalled[k]
+                    )
+                },
+            );
+            inv.check_le(
+                "mc read queue",
+                k,
+                snap.read_q_depth,
+                caps.read_q_cap as u64,
+                || format!("arbiter={}", mc.arbiter_name()),
+            );
+            inv.check_le(
+                "mc write queue",
+                k,
+                snap.write_q_depth,
+                caps.write_q_cap as u64,
+                || format!("arbiter={}", mc.arbiter_name()),
+            );
+            inv.check_counter_still("dpq service bound", k, mc.bound_violations(), || {
+                format!("arbiter={} pending={}", mc.arbiter_name(), snap.pending)
+            });
+        }
+        // The staged-request counter that gates the per-cycle drain must
+        // agree with the actual class-queue contents (per-source ingress
+        // fairness rests on that counter).
+        for (k, counted, actual) in self.net.staged_conservation() {
+            inv.check_conserved("net staged", k, counted, actual, 0, String::new);
+        }
+        let sat_epochs = self.metrics.sat_series.iter().filter(|&&s| s).count() as u64;
+        inv.check_le("sat duty", 0, sat_epochs, self.metrics.sat_series.len() as u64, String::new);
+        // Per-controller liveness: a controller with queued requests
+        // must deliver bytes within the configured window — the
+        // watchdog's panic generalized to a per-component report.
+        for (k, &bytes) in mc_bytes.iter().enumerate() {
+            let pending = self.mcs[k].pending();
+            inv.check_progress("mc service", k, bytes > 0, pending > 0, || {
+                format!("pending={pending} stalled={}", self.mc_stalled[k])
+            });
+        }
+    }
+
+    /// The accumulated runtime-invariant report (see
+    /// [`pabst_simkit::invariant`]). Empty when checking is disabled.
+    pub fn invariant_report(&self) -> &InvariantReport {
+        self.invariants.report()
+    }
+
+    /// True when memory work is queued anywhere in the machine
+    /// (controller queues, staged network requests, or the L3 MSHR
+    /// retry queue) — the same predicate the forward-progress watchdog
+    /// uses, exposed for campaign timeout classification.
+    pub fn has_pending_work(&self) -> bool {
+        self.mcs.iter().any(|m| m.pending() > 0)
+            || self.net.any_staged()
+            || !self.mshr_wait.is_empty()
     }
 }
 
@@ -1055,9 +1172,14 @@ impl SystemBuilder {
         }
 
         let arb = if self.mode.target_active() { self.cfg.arbiter } else { ArbiterMode::Fcfs };
-        let mcs = (0..self.cfg.mcs)
+        let mut mcs: Vec<MemController> = (0..self.cfg.mcs)
             .map(|_| MemController::new(self.cfg.dram, arb, &shares, self.cfg.arbiter_slack))
             .collect();
+        if self.cfg.invariants.bound_checks {
+            for mc in &mut mcs {
+                mc.set_bound_checks(true);
+            }
+        }
 
         let mut tiles = Vec::new();
         let mut tile_class = Vec::new();
@@ -1121,6 +1243,7 @@ impl SystemBuilder {
             probe_backoff: 1,
             epochs_run: 0,
             sanitizer: Sanitizer::new(),
+            invariants: InvariantChecker::new(self.cfg.invariants),
             trace_sinks: Vec::new(),
             prev_throttles: vec![0; cores],
             completions_scratch: Vec::new(),
@@ -1353,6 +1476,7 @@ mod tests {
         cfg.watchdog_epochs = 3;
         let mut plan = FaultPlan::new();
         plan.push(always(FaultKind::McStall, 0, 0));
+        let digest = plan.digest();
         let mut sys = SystemBuilder::new(cfg, RegulationMode::Pabst)
             .class(1, stream_boxes(2))
             .fault_plan(plan)
@@ -1367,6 +1491,14 @@ mod tests {
         assert!(msg.starts_with("watchdog: no forward progress"), "{msg}");
         assert!(msg.contains("mc[0]"), "diagnostic must include MC snapshots: {msg}");
         assert!(msg.contains("monitor[0]"), "diagnostic must include governor state: {msg}");
+        assert!(
+            msg.contains(&format!("mechanism_hash={:#018x}", cfg.mechanism_hash())),
+            "diagnostic must carry mechanism provenance: {msg}"
+        );
+        assert!(
+            msg.contains(&format!("fault_plan_digest={:#018x}", digest)),
+            "diagnostic must carry the fault-plan digest: {msg}"
+        );
     }
 
     #[test]
@@ -1457,6 +1589,79 @@ mod tests {
         assert_eq!(sys.epochs_run(), 8, "the sweep must outlive the stall window");
         assert_eq!(sys.faults_injected(), 2, "epochs 1 and 2 stall");
         assert!(sys.bytes_since_mark(0) > 0, "traffic must flow after recovery");
+    }
+
+    #[test]
+    fn invariant_checker_runs_and_stays_clean_on_a_healthy_run() {
+        let mut cfg = SystemConfig::small_test();
+        cfg.invariants.bound_checks = true;
+        cfg.invariants.liveness_epochs = 4;
+        let mut sys = SystemBuilder::new(cfg, RegulationMode::Pabst)
+            .class(1, stream_boxes(2))
+            .build()
+            .unwrap();
+        sys.run_epochs(10);
+        let report = sys.invariant_report();
+        assert!(report.checks_run() > 0, "the release-mode checker must be live by default");
+        assert!(report.is_clean(), "healthy run violated laws: {:?}", report.violations());
+    }
+
+    #[test]
+    fn liveness_invariant_reports_a_wedged_mc_without_panicking() {
+        // Same wedge the watchdog test aborts on — but with the watchdog
+        // off and a liveness window configured, the run completes and
+        // the stall is *recorded* as a typed violation instead.
+        let mut cfg = SystemConfig::small_test();
+        cfg.watchdog_epochs = 0;
+        cfg.invariants.liveness_epochs = 3;
+        let mut plan = FaultPlan::new();
+        plan.push(always(FaultKind::McStall, 0, 0));
+        let mut sys = SystemBuilder::new(cfg, RegulationMode::Pabst)
+            .class(1, stream_boxes(2))
+            .fault_plan(plan)
+            .build()
+            .unwrap();
+        sys.run_epochs(12);
+        assert_eq!(sys.epochs_run(), 12, "no abort");
+        let report = sys.invariant_report();
+        assert!(!report.is_clean(), "a permanently wedged MC must trip liveness");
+        let v = &report.violations()[0];
+        assert_eq!(v.law, pabst_simkit::invariant::InvariantLaw::Liveness);
+        assert_eq!(v.name, "mc service");
+        assert!(v.detail.contains("stalled=true"), "{}", v.detail);
+        assert!(sys.has_pending_work(), "the wedge leaves requests queued");
+    }
+
+    #[test]
+    fn invariant_checking_is_observation_only() {
+        // The acceptance criterion behind leaving the checker on in
+        // golden runs: enabling every invariant family (including the
+        // release-promoted DPQ bound and a liveness window) must not
+        // perturb a single trace field.
+        let run = |inv: pabst_simkit::invariant::InvariantConfig| {
+            let mut cfg = SystemConfig::small_test();
+            cfg.invariants = inv;
+            let mut sys = SystemBuilder::new(cfg, RegulationMode::Pabst)
+                .class(1, stream_boxes(2))
+                .build()
+                .unwrap();
+            let cap = Cap::default();
+            sys.add_trace_sink(Box::new(cap.clone()));
+            sys.run_epochs(6);
+            let records = cap.0.borrow().clone();
+            records
+        };
+        let off = run(pabst_simkit::invariant::InvariantConfig {
+            enabled: false,
+            bound_checks: false,
+            liveness_epochs: 0,
+        });
+        let on = run(pabst_simkit::invariant::InvariantConfig {
+            enabled: true,
+            bound_checks: true,
+            liveness_epochs: 1,
+        });
+        assert_eq!(off, on, "the checker must read state, never mutate it");
     }
 
     #[test]
