@@ -18,8 +18,8 @@ use pabst_soc::config::{RegulationMode, SystemConfig};
 use pabst_soc::system::{System, SystemBuilder};
 use pabst_workloads::ChaserGen;
 
-/// One profiled configuration, timed twice: with event-horizon
-/// fast-forward (the default execution strategy) and naive per-cycle
+/// One profiled configuration, timed twice: with partitioned cycle
+/// skipping (the default execution strategy) and naive per-cycle
 /// stepping (`skip(false)`, the `PABST_NO_SKIP` baseline).
 struct Profile {
     name: &'static str,
@@ -29,11 +29,29 @@ struct Profile {
     cycles_per_sec: u64,
     noskip_elapsed_ns: u128,
     noskip_cycles_per_sec: u64,
-    /// Cycles fast-forwarded during the timed window.
+    /// Cycles fast-forwarded by *global* jumps during the timed window.
     cycles_skipped: u64,
     /// `cycles_skipped / cycles_timed` — the fraction of simulated time
-    /// the skip loop proved dead.
+    /// the whole machine jumped over at once.
     skip_rate: f64,
+    /// Tile-cycles elided by tile-local parking during the window.
+    tile_cycles_skipped: u64,
+    /// `tile_cycles_skipped / (cycles_timed * tiles)` — the fraction of
+    /// per-tile stepping the domain scheduler elided (global jump
+    /// windows included: a jump parks everything).
+    tile_skip_rate: f64,
+    /// Controller-cycles elided by controller parking during the window.
+    mc_cycles_skipped: u64,
+    /// `mc_cycles_skipped / (cycles_timed * mcs)`.
+    mc_skip_rate: f64,
+}
+
+/// One cell of the probe-backoff sweep: cycles/second with the given
+/// [`pabst_soc::system::SystemBuilder::probe_backoff_cap`].
+struct BackoffPoint {
+    prof_name: &'static str,
+    cap: u64,
+    cycles_per_sec: u64,
 }
 
 /// Serial vs parallel wall-clock for a batch of independent runs.
@@ -57,9 +75,14 @@ fn chasers_1chain(class: usize, n: usize, seed: u64) -> Vec<Box<dyn Workload>> {
 }
 
 fn build(name: &str, skip: bool) -> System {
+    build_capped(name, skip, None)
+}
+
+fn build_capped(name: &str, skip: bool, cap: Option<u64>) -> System {
     let (mut cfg, per_class) = match name {
         "baseline" => (SystemConfig::baseline_32core(), 16),
         "mesh_64" => (SystemConfig::mesh_64(), 32),
+        "mesh_256x16" => (SystemConfig::mesh_256x16(), 32),
         _ => (SystemConfig::small_test(), 2),
     };
     let b = if name == "chaser" {
@@ -74,15 +97,38 @@ fn build(name: &str, skip: bool) -> System {
             .class(3, read_streamers(0, per_class, 0))
             .class(1, read_streamers(1, per_class, 0))
     };
+    let b = match cap {
+        Some(c) => b.probe_backoff_cap(c),
+        None => b,
+    };
     b.skip(skip).build().expect("throughput configuration")
 }
 
-/// Times `epochs` epochs of `name` in one skip mode, returning the
-/// elapsed time, cycles/second, and cycles fast-forwarded in the window.
-fn time_run(name: &str, epochs: u64, skip: bool) -> (u128, u64, u64) {
-    let mut sys = build(name, skip);
+/// What one timed window measured: wall clock plus the three skip
+/// counters (global jumps, tile-cycles parked, controller-cycles
+/// parked) and the domain counts that normalise the latter two.
+struct TimedRun {
+    elapsed_ns: u128,
+    cycles_per_sec: u64,
+    cycles_skipped: u64,
+    tile_cycles_skipped: u64,
+    mc_cycles_skipped: u64,
+    tiles: u64,
+    mcs: u64,
+}
+
+/// Times `epochs` epochs of `name` in one skip mode.
+fn time_run(name: &str, epochs: u64, skip: bool) -> TimedRun {
+    time_run_capped(name, epochs, skip, None)
+}
+
+/// [`time_run`] with an optional probe-backoff cap override (the sweep).
+fn time_run_capped(name: &str, epochs: u64, skip: bool, cap: Option<u64>) -> TimedRun {
+    let mut sys = build_capped(name, skip, cap);
     sys.run_epochs(1); // warm caches, queues, and the governor
     let skipped_before = sys.cycles_skipped();
+    let tile_before = sys.tile_cycles_skipped();
+    let mc_before = sys.mc_cycles_skipped();
     let epoch_cycles = sys.metrics().bw_series.epoch_cycles();
     let start = Instant::now();
     sys.run_epochs(epochs as usize);
@@ -90,32 +136,71 @@ fn time_run(name: &str, epochs: u64, skip: bool) -> (u128, u64, u64) {
     let cycles = epochs * epoch_cycles;
     let secs = elapsed.as_secs_f64();
     let cps = if secs > 0.0 { (cycles as f64 / secs) as u64 } else { 0 };
-    (elapsed.as_nanos(), cps, sys.cycles_skipped() - skipped_before)
+    TimedRun {
+        elapsed_ns: elapsed.as_nanos(),
+        cycles_per_sec: cps,
+        cycles_skipped: sys.cycles_skipped() - skipped_before,
+        tile_cycles_skipped: sys.tile_cycles_skipped() - tile_before,
+        mc_cycles_skipped: sys.mc_cycles_skipped() - mc_before,
+        tiles: sys.tiles().len() as u64,
+        mcs: sys.mc_count() as u64,
+    }
 }
 
 fn profile(name: &'static str, epochs: u64) -> Profile {
     let epoch_cycles = build(name, true).metrics().bw_series.epoch_cycles();
-    let (elapsed_ns, cps, skipped) = time_run(name, epochs, true);
-    let (noskip_ns, noskip_cps, _) = time_run(name, epochs, false);
+    let timed = time_run(name, epochs, true);
+    let naive = time_run(name, epochs, false);
     let cycles = epochs * epoch_cycles;
-    let rate = skipped as f64 / cycles as f64;
+    let rate = timed.cycles_skipped as f64 / cycles as f64;
+    let tile_rate = timed.tile_cycles_skipped as f64 / (cycles * timed.tiles) as f64;
+    let mc_rate = timed.mc_cycles_skipped as f64 / (cycles * timed.mcs) as f64;
     println!(
-        "{name:<10} {epochs:>3} epochs x {epoch_cycles} cycles in {:>8.1} ms  ->  {cps} cycles/s \
-         (skip rate {:.1}%, naive {noskip_cps} cycles/s)",
-        elapsed_ns as f64 / 1e6,
+        "{name:<12} {epochs:>3} epochs x {epoch_cycles} cycles in {:>8.1} ms  ->  {} cycles/s \
+         (global skip {:.1}%, tile-local {:.1}%, mc-local {:.1}%, naive {} cycles/s)",
+        timed.elapsed_ns as f64 / 1e6,
+        timed.cycles_per_sec,
         rate * 100.0,
+        tile_rate * 100.0,
+        mc_rate * 100.0,
+        naive.cycles_per_sec,
     );
     Profile {
         name,
         epoch_cycles,
         epochs_timed: epochs,
-        elapsed_ns,
-        cycles_per_sec: cps,
-        noskip_elapsed_ns: noskip_ns,
-        noskip_cycles_per_sec: noskip_cps,
-        cycles_skipped: skipped,
+        elapsed_ns: timed.elapsed_ns,
+        cycles_per_sec: timed.cycles_per_sec,
+        noskip_elapsed_ns: naive.elapsed_ns,
+        noskip_cycles_per_sec: naive.cycles_per_sec,
+        cycles_skipped: timed.cycles_skipped,
         skip_rate: rate,
+        tile_cycles_skipped: timed.tile_cycles_skipped,
+        tile_skip_rate: tile_rate,
+        mc_cycles_skipped: timed.mc_cycles_skipped,
+        mc_skip_rate: mc_rate,
     }
+}
+
+/// Times `baseline` and `chaser` across probe-backoff caps — the data
+/// behind the `DEFAULT_PROBE_BACKOFF_CAP` choice. A cap of 1 disables
+/// backoff (probe every cycle after a failed skip); larger caps let the
+/// probe retreat exponentially when the machine stays busy.
+fn backoff_sweep(quick: bool) -> Vec<BackoffPoint> {
+    let caps: &[u64] = if quick { &[1, 8, 64] } else { &[1, 2, 4, 8, 16, 32, 64] };
+    let epochs = if quick { 2 } else { 6 };
+    let mut points = Vec::new();
+    for prof_name in ["baseline", "chaser"] {
+        for &cap in caps {
+            let timed = time_run_capped(prof_name, epochs, true, Some(cap));
+            println!(
+                "backoff    {prof_name:<10} cap {cap:>3}  ->  {} cycles/s",
+                timed.cycles_per_sec
+            );
+            points.push(BackoffPoint { prof_name, cap, cycles_per_sec: timed.cycles_per_sec });
+        }
+    }
+    points
 }
 
 /// Times the same batch of independent small-machine runs twice through
@@ -142,7 +227,7 @@ fn profile_sweep(jobs: usize, runs: usize, epochs: usize) -> SweepProfile {
     SweepProfile { runs, jobs, serial_ns, parallel_ns }
 }
 
-fn to_json(profiles: &[Profile], sweep: &SweepProfile) -> String {
+fn to_json(profiles: &[Profile], backoff: &[BackoffPoint], sweep: &SweepProfile) -> String {
     use std::fmt::Write as _;
     let mut s = String::from("{\"bench\":\"sim_throughput\",\"configs\":[");
     for (i, p) in profiles.iter().enumerate() {
@@ -153,7 +238,9 @@ fn to_json(profiles: &[Profile], sweep: &SweepProfile) -> String {
             s,
             "{{\"name\":\"{}\",\"epoch_cycles\":{},\"epochs_timed\":{},\
              \"elapsed_ns\":{},\"cycles_per_sec\":{},\"noskip_elapsed_ns\":{},\
-             \"noskip_cycles_per_sec\":{},\"cycles_skipped\":{},\"skip_rate\":{:.4}}}",
+             \"noskip_cycles_per_sec\":{},\"cycles_skipped\":{},\"skip_rate\":{:.4},\
+             \"tile_cycles_skipped\":{},\"tile_skip_rate\":{:.4},\
+             \"mc_cycles_skipped\":{},\"mc_skip_rate\":{:.4}}}",
             p.name,
             p.epoch_cycles,
             p.epochs_timed,
@@ -162,7 +249,22 @@ fn to_json(profiles: &[Profile], sweep: &SweepProfile) -> String {
             p.noskip_elapsed_ns,
             p.noskip_cycles_per_sec,
             p.cycles_skipped,
-            p.skip_rate
+            p.skip_rate,
+            p.tile_cycles_skipped,
+            p.tile_skip_rate,
+            p.mc_cycles_skipped,
+            p.mc_skip_rate
+        );
+    }
+    s.push_str("],\"backoff_sweep\":[");
+    for (i, b) in backoff.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(
+            s,
+            "{{\"profile\":\"{}\",\"cap\":{},\"cycles_per_sec\":{}}}",
+            b.prof_name, b.cap, b.cycles_per_sec
         );
     }
     let _ = writeln!(
@@ -183,8 +285,12 @@ fn main() {
         profile("small", epochs),
         profile("baseline", epochs),
         profile("mesh_64", epochs),
+        profile("mesh_256x16", epochs),
         profile("chaser", epochs),
     ];
+
+    // Probe-backoff cap sweep — the evidence behind the builder default.
+    let backoff = backoff_sweep(quick);
 
     // Per-epoch wall time through the micro-benchmark harness (median of
     // 9 samples, fresh warmed system per sample) — the step()-path number
@@ -207,7 +313,7 @@ fn main() {
     let sweep = profile_sweep(sweep_jobs, sweep_runs, if quick { 2 } else { 6 });
 
     let out = args.out.unwrap_or_else(|| "BENCH_sim_throughput.json".to_string());
-    let json = to_json(&profiles, &sweep);
+    let json = to_json(&profiles, &backoff, &sweep);
     match std::fs::write(&out, &json) {
         Ok(()) => println!("wrote {out}"),
         Err(e) => {

@@ -462,6 +462,11 @@ pub fn drive(names: &[&str]) {
 /// invocation produces one coherent file per flag even across
 /// experiments.
 pub fn run_cli(names: &[&str], args: &CliArgs) {
+    if args.no_skip {
+        // The CI A/B arm: every system this invocation builds steps
+        // naively, as under PABST_NO_SKIP=1. Output must be identical.
+        pabst_soc::system::force_no_skip();
+    }
     let selected: Vec<&'static Experiment> = names
         .iter()
         .filter(|n| args.filter.as_deref().is_none_or(|f| f == **n))

@@ -18,7 +18,12 @@
 //! * `--keep-going` — when a grid cell panics, keep running the remaining
 //!   experiments instead of stopping after the first one with failures
 //!   (either way the cell's failure is recorded and the exit code is
-//!   non-zero).
+//!   non-zero);
+//! * `--no-skip` — force naive per-cycle stepping for every system the
+//!   invocation builds, exactly as the `PABST_NO_SKIP` environment
+//!   variable does (the flag form lets CI A/B jobs flip the switch
+//!   without touching the environment). Output is byte-identical either
+//!   way; that equivalence is what the A/B jobs check.
 //!
 //! All value flags accept both `--flag value` and `--flag=value`.
 //! Unknown flags are an error (exit 2), not a silent ignore — a typoed
@@ -43,6 +48,9 @@ pub struct CliArgs {
     /// Keep running later experiments after one records cell failures
     /// (default is fail-fast: stop after the first failing experiment).
     pub keep_going: bool,
+    /// Force naive per-cycle stepping (the `PABST_NO_SKIP` baseline) for
+    /// every system this invocation builds.
+    pub no_skip: bool,
 }
 
 impl CliArgs {
@@ -92,6 +100,7 @@ impl CliArgs {
                 "--report-json" => args.report_json = Some(value(&mut it)?),
                 "--out" => args.out = Some(value(&mut it)?),
                 "--keep-going" => args.keep_going = true,
+                "--no-skip" => args.no_skip = true,
                 other => return Err(format!("unknown flag `{other}`")),
             }
         }
@@ -102,7 +111,7 @@ impl CliArgs {
 /// The flag summary printed on a parse error.
 pub fn usage() -> String {
     "usage: <bin> [--quick] [--jobs <n>] [--filter <experiment>] \
-     [--trace <path>] [--report-json <path>] [--out <path>] [--keep-going]"
+     [--trace <path>] [--report-json <path>] [--out <path>] [--keep-going] [--no-skip]"
         .to_string()
 }
 
@@ -139,6 +148,12 @@ mod tests {
     fn keep_going_defaults_off_and_parses() {
         assert!(!parse(&[]).unwrap().keep_going);
         assert!(parse(&["--keep-going"]).unwrap().keep_going);
+    }
+
+    #[test]
+    fn no_skip_defaults_off_and_parses() {
+        assert!(!parse(&[]).unwrap().no_skip);
+        assert!(parse(&["--no-skip"]).unwrap().no_skip);
     }
 
     #[test]

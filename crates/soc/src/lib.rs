@@ -46,6 +46,7 @@ pub mod config;
 pub mod metrics;
 pub mod net;
 pub mod report;
+pub mod sched;
 pub mod system;
 pub mod tile;
 

@@ -18,6 +18,7 @@ use pabst_simkit::Cycle;
 use crate::config::{ConfigError, RegulationMode, SystemConfig, WbAccounting};
 use crate::metrics::Metrics;
 use crate::net::{Interconnect, L3Req, TileResp};
+use crate::sched::DomainSched;
 use crate::tile::{Tile, TileMem};
 
 /// A waiter on an L3 MSHR entry.
@@ -61,12 +62,20 @@ pub struct System {
     /// Event-horizon fast-forward active (the default; cleared by the
     /// `PABST_NO_SKIP` environment variable or [`SystemBuilder::skip`]).
     skip_enabled: bool,
+    /// Park/unpark scheduler over the per-tile and per-controller skip
+    /// domains (see [`crate::sched::DomainSched`]). Structurally inert
+    /// when skipping is disabled: nothing ever parks.
+    sched: DomainSched,
     /// Next cycle at which [`System::advance`] probes the horizon. Purely
     /// a host-side pacing knob: simulated behavior never depends on it.
     probe_at: Cycle,
     /// Current probe backoff in cycles (doubles per failed probe, resets
     /// to 1 on every successful skip).
     probe_backoff: u64,
+    /// Cap on `probe_backoff` ([`SystemBuilder::probe_backoff_cap`];
+    /// default [`System::DEFAULT_PROBE_BACKOFF_CAP`]). Host-side pacing
+    /// only — simulated behavior never depends on it.
+    probe_cap: u64,
     epochs_run: usize,
     /// Per-epoch invariant checks; no-ops unless debug_assertions or the
     /// `sanitize` feature is on.
@@ -113,12 +122,31 @@ pub struct System {
 /// SAT broadcast history kept per monitor for the sat-delay fault kind.
 const SAT_HISTORY_MAX: usize = 64;
 
+/// Process-wide kill switch for cycle skipping (see
+/// [`force_no_skip`]).
+static FORCE_NO_SKIP: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
+
+/// Forces naive per-cycle stepping for every [`System`] built in this
+/// process from now on, exactly as the `PABST_NO_SKIP` environment
+/// variable does. The flag form exists for CI A/B drivers (`--no-skip`)
+/// that want the switch without mutating the process environment; an
+/// explicit [`SystemBuilder::skip`] call still wins. There is no undo —
+/// the switch is for whole-process A/B runs, not per-system toggling.
+pub fn force_no_skip() {
+    FORCE_NO_SKIP.store(true, std::sync::atomic::Ordering::Relaxed);
+}
+
 impl System {
-    /// Cap on the horizon probe backoff (see [`System::advance`]). Small
-    /// enough that the start of a quiescent window is never missed by
-    /// more than a handful of naive steps, large enough that a saturated
-    /// machine pays for at most one probe every eight cycles.
-    const MAX_PROBE_BACKOFF: u64 = 8;
+    /// Default cap on the horizon probe backoff (see [`System::advance`];
+    /// override with [`SystemBuilder::probe_backoff_cap`]). Small enough
+    /// that the start of a quiescent window is never missed by more than
+    /// a handful of naive steps, large enough that a saturated machine
+    /// pays for at most one probe every eight cycles — the
+    /// `sim_throughput` backoff sweep shows cap 1 costs ~5% on the
+    /// saturated baseline and every cap from 2 upward is within noise
+    /// (tile-local parking, not probe cadence, now carries the
+    /// idle-heavy configs), so the historical value stands.
+    pub const DEFAULT_PROBE_BACKOFF_CAP: u64 = 8;
 
     /// Current simulated cycle.
     pub fn now(&self) -> Cycle {
@@ -159,6 +187,23 @@ impl System {
         self.metrics.cycles_skipped
     }
 
+    /// Tile-cycles elided by tile-local parking (always zero when
+    /// skipping is disabled). Counts every cycle a parked tile's
+    /// bookkeeping was batch-accrued instead of stepped — including
+    /// cycles inside global jumps, which park everything. Diagnostic
+    /// only, like [`System::cycles_skipped`]: absent from every
+    /// artifact, so skip-on and skip-off runs stay byte-identical.
+    pub fn tile_cycles_skipped(&self) -> u64 {
+        self.sched.tile_cycles()
+    }
+
+    /// Controller-cycles elided by controller parking (always zero when
+    /// skipping is disabled). Diagnostic only; see
+    /// [`System::tile_cycles_skipped`].
+    pub fn mc_cycles_skipped(&self) -> u64 {
+        self.sched.mc_cycles()
+    }
+
     /// Whether quiescence-aware cycle skipping is active.
     pub fn skip_enabled(&self) -> bool {
         self.skip_enabled
@@ -178,6 +223,11 @@ impl System {
     /// The tiles (inspection only).
     pub fn tiles(&self) -> &[Tile] {
         &self.tiles
+    }
+
+    /// Number of memory controllers.
+    pub fn mc_count(&self) -> usize {
+        self.mcs.len()
     }
 
     /// Total fault events injected so far by the attached plan (all
@@ -357,12 +407,19 @@ impl System {
                     continue;
                 }
                 self.probe_at = self.now + self.probe_backoff;
-                self.probe_backoff = (self.probe_backoff * 2).min(Self::MAX_PROBE_BACKOFF);
+                self.probe_backoff = (self.probe_backoff * 2).min(self.probe_cap);
             }
             self.step();
             if self.now.is_multiple_of(self.cfg.epoch_cycles) {
                 self.on_epoch_boundary();
             }
+        }
+        // Settle: callers (measurement marks, stats readers, reports) must
+        // observe fully-accrued state, so no domain stays parked across a
+        // return. Domains re-park at the next probe; behavior over the
+        // parked window is already fixed, so settling is invisible.
+        if self.skip_enabled && self.sched.any_parked() {
+            self.sched.wake_all(self.now, &mut self.tiles, &mut self.mcs);
         }
     }
 
@@ -380,14 +437,25 @@ impl System {
     /// horizon merely costs speed; only a too-late one could diverge, so
     /// every check below short-circuits to `now` on any doubt. Checks are
     /// ordered cheapest-first.
-    fn horizon(&self) -> Option<Cycle> {
+    ///
+    /// The probe is also where domains **park** (see
+    /// [`crate::sched::DomainSched`]): a tile or controller whose
+    /// `next_event` answer lies in the future is inert on its own — even
+    /// if some *other* component forces this probe to answer "due" — so
+    /// it is handed to the domain scheduler with that answer as its
+    /// cached wake time. Parked domains fold their cached answer here
+    /// instead of recomputing (the memoization), and a parked domain
+    /// whose cached wake has arrived reads as due: the step loop's
+    /// due-scan wakes it.
+    fn horizon(&mut self) -> Option<Cycle> {
         use pabst_simkit::horizon::Horizon;
         let now = self.now;
         let mut h = Horizon::new();
         // The interconnect: in-flight requests/responses wake at their
         // delivery cycle; a staged request past its hop delay drains (or
-        // bumps a reject counter) every cycle.
-        if h.merge_due(self.net.next_event(now), now) {
+        // bumps a reject counter) every cycle. Memoized: queue mutations
+        // dirty the cached answer.
+        if h.merge_due(self.net.next_event_memo(now), now) {
             return Some(now);
         }
         // An MSHR-refused miss whose retry can progress acts this cycle;
@@ -400,39 +468,53 @@ impl System {
         }
         for (k, mc) in self.mcs.iter().enumerate() {
             // A stalled controller (mc-stall fault window) is frozen until
-            // the next boundary: no events, no occupancy samples.
+            // the next boundary: no events, no occupancy samples — and it
+            // is never parked (parking accrues samples; a stalled window
+            // takes none).
             if self.mc_stalled[k] {
                 continue;
             }
-            if h.merge_due(mc.next_event(now), now) {
+            if self.sched.mc_parked(k) {
+                if h.merge_due(self.sched.mc_wake(k), now) {
+                    return Some(now);
+                }
+                continue;
+            }
+            let ev = mc.next_event(now);
+            if h.merge_due(ev, now) {
                 return Some(now);
             }
+            self.sched.park_mc(k, now, ev);
         }
-        for tile in &self.tiles {
-            if h.merge_due(tile.next_event(now), now) {
+        for (i, tile) in self.tiles.iter().enumerate() {
+            if self.sched.tile_parked(i) {
+                if h.merge_due(self.sched.tile_wake(i), now) {
+                    return Some(now);
+                }
+                continue;
+            }
+            let ev = tile.next_event(now);
+            if h.merge_due(ev, now) {
                 return Some(now);
             }
+            self.sched.park_tile(i, now, ev);
         }
         h.get()
     }
 
-    /// Fast-forwards `cycles` provably-dead cycles in one jump, accruing
-    /// exactly the per-cycle bookkeeping naive stepping would have done:
-    /// SAT-monitor occupancy samples on every live controller, pacer
-    /// throttle NACKs on every backlogged tile, and ROB-full stall cycles
-    /// on every dispatch-blocked core. Nothing else changed during the
-    /// window — that is what [`System::horizon`] proved.
+    /// Fast-forwards `cycles` provably-dead cycles in one jump. Under
+    /// the partitioned scheduler this is a pure clock bump: a jump only
+    /// happens when the probe found no due domain, which means it parked
+    /// every tile and every live controller — their owed-bookkeeping
+    /// windows simply grow with the clock and are batch-accrued at their
+    /// next wake edge, exactly as naive stepping would have charged them
+    /// cycle by cycle.
     fn apply_skip(&mut self, cycles: Cycle) {
         debug_assert!(cycles > 0, "a zero-length skip is a stepping bug");
-        for (k, mc) in self.mcs.iter_mut().enumerate() {
-            if !self.mc_stalled[k] {
-                mc.accrue_skip(cycles);
-            }
-        }
-        for tile in &mut self.tiles {
-            tile.mem.accrue_throttle_skip(cycles);
-            tile.core.accrue_skip(cycles);
-        }
+        debug_assert!(
+            self.sched.fully_parked(&self.mc_stalled),
+            "a global jump requires every live domain parked"
+        );
         self.now += cycles;
         self.metrics.cycles_skipped += cycles;
     }
@@ -440,6 +522,16 @@ impl System {
     /// One cycle of the whole machine.
     fn step(&mut self) {
         let now = self.now;
+        let skip_enabled = self.skip_enabled;
+
+        // 0. Due wakes: any parked domain whose cached horizon has
+        //    arrived rejoins live stepping *this* cycle, owed bookkeeping
+        //    accrued — the local clock clamps back to `now` before any
+        //    stage could observe stale state.
+        if skip_enabled {
+            self.sched.wake_due_mcs(now, &mut self.mcs);
+            self.sched.wake_due_tiles(now, &mut self.tiles);
+        }
 
         // 1. Memory controllers: advance DRAM, collect completions into
         //    the recycled scratch buffer (no per-cycle allocation).
@@ -453,7 +545,21 @@ impl System {
             if self.mc_stalled[k] {
                 continue;
             }
-            mc.step_into(now, &mut completions);
+            if skip_enabled {
+                if self.sched.mc_parked(k) {
+                    continue;
+                }
+                mc.step_into(now, &mut completions);
+                // An empty controller's step is just an occupancy sample;
+                // park it (this cycle's sample was taken live, so owed
+                // starts next cycle). Only an ingress push — the drain
+                // wake below — or an epoch boundary can make it act.
+                if mc.pending() == 0 {
+                    self.sched.park_mc(k, now + 1, None);
+                }
+            } else {
+                mc.step_into(now, &mut completions);
+            }
         }
         for c in completions.drain(..) {
             self.on_mc_completion(c);
@@ -464,6 +570,19 @@ impl System {
         //    class queues (per-source-fair network arbitration) under the
         //    per-link bandwidth budget. Lives in the interconnect now; see
         //    `Interconnect::drain_into`.
+        //
+        //    Push wake: a parked controller about to receive an admissible
+        //    staged request is woken first, owed samples accrued through
+        //    this cycle inclusive — its naive step this cycle would have
+        //    been exactly one pre-push occupancy sample, which the accrual
+        //    reproduces (read queues are frozen while parked).
+        if skip_enabled {
+            for k in 0..self.mcs.len() {
+                if self.sched.mc_parked(k) && self.net.mc_admissible(k, now) {
+                    self.sched.wake_mc(k, now + 1, &mut self.mcs[k]);
+                }
+            }
+        }
         self.net.drain_into(now, &mut self.mcs);
 
         // 3. Shared L3: consume the network head (head-of-line blocking
@@ -482,15 +601,34 @@ impl System {
 
         // 5. Tiles: inject paced L2 misses + L2 writebacks, then step cores.
         self.tile_injection(now);
-        let skip_enabled = self.skip_enabled;
         for (i, tile) in self.tiles.iter_mut().enumerate() {
+            if skip_enabled && self.sched.tile_parked(i) {
+                continue;
+            }
             // Per-tile quiescence: a core that provably cannot retire,
             // issue, or dispatch this cycle would only bump its ROB-full
             // stall counter — accrue that directly and skip the pipeline
             // walk. Gated on skip mode so the naive A/B baseline stays a
             // pure per-cycle interpreter.
-            if skip_enabled && tile.core.next_event(now).is_none_or(|at| at > now) {
-                tile.core.accrue_skip(1);
+            if skip_enabled {
+                let core_h = tile.core.next_event(now);
+                if core_h.is_none_or(|at| at > now) {
+                    tile.core.accrue_skip(1);
+                    // Tile-local park: when the injection path is also
+                    // quiescent past `now`, stop visiting the tile. This
+                    // cycle was handled live (the injection NACK above,
+                    // the stall accrual here), so owed starts next cycle;
+                    // the tile horizon becomes the cached wake.
+                    let mut th = pabst_simkit::horizon::Horizon::new();
+                    th.merge(core_h);
+                    th.merge(tile.mem.next_inject_at(now));
+                    let th = th.get();
+                    if th.is_none_or(|at| at > now) {
+                        self.sched.park_tile(i, now + 1, th);
+                    }
+                    continue;
+                }
+                tile.step_core(now);
             } else {
                 tile.step_core(now);
             }
@@ -631,6 +769,12 @@ impl System {
     /// pacer accounting.
     fn on_tile_response(&mut self, resp: TileResp) {
         let now = self.now;
+        // Response wake: a parked tile rejoins live stepping before the
+        // fill is applied, so its owed accrual closes on pre-fill state
+        // and it participates in this cycle's injection + core step.
+        if self.skip_enabled {
+            self.sched.wake_tile(resp.tile, now, &mut self.tiles[resp.tile]);
+        }
         let tile = &mut self.tiles[resp.tile];
         let waiters = tile.mem.on_fill(resp.line);
         for w in waiters {
@@ -659,8 +803,15 @@ impl System {
         // fast-forward jump lands on exactly the cursor naive stepping
         // would have reached.
         let start = (now % n as u64) as usize;
+        let skip_enabled = self.skip_enabled;
         for off in 0..n {
             let i = (start + off) % n;
+            // A parked tile's injection path is provably quiescent (its
+            // park horizon folded `next_inject_at`); the NACK its pacer
+            // would take this cycle is owed and accrues at wake.
+            if skip_enabled && self.sched.tile_parked(i) {
+                continue;
+            }
             // Idle tiles (nothing queued for injection) are skipped before
             // the pacer is consulted.
             if !self.tiles[i].mem.wants_inject() {
@@ -682,6 +833,14 @@ impl System {
     /// snapshot, fault-window refresh, watchdog.
     fn on_epoch_boundary(&mut self) {
         let now = self.now;
+        // Boundary wake: the heartbeat reads and reprograms every
+        // component (SAT aggregation, pacer periods, fault windows,
+        // sanitizer), so every parked domain is woken first — owed
+        // bookkeeping accrued through the epoch's last cycle, exactly as
+        // naive stepping would have left it at this boundary.
+        if self.skip_enabled && self.sched.any_parked() {
+            self.sched.wake_all(now, &mut self.tiles, &mut self.mcs);
+        }
         let epoch = self.epochs_run as u64;
         let sats: Vec<bool> = self.mcs.iter_mut().map(|m| m.take_epoch_sat()).collect();
         // What each governor actually observes: the raw SAT broadcast,
@@ -1019,20 +1178,12 @@ impl System {
                     )
                 },
             );
-            inv.check_le(
-                "mc read queue",
-                k,
-                snap.read_q_depth,
-                caps.read_q_cap as u64,
-                || format!("arbiter={}", mc.arbiter_name()),
-            );
-            inv.check_le(
-                "mc write queue",
-                k,
-                snap.write_q_depth,
-                caps.write_q_cap as u64,
-                || format!("arbiter={}", mc.arbiter_name()),
-            );
+            inv.check_le("mc read queue", k, snap.read_q_depth, caps.read_q_cap as u64, || {
+                format!("arbiter={}", mc.arbiter_name())
+            });
+            inv.check_le("mc write queue", k, snap.write_q_depth, caps.write_q_cap as u64, || {
+                format!("arbiter={}", mc.arbiter_name())
+            });
             inv.check_counter_still("dpq service bound", k, mc.bound_violations(), || {
                 format!("arbiter={} pending={}", mc.arbiter_name(), snap.pending)
             });
@@ -1087,6 +1238,7 @@ pub struct SystemBuilder {
     l3_ways: Vec<Option<(usize, usize)>>,
     fault_plan: Option<FaultPlan>,
     skip: Option<bool>,
+    probe_cap: Option<u64>,
 }
 
 impl SystemBuilder {
@@ -1101,7 +1253,21 @@ impl SystemBuilder {
             l3_ways: Vec::new(),
             fault_plan: None,
             skip: None,
+            probe_cap: None,
         }
+    }
+
+    /// Overrides the horizon probe backoff cap (default
+    /// [`System::DEFAULT_PROBE_BACKOFF_CAP`]). Purely a host-side pacing
+    /// knob for the skip machinery: larger caps probe a saturated
+    /// machine less often, smaller caps catch the start of a quiescent
+    /// window sooner. Simulated behavior is byte-identical at any value
+    /// (the `sim_throughput` harness sweeps it).
+    ///
+    /// A cap of 0 is clamped to 1 (probe every cycle).
+    pub fn probe_backoff_cap(mut self, cap: u64) -> Self {
+        self.probe_cap = Some(cap.max(1));
+        self
     }
 
     /// Overrides quiescence-aware cycle skipping for this system. The
@@ -1221,9 +1387,10 @@ impl SystemBuilder {
             })
             .collect();
         let faults_injected = mc_stalled.iter().filter(|&&s| s).count() as u64;
-        let skip_enabled = self
-            .skip
-            .unwrap_or_else(|| std::env::var_os("PABST_NO_SKIP").is_none_or(|v| v.is_empty()));
+        let skip_enabled = self.skip.unwrap_or_else(|| {
+            !FORCE_NO_SKIP.load(std::sync::atomic::Ordering::Relaxed)
+                && std::env::var_os("PABST_NO_SKIP").is_none_or(|v| v.is_empty())
+        });
         Ok(System {
             metrics: Metrics::new(cores, classes, self.cfg.epoch_cycles),
             l3,
@@ -1239,8 +1406,10 @@ impl SystemBuilder {
             shares,
             now: 0,
             skip_enabled,
+            sched: DomainSched::new(cores, self.cfg.mcs),
             probe_at: 0,
             probe_backoff: 1,
+            probe_cap: self.probe_cap.unwrap_or(System::DEFAULT_PROBE_BACKOFF_CAP),
             epochs_run: 0,
             sanitizer: Sanitizer::new(),
             invariants: InvariantChecker::new(self.cfg.invariants),

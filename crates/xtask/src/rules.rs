@@ -521,7 +521,25 @@ pub fn cross_pass(indexes: &[FileIndex], passes: &mut [FilePass]) {
             }
         }
     }
-    let advance_reach = g.find("System", "advance").map(|r| g.reachable(&[r], &[]));
+    // Reachability roots are `System::advance` plus every `DomainSched`
+    // probe: per-domain parking caches a component's `next_event` inside
+    // the domain scheduler, so a surface consulted only from a
+    // park/wake path is wired just as legitimately as one the global
+    // min-combine reads directly.
+    let advance_reach = g.find("System", "advance").map(|r| {
+        let mut roots = vec![r];
+        for (fi, file) in indexes.iter().enumerate() {
+            if file.crate_name == "xtask" {
+                continue;
+            }
+            for (ni, f) in file.fns.iter().enumerate() {
+                if !f.in_test && f.owner.as_deref() == Some("DomainSched") {
+                    roots.push((fi, ni));
+                }
+            }
+        }
+        g.reachable(&roots, &[])
+    });
     let report_unreached = |ty: &str, nfi: usize, nni: usize, passes: &mut [FilePass]| {
         let Some(reach) = &advance_reach else { return };
         if reach.contains_key(&(nfi, nni)) {
@@ -530,9 +548,9 @@ pub fn cross_pass(indexes: &[FileIndex], passes: &mut [FilePass]) {
         let line = indexes[nfi].fns[nni].line;
         let msg = format!(
             "`{ty}::next_event` is never reached from \
-             System::advance; wire it into the horizon \
-             min-combine so skips respect this component's \
-             wake-ups"
+             System::advance or a DomainSched probe; wire it into the \
+             horizon min-combine (or a domain park site) so skips \
+             respect this component's wake-ups"
         );
         passes[nfi].push(&indexes[nfi].rel_path, line, RULE_HORIZON_CONTRACT, msg);
     };

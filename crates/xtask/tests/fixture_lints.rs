@@ -270,6 +270,32 @@ fn contract_requires_next_event_to_be_wired_into_advance() {
 }
 
 #[test]
+fn contract_accepts_next_event_wired_through_a_domain_probe() {
+    // Per-domain parking consults the component's horizon from inside
+    // DomainSched rather than from System::advance's min-combine — a
+    // domain park site is a legitimate wiring point.
+    let diags = lint_files(&[
+        sf("soc", "crates/soc/src/system.rs", include_str!("fixtures/taint_root.rs")),
+        sf("soc", "crates/soc/src/sched.rs", include_str!("fixtures/contract_domain_wired.rs")),
+        sf("cache", "crates/cache/src/prefetch.rs", include_str!("fixtures/contract_ok.rs")),
+    ]);
+    assert!(diags.is_empty(), "a DomainSched probe counts as wiring: {diags:?}");
+    // ...but a scheduler that parks blindly leaves the surface unreached,
+    // and the diagnostic names both root kinds.
+    let diags = lint_files(&[
+        sf("soc", "crates/soc/src/system.rs", include_str!("fixtures/taint_root.rs")),
+        sf("soc", "crates/soc/src/sched.rs", include_str!("fixtures/contract_domain_unwired.rs")),
+        sf("cache", "crates/cache/src/prefetch.rs", include_str!("fixtures/contract_ok.rs")),
+    ]);
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    assert_eq!(diags[0].rule, xtask::RULE_HORIZON_CONTRACT);
+    assert!(
+        diags[0].message.contains("never reached from System::advance or a DomainSched probe"),
+        "{diags:?}"
+    );
+}
+
+#[test]
 fn arbiter_impl_requires_next_event() {
     // A `TargetArbiter` impl owes the horizon surface even without a
     // `step` method of its own — the controller steps on its behalf.

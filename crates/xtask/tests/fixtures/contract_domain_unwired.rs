@@ -1,0 +1,9 @@
+//! Fixture: a domain scheduler that parks blindly — it never consults the
+//! component's `next_event`, so the horizon surface stays unreached.
+
+impl DomainSched {
+    /// Parks one tile with no wake horizon at all.
+    pub fn park_blind(&mut self, i: usize, now: u64) {
+        self.owed_from[i] = now;
+    }
+}

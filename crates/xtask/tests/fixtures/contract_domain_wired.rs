@@ -1,0 +1,11 @@
+//! Fixture: per-domain wiring — the component's `next_event` is consulted
+//! from the domain scheduler's park path, not the global min-combine.
+
+impl DomainSched {
+    /// Parks one tile at the component's own horizon: the cached wake
+    /// time is exactly what the probe would have min-combined.
+    pub fn park_tile(&mut self, p: &Prefetcher, now: u64) {
+        let wake = p.next_event(now);
+        self.cache_wake(wake);
+    }
+}

@@ -10,11 +10,14 @@
 //! pointer-chasing memory stalls (the deepest quiescent windows), write
 //! drains, skewed-controller traffic, per-MC regulation, L3-way
 //! overrides, an armed watchdog, the distance-modelled mesh network at
-//! 64 and 256 tiles (staged link arbitration), and each fault kind —
-//! including the
+//! 64 and 256 tiles (staged link arbitration), idle-heavy mesh mixes
+//! where tile-local parking (not the global jump) does the work, partial
+//! skip under the DPQ arbiter (some tiles parked while others keep the
+//! controllers live), and each fault kind — including the
 //! required mc-stall window (a frozen controller must contribute no
-//! horizon events and take no occupancy samples) and epoch-skew cell
-//! (stale pacer periods must throttle identically across a skip).
+//! horizon events and take no occupancy samples, and must never be
+//! parked) and epoch-skew cell (stale pacer periods must throttle
+//! identically across a skip).
 
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -232,6 +235,58 @@ fn cells() -> Vec<Cell> {
                 SystemBuilder::new(c, RegulationMode::Pabst)
                     .class(3, streams(2, 24))
                     .class(1, streams(2, 124))
+            }),
+        ),
+        cell(
+            "mesh-64/idle-heavy",
+            Box::new(move || {
+                // Mostly-wedged mesh: every declared tile walks a
+                // dependence chain, so tile-local parking (not the global
+                // jump) carries almost all of the elided work while the
+                // network and controllers step naively underneath.
+                let mut c = SystemConfig::mesh_64();
+                c.epoch_cycles = 2_000;
+                SystemBuilder::new(c, RegulationMode::Pabst)
+                    .class(3, chasers(2, 30))
+                    .class(1, chasers(2, 130))
+            }),
+        ),
+        cell(
+            "mesh-256x16/idle-heavy",
+            Box::new(move || {
+                let mut c = SystemConfig::mesh_256x16();
+                c.epoch_cycles = 1_000;
+                SystemBuilder::new(c, RegulationMode::Pabst)
+                    .class(3, chasers(2, 31))
+                    .class(1, chasers(2, 131))
+            }),
+        ),
+        cell(
+            "fault/mc-stall-tile-local",
+            Box::new(move || {
+                // A frozen mesh controller while tiles park locally: the
+                // stalled MC must never be parked (its queues are live but
+                // inert) and waking tiles must see identical fill timing.
+                let mut c = SystemConfig::mesh_64();
+                c.epoch_cycles = 2_000;
+                SystemBuilder::new(c, RegulationMode::Pabst)
+                    .class(3, chasers(2, 32))
+                    .class(1, streams(2, 132))
+                    .fault_plan(plan([window(FaultKind::McStall, 2, 1, 3, 0)]))
+            }),
+        ),
+        cell(
+            "mechanism/dpq-partial-skip",
+            Box::new(move || {
+                // Partial skip under the DPQ arbiter: chasing tiles park
+                // while streaming tiles keep the controllers busy, so the
+                // machine never fully quiesces and only tile-local
+                // fast-forward is in play.
+                let mut c = small();
+                c.arbiter = pabst_dram::ArbiterMode::Dpq;
+                SystemBuilder::new(c, RegulationMode::Pabst)
+                    .class(3, chasers(2, 33))
+                    .class(1, streams(2, 133))
             }),
         ),
         cell(
